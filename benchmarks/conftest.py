@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures, printing
+the rows and persisting them under ``benchmarks/results/`` so the numbers
+survive pytest's output capture.  Timings of the representative operations
+are taken with pytest-benchmark.
+
+Scaling knobs (see repro.experiments): REPRO_WORKLOAD_SIZE,
+REPRO_ESD_QUERIES, REPRO_BUDGETS_KB.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def budgets_kb():
+    from repro.experiments.harness import budgets_kb as _budgets
+
+    return _budgets()

@@ -1,0 +1,99 @@
+"""Ablation A4: does the marginal-gain merge criterion matter?
+
+TSBUILD orders merges by ``errd / sized`` (Fig. 5).  This ablation
+replaces the criterion with two degenerate policies at the same budget:
+
+* **random** -- merge uniformly random same-label pairs;
+* **size-greedy** -- always merge the pair saving the most bytes,
+  ignoring error (``errd`` weight zero).
+
+Both meet the budget; only the marginal-gain policy should meet it with
+low squared error and low estimation error, quantifying how much of the
+paper's quality comes from the criterion rather than from merging per se.
+"""
+
+import random
+
+from benchmarks.conftest import emit
+from repro.core.build import TreeSketchBuilder
+from repro.core.partition import MergePartition
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+from repro.workload.runner import run_selectivity
+
+BUDGET_KB = 15
+
+
+def merge_randomly(stable, budget_bytes, seed=0):
+    rng = random.Random(seed)
+    part = MergePartition(stable)
+    while part.size_bytes() > budget_bytes:
+        by_label = {}
+        for cid, lab in part.cluster_label.items():
+            by_label.setdefault(lab, []).append(cid)
+        groups = [g for g in by_label.values() if len(g) >= 2]
+        if not groups:
+            break
+        u, v = rng.sample(rng.choice(groups), 2)
+        part.apply_merge(u, v)
+    return part.to_treesketch()
+
+
+def merge_size_greedy(stable, budget_bytes, sample=64, seed=0):
+    """Always apply the candidate saving the most bytes (errd ignored)."""
+    rng = random.Random(seed)
+    part = MergePartition(stable)
+    while part.size_bytes() > budget_bytes:
+        by_label = {}
+        for cid, lab in part.cluster_label.items():
+            by_label.setdefault(lab, []).append(cid)
+        groups = [g for g in by_label.values() if len(g) >= 2]
+        if not groups:
+            break
+        best = None
+        for _ in range(sample):
+            u, v = rng.sample(rng.choice(groups), 2)
+            saved = part.evaluate_merge(u, v).sized
+            if best is None or saved > best[0]:
+                best = (saved, u, v)
+        part.apply_merge(best[1], best[2])
+    return part.to_treesketch()
+
+
+def test_merge_criterion_matters(benchmark):
+    bundle = load_bundle("XMark-TX")
+    budget = BUDGET_KB * 1024
+
+    marginal = TreeSketchBuilder(bundle.stable).compress_to(budget)
+    randomized = merge_randomly(bundle.stable, budget)
+    size_greedy = merge_size_greedy(bundle.stable, budget)
+
+    rows = []
+    for name, sketch in [
+        ("marginal gain (paper)", marginal),
+        ("size-greedy", size_greedy),
+        ("random", randomized),
+    ]:
+        quality = run_selectivity(sketch, bundle.workload)
+        rows.append(
+            [name, sketch.num_nodes, sketch.squared_error(),
+             quality.avg_error * 100]
+        )
+    emit(
+        "ablation_merge_criterion",
+        format_table(
+            f"Ablation A4: merge-selection policy at {BUDGET_KB}KB (XMark-TX)",
+            ["policy", "nodes", "sq(TS)", "sel err %"],
+            rows,
+        ),
+    )
+
+    paper_err = rows[0][3]
+    for name, _n, _sq, err in rows[1:]:
+        assert paper_err <= err, (name, paper_err, err)
+    # The criterion should beat *random* by a wide margin.
+    assert rows[2][3] > 1.5 * paper_err or rows[2][2] > 2 * rows[0][2], rows
+
+    benchmark.pedantic(
+        lambda: merge_randomly(bundle.stable, budget), rounds=1, iterations=1
+    )

@@ -1,0 +1,68 @@
+"""Ablation A2: CREATEPOOL candidate-generation heuristics.
+
+Two knobs bound candidate generation (Section 4.2 / Fig. 6):
+
+* the pair window, which thins same-(label, depth) groups to structural
+  nearest neighbours -- the quality cost should be small while the
+  exhaustive variant scales quadratically in group size;
+* the literal "stop once the heap is full" early termination vs the
+  default scan-all-levels behaviour (see DESIGN.md): stopping early
+  starves upper-level merges when the budget is met before the first pool
+  regeneration.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.build import TreeSketchBuilder, TSBuildOptions
+from repro.experiments.ablations import pool_window_ablation
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+from repro.workload.runner import run_selectivity
+
+
+def test_pair_window_quality_vs_time(benchmark):
+    bundle = load_bundle("XMark-TX")
+    rows = pool_window_ablation(bundle, budget_kb=15, windows=(8, 32, 128, None))
+    emit(
+        "ablation_pool_window",
+        format_table(
+            "Ablation A2a: CREATEPOOL pair window (XMark-TX, 15KB)",
+            ["window", "build s", "sq(TS)", "sel err %"],
+            rows,
+        ),
+    )
+    # Windowed construction must stay within ~2x the exhaustive quality.
+    exhaustive_err = rows[-1][3]
+    for row in rows[:-1]:
+        assert row[3] <= max(2.0 * exhaustive_err, exhaustive_err + 3.0), rows
+
+    benchmark.pedantic(
+        lambda: TreeSketchBuilder(
+            bundle.stable, TSBuildOptions(pair_window=32)
+        ).compress_to(15 * 1024),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_early_stop_vs_scan_all(benchmark):
+    bundle = load_bundle("XMark-TX")
+    rows = []
+    for label, options in [
+        ("scan-all (default)", TSBuildOptions()),
+        ("stop-when-full (Fig. 6)", TSBuildOptions(stop_when_full=True)),
+    ]:
+        sketch = TreeSketchBuilder(bundle.stable, options).compress_to(15 * 1024)
+        quality = run_selectivity(sketch, bundle.workload)
+        rows.append([label, sketch.squared_error(), quality.avg_error * 100])
+    emit(
+        "ablation_pool_stop",
+        format_table(
+            "Ablation A2b: candidate generation termination (XMark-TX, 15KB)",
+            ["variant", "sq(TS)", "sel err %"],
+            rows,
+        ),
+    )
+    # Scanning all levels never hurts squared error.
+    assert rows[0][1] <= rows[1][1] * 1.05, rows
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

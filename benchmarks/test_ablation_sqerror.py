@@ -1,0 +1,38 @@
+"""Ablation A3: squared error tracks answer quality (Section 4.3).
+
+The paper's "missing link": TSBUILD optimizes the workload-independent
+squared error sq(TS), and this is claimed to be a faithful proxy for the
+quality of approximate answers because low clustering error makes the
+evaluator's independence assumptions valid.  This benchmark compresses one
+data set through a ladder of budgets and checks that sq(TS) and the
+average ESD of answers are strongly rank-correlated.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import spearman_rank_correlation, sq_error_vs_esd
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+
+
+def test_squared_error_correlates_with_esd(benchmark):
+    bundle = load_bundle("XMark-TX")
+    budgets = [50, 35, 25, 15, 10, 6]
+    rows = sq_error_vs_esd(bundle, budgets, esd_queries=20)
+    correlation = spearman_rank_correlation(
+        [row[1] for row in rows], [row[2] for row in rows]
+    )
+    rows_out = rows + [["spearman", "", round(correlation, 3)]]
+    emit(
+        "ablation_sqerror",
+        format_table(
+            "Ablation A3: sq(TS) vs avg answer ESD across budgets (XMark-TX)",
+            ["budget KB", "sq(TS)", "avg ESD"],
+            rows_out,
+        ),
+    )
+    assert correlation >= 0.7, (
+        f"squared error should track answer quality; spearman={correlation:.2f}"
+    )
+
+    sketch = bundle.treesketch(10 * 1024)
+    benchmark.pedantic(sketch.squared_error, rounds=5, iterations=1)

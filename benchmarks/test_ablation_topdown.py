@@ -1,0 +1,43 @@
+"""Ablation A1: bottom-up merging vs top-down splitting (Section 4.2).
+
+The paper: "In the clustering literature, bottom-up algorithms have been
+shown to perform better than their top-down counterparts; in addition, we
+have experimentally verified that bottom-up TREESKETCH construction yields
+much better results".  This benchmark verifies that claim with a top-down
+comparator that greedily splits the label-split graph by squared-error
+reduction -- same objective and size model, opposite search direction.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import topdown_vs_bottomup
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+
+
+def test_bottom_up_beats_top_down(benchmark):
+    bundle = load_bundle("XMark-TX")
+    budgets = [10, 25]
+    rows = topdown_vs_bottomup(bundle, budgets, esd_queries=20)
+    emit(
+        "ablation_topdown",
+        format_table(
+            "Ablation A1: bottom-up vs top-down TreeSketch construction (XMark-TX)",
+            ["budget KB", "bottom-up err %", "top-down err %",
+             "bottom-up ESD", "top-down ESD"],
+            rows,
+        ),
+    )
+    bu_err = sum(r[1] for r in rows)
+    td_err = sum(r[2] for r in rows)
+    assert bu_err <= td_err + 1.0, rows  # bottom-up at least as accurate
+    bu_esd = sum(r[3] for r in rows)
+    td_esd = sum(r[4] for r in rows)
+    assert bu_esd <= td_esd * 1.1, rows
+
+    from repro.experiments.ablations import build_treesketch_topdown
+
+    benchmark.pedantic(
+        lambda: build_treesketch_topdown(bundle.stable, 10 * 1024),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,49 @@
+"""Figure 12: average selectivity-estimation error vs synopsis size.
+
+Paper (Fig. 12 a,b): on the TX data sets, TreeSketch estimation error
+stays well below 10% across 10-50 KB budgets, consistently below
+twig-XSketch, with a flatter (more stable) curve.
+
+The timed operation is one selectivity estimate (EVALQUERY + the
+post-order estimator of Section 4.4).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.experiments.figures import fig12_series
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+
+DATASETS = ["XMark-TX", "IMDB-TX", "SProt-TX"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig12_selectivity_error(benchmark, name):
+    rows = fig12_series(name)
+    emit(
+        f"fig12_{name}",
+        format_table(
+            f"Figure 12 ({name}): avg relative selectivity error (%)",
+            ["budget KB", "TreeSketch %", "twig-XSketch %"],
+            rows,
+        ),
+    )
+
+    # Reproduced claims: TreeSketch error stays below ~10% at every
+    # budget and wins against the baseline on (nearly) every point.
+    for _kb, ts, _xs in rows:
+        assert ts < 12.0, f"TreeSketch error unexpectedly high: {rows}"
+    wins = sum(1 for _kb, ts, xs in rows if ts <= xs + 0.5)
+    assert wins >= len(rows) - 1, rows
+
+    bundle = load_bundle(name)
+    sketch = bundle.treesketch(10 * 1024)
+    query = bundle.workload.queries[0]
+    benchmark.pedantic(
+        lambda: estimate_selectivity(eval_query(sketch, query)),
+        rounds=5,
+        iterations=1,
+    )

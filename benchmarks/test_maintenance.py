@@ -1,0 +1,87 @@
+"""Synopsis maintenance under updates (beyond the paper).
+
+A production deployment must keep summaries fresh as documents change.
+Count stability localizes edits to a root path, so incremental
+maintenance (`repro.core.maintain`) should beat a from-scratch
+BUILD_STABLE by orders of magnitude per edit.  The benchmark applies a
+stream of random sub-tree insertions/deletions to a generated document
+and compares per-edit cost against rebuilds, asserting correctness
+(equivalence to a fresh summary) at the end.
+"""
+
+import random
+import time
+
+from benchmarks.conftest import emit
+from repro.core.maintain import StableMaintainer
+from repro.core.stable import build_stable
+from repro.datagen.datasets import sprot_like
+from repro.experiments.reporting import format_table
+from repro.xmltree.tree import XMLTree
+
+EDITS = 200
+
+
+def _canonical(summary):
+    order = summary.topological_order()
+    form = {}
+    for nid in reversed(order):
+        children = tuple(sorted(
+            (form[c], int(k)) for c, k in summary.out.get(nid, {}).items()
+        ))
+        form[nid] = (summary.label[nid], children)
+    return sorted((form[nid], summary.count[nid]) for nid in summary.label)
+
+
+def test_incremental_maintenance_vs_rebuild(benchmark):
+    tree = sprot_like(scale=3.0, seed=6)
+    rng = random.Random(11)
+    maintainer = StableMaintainer(tree)
+
+    donors = [
+        ("feature", [("ftype", []), ("location", ["begin", "end"])]),
+        ("ref", [("citation", []), "author", "author"]),
+        ("keyword", []),
+    ]
+
+    # Pre-select edit targets so only maintenance itself is timed
+    # (inserted sub-trees are also the only deletion victims, keeping the
+    # pre-selected parents valid throughout).
+    initial_nodes = list(tree.root.iter_preorder())
+    parents = [rng.choice(initial_nodes) for _ in range(EDITS)]
+
+    start = time.perf_counter()
+    inserted = []
+    for i in range(EDITS):
+        if i % 3 != 2 or not inserted:
+            inserted.append(
+                maintainer.insert_subtree(parents[i], rng.choice(donors))
+            )
+        else:
+            maintainer.delete_subtree(inserted.pop(rng.randrange(len(inserted))))
+    incremental_total = time.perf_counter() - start
+    per_edit_ms = incremental_total * 1000 / EDITS
+
+    start = time.perf_counter()
+    fresh = build_stable(XMLTree(tree.root))
+    rebuild_ms = (time.perf_counter() - start) * 1000
+
+    emit(
+        "maintenance",
+        format_table(
+            "Synopsis maintenance: incremental edit vs full rebuild",
+            ["edits", "per-edit (ms)", "full rebuild (ms)", "speedup/edit"],
+            [[EDITS, per_edit_ms, rebuild_ms, rebuild_ms / max(per_edit_ms, 1e-9)]],
+        ),
+    )
+
+    # Correctness: the maintained summary equals a fresh rebuild.
+    assert _canonical(maintainer.summary()) == _canonical(fresh)
+    # Performance: an edit must be much cheaper than a rebuild.
+    assert per_edit_ms * 10 < rebuild_ms
+
+    benchmark.pedantic(
+        lambda: maintainer.insert_subtree(tree.root.children[0], ("keyword", [])),
+        rounds=5,
+        iterations=1,
+    )

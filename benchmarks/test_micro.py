@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core operations.
+
+Not tied to a specific table/figure; these quantify the per-operation
+costs behind the paper's "interactive" claim: building the stable summary,
+compressing it, evaluating a twig approximately, estimating selectivity,
+expanding an answer, and scoring it with ESD -- all on one TX data set.
+"""
+
+import pytest
+
+from repro.core.build import TreeSketchBuilder
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.stable import build_stable, expand_stable
+from repro.experiments.harness import load_bundle
+from repro.metrics.esd import ESDCalculator, esd_nesting_trees
+
+
+@pytest.fixture(scope="module")
+def env():
+    bundle = load_bundle("XMark-TX")
+    sketch = bundle.treesketch(20 * 1024)
+    query = bundle.workload.queries[1]
+    return bundle, sketch, query
+
+
+def test_bench_build_stable(benchmark, env):
+    bundle, _sketch, _query = env
+    benchmark.pedantic(build_stable, args=(bundle.tree,), rounds=3, iterations=1)
+
+
+def test_bench_expand_stable(benchmark, env):
+    bundle, _sketch, _query = env
+    benchmark.pedantic(expand_stable, args=(bundle.stable,), rounds=3, iterations=1)
+
+
+def test_bench_tsbuild_20kb(benchmark, env):
+    bundle, _sketch, _query = env
+    benchmark.pedantic(
+        lambda: TreeSketchBuilder(bundle.stable).compress_to(20 * 1024),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_eval_query(benchmark, env):
+    _bundle, sketch, query = env
+    benchmark.pedantic(eval_query, args=(sketch, query), rounds=10, iterations=1)
+
+
+def test_bench_estimate(benchmark, env):
+    _bundle, sketch, query = env
+    benchmark.pedantic(
+        lambda: estimate_selectivity(eval_query(sketch, query)),
+        rounds=10,
+        iterations=1,
+    )
+
+
+def test_bench_expand_answer(benchmark, env):
+    _bundle, sketch, query = env
+    result = eval_query(sketch, query)
+    benchmark.pedantic(
+        lambda: expand_result(result, max_nodes=3_000_000), rounds=3, iterations=1
+    )
+
+
+def test_bench_exact_evaluation(benchmark, env):
+    bundle, _sketch, query = env
+    benchmark.pedantic(
+        bundle.workload.evaluator.evaluate, args=(query,), rounds=3, iterations=1
+    )
+
+
+def test_bench_esd(benchmark, env):
+    bundle, sketch, query = env
+    truth = bundle.workload.evaluator.evaluate(query)
+    approx = expand_result(eval_query(sketch, query), max_nodes=3_000_000)
+    calc = ESDCalculator()
+
+    benchmark.pedantic(
+        lambda: esd_nesting_trees(truth, approx, calculator=ESDCalculator()),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,58 @@
+"""Scaling behaviour (paper Section 6.2, scaling discussion).
+
+The paper reports affordable construction on documents up to 100 MB
+(Table 1 + the timing paragraph: BUILD_STABLE is linear, TSBUILD scales
+with the stable summary, not the document).  This benchmark sweeps the
+XMark generator over document scales and reports:
+
+* elements, stable-summary size;
+* BUILD_STABLE seconds (expected ~linear in elements);
+* TSBUILD seconds down to 10 KB (expected to track stable size, not
+  document size).
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core.build import TreeSketchBuilder
+from repro.core.stable import build_stable
+from repro.datagen.datasets import xmark_like
+from repro.experiments.reporting import format_table
+
+SCALES = [2.0, 4.0, 8.0, 16.0]
+
+
+def test_scaling_construction(benchmark):
+    rows = []
+    seconds_per_element = []
+    for scale in SCALES:
+        tree = xmark_like(scale=scale, seed=12)
+        start = time.perf_counter()
+        stable = build_stable(tree)
+        stable_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        TreeSketchBuilder(stable).compress_to(10 * 1024)
+        build_seconds = time.perf_counter() - start
+
+        rows.append(
+            [scale, len(tree), stable.size_bytes() / 1024,
+             stable_seconds, build_seconds]
+        )
+        seconds_per_element.append(stable_seconds / len(tree))
+
+    emit(
+        "scaling",
+        format_table(
+            "Scaling: construction cost vs document size (XMark generator)",
+            ["scale", "elements", "stable KB", "BUILD_STABLE s", "TSBUILD s"],
+            rows,
+        ),
+    )
+
+    # BUILD_STABLE stays ~linear: per-element cost varies < 4x across an
+    # 8x size range (generous bound for noisy CI machines).
+    assert max(seconds_per_element) <= 4 * min(seconds_per_element), rows
+
+    tree = xmark_like(scale=4.0, seed=12)
+    benchmark.pedantic(build_stable, args=(tree,), rounds=3, iterations=1)

@@ -1,0 +1,38 @@
+"""Workload-shape sensitivity (beyond the paper).
+
+Robustness check: the paper's Fig. 12 accuracy should not hinge on the
+particular query-shape distribution of the sampled workload.  This
+benchmark regenerates workloads with each shape parameter pushed to an
+extreme (child-only, descendant-heavy, deep, branchy, predicate-heavy,
+all/none optional) and measures a fixed 20 KB TreeSketch's estimation
+error on each.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.harness import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.sensitivity import workload_sensitivity
+
+
+def test_workload_shape_sensitivity(benchmark):
+    bundle = load_bundle("XMark-TX")
+    rows = workload_sensitivity(bundle, budget_kb=20, num_queries=50)
+    emit(
+        "sensitivity",
+        format_table(
+            "Workload-shape sensitivity of a 20KB TreeSketch (XMark-TX)",
+            ["variation", "avg err %", "max err %"],
+            rows,
+        ),
+    )
+    for name, avg_err, _max_err in rows:
+        assert avg_err < 15.0, (name, avg_err)
+
+    benchmark.pedantic(
+        lambda: workload_sensitivity(
+            bundle, budget_kb=20, num_queries=5,
+            variations={"default": {}},
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,60 @@
+"""Approximate vs exact query latency: the interactivity motivation.
+
+Not a numbered figure, but the paper's raison d'etre (Section 1): an
+approximate answer must arrive much faster than the exact one for the
+preview workflow to make sense.  This benchmark measures, per TX data set,
+the average wall-clock of (a) exact evaluation over the document and
+(b) approximate evaluation + estimation over a 10 KB TreeSketch, and
+reports the speedup.  The gap widens with document size since the synopsis
+cost is independent of it.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.experiments.harness import dataset_names, load_bundle
+from repro.experiments.reporting import format_table
+
+QUERIES_TIMED = 40
+
+
+def test_approximate_vs_exact_latency(benchmark):
+    rows = []
+    for name in dataset_names(tx_only=True):
+        bundle = load_bundle(name)
+        sketch = bundle.treesketch(10 * 1024)
+        queries = bundle.workload.queries[:QUERIES_TIMED]
+
+        start = time.perf_counter()
+        for query in queries:
+            bundle.workload.evaluator.selectivity(query)
+        exact_ms = (time.perf_counter() - start) * 1000 / len(queries)
+
+        start = time.perf_counter()
+        for query in queries:
+            estimate_selectivity(eval_query(sketch, query))
+        approx_ms = (time.perf_counter() - start) * 1000 / len(queries)
+
+        rows.append([name, exact_ms, approx_ms, exact_ms / max(approx_ms, 1e-9)])
+
+    emit(
+        "speedup",
+        format_table(
+            "Approximate vs exact evaluation latency (avg ms per query)",
+            ["data set", "exact ms", "approx ms", "speedup"],
+            rows,
+        ),
+    )
+    for _name, _e, _a, speedup in rows:
+        assert speedup > 1.0, rows
+
+    bundle = load_bundle(dataset_names(tx_only=True)[0])
+    sketch = bundle.treesketch(10 * 1024)
+    query = bundle.workload.queries[0]
+    benchmark.pedantic(
+        lambda: estimate_selectivity(eval_query(sketch, query)),
+        rounds=10,
+        iterations=1,
+    )

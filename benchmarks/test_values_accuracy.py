@@ -1,0 +1,104 @@
+"""Value-predicate estimation accuracy (the values extension at scale).
+
+Generates a movie data set with skewed categorical leaf values, samples a
+workload where a quarter of the predicates are value tests
+``[path = "v"]``, and compares three estimators:
+
+* a value-annotated TreeSketch (heavy hitters + uniform tail),
+* the same TreeSketch without annotation (structural upper bound),
+* exact evaluation (truth).
+
+The claim: annotation cuts the average error on value-test queries by a
+large factor at negligible space cost, and leaves purely structural
+queries untouched.
+"""
+
+import random
+
+from benchmarks.conftest import emit
+from repro.core.build import TreeSketchBuilder
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.datagen.datasets import imdb_like
+from repro.engine.exact import ExactEvaluator
+from repro.experiments.reporting import format_table
+from repro.metrics.error import average_error
+from repro.query.generator import WorkloadGenerator, WorkloadOptions
+from repro.query.path import ValueTest
+from repro.values import annotate_sketch_values, annotate_stable_values
+
+GENRES = ["scifi", "crime", "drama", "comedy", "horror", "romance", "war"]
+
+
+def has_value_test(query) -> bool:
+    return any(
+        isinstance(pred, ValueTest)
+        for node in query.nodes
+        if node.path is not None
+        for step in node.path.steps
+        for pred in step.predicates
+    )
+
+
+def test_value_annotation_accuracy(benchmark):
+    tree = imdb_like(scale=4.0, seed=31)
+    rng = random.Random(7)
+    weights = [1 / (r ** 1.2) for r in range(1, len(GENRES) + 1)]
+    for node in tree.nodes_with_label("genre"):
+        node.value = rng.choices(GENRES, weights=weights, k=1)[0]
+
+    stable = build_stable(tree, keep_extents=True)
+    summaries = annotate_stable_values(stable, tree, top_k=8)
+
+    generator = WorkloadGenerator(
+        stable,
+        WorkloadOptions(
+            num_queries=120, seed=5, predicate_prob=0.5, value_predicate_prob=0.6
+        ),
+    )
+    queries = generator.generate()
+    value_queries = [q for q in queries if has_value_test(q)]
+    assert len(value_queries) >= 20, "workload must exercise value tests"
+
+    evaluator = ExactEvaluator(tree)
+    truths = {id(q): float(evaluator.selectivity(q)) for q in queries}
+
+    sketch = TreeSketchBuilder(stable).compress_to(12 * 1024)
+    annotate_sketch_values(sketch, summaries, top_k=8)
+    bare = TreeSketchBuilder(stable).compress_to(12 * 1024)  # no values
+
+    def err(synopsis, subset):
+        pairs = [
+            (truths[id(q)], estimate_selectivity(eval_query(synopsis, q)))
+            for q in subset
+        ]
+        return average_error(pairs) * 100
+
+    structural_queries = [q for q in queries if not has_value_test(q)]
+    rows = [
+        ["value-test queries", len(value_queries),
+         err(sketch, value_queries), err(bare, value_queries)],
+        ["structural queries", len(structural_queries),
+         err(sketch, structural_queries), err(bare, structural_queries)],
+    ]
+    extra_kb = sum(s.size_bytes() for s in sketch.values.values()) / 1024
+    emit(
+        "values_accuracy",
+        format_table(
+            f"Value-predicate estimation (12KB sketch + {extra_kb:.2f}KB values)",
+            ["query class", "n", "annotated err %", "unannotated err %"],
+            rows,
+        ),
+    )
+
+    annotated_err, bare_err = rows[0][2], rows[0][3]
+    assert annotated_err < bare_err * 0.6, rows  # large improvement
+    assert abs(rows[1][2] - rows[1][3]) < 1e-9  # structural untouched
+
+    query = value_queries[0]
+    benchmark.pedantic(
+        lambda: estimate_selectivity(eval_query(sketch, query)),
+        rounds=5,
+        iterations=1,
+    )

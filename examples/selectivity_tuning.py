@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Selectivity estimation for query optimization (paper Section 4.4).
+
+An XML query optimizer needs cardinality estimates for twig patterns to
+order structural joins.  This example plays that role: it builds
+TreeSketches at several space budgets over an auction data set, estimates
+a workload of twig selectivities at each budget, and prints the
+accuracy/space trade-off -- the practical knob a DBA would tune.
+
+It also demonstrates the one-pass budget sweep (`compress_to_budgets`):
+merging is monotone, so all budgets come from a single compression run.
+
+Run:  python examples/selectivity_tuning.py
+"""
+
+from repro import build_stable, compress_to_budgets, eval_query, estimate_selectivity
+from repro.datagen import xmark_like
+from repro.metrics.error import average_error, sanity_bound, workload_errors
+from repro.workload import make_workload
+
+BUDGETS_KB = [5, 10, 20, 40]
+NUM_QUERIES = 80
+
+
+def main() -> None:
+    print("generating auction data set ...")
+    tree = xmark_like(scale=8.0, seed=12)
+    stable = build_stable(tree)
+    print(f"  {len(tree):,} elements; stable summary "
+          f"{stable.size_bytes() / 1024:.0f} KB\n")
+
+    workload = make_workload(tree, num_queries=NUM_QUERIES, seed=3, stable=stable)
+    sanity = sanity_bound(workload.truths)
+    print(f"workload: {len(workload)} positive twig queries, "
+          f"avg {workload.avg_binding_tuples():,.0f} binding tuples, "
+          f"sanity bound {sanity:.0f}\n")
+
+    print("one compression pass, snapshots at every budget:")
+    sketches = compress_to_budgets(stable, [kb * 1024 for kb in BUDGETS_KB])
+
+    header = f"{'budget':>8}  {'nodes':>6}  {'sq error':>10}  {'avg err':>8}  {'p90 err':>8}"
+    print(header)
+    print("-" * len(header))
+    for kb in sorted(BUDGETS_KB, reverse=True):
+        sketch = sketches[kb * 1024]
+        pairs = [
+            (float(truth), estimate_selectivity(eval_query(sketch, query)))
+            for query, truth in zip(workload.queries, workload.truths)
+        ]
+        errors = sorted(workload_errors(pairs))
+        p90 = errors[int(0.9 * (len(errors) - 1))]
+        print(f"{kb:>6}KB  {sketch.num_nodes:>6}  {sketch.squared_error():>10.0f}  "
+              f"{average_error(pairs):>7.1%}  {p90:>7.1%}")
+
+    print("\nreading the table: pick the smallest budget whose error your")
+    print("optimizer tolerates -- the paper's headline is that ~10 KB")
+    print("already estimates complex twigs within a few percent.")
+
+
+if __name__ == "__main__":
+    main()

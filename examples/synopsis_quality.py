@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Anatomy of synopsis quality: TreeSketch vs twig-XSketch.
+
+Reproduces the paper's central comparison in miniature on a protein data
+set: at the same byte budget, a clustering-based TreeSketch and a
+histogram-based twig-XSketch answer the same workload, scored on
+
+* selectivity estimation error (the baseline's home turf), and
+* ESD of approximate answers (where edge-histogram summaries fall short
+  because independent per-element sampling destroys sibling correlations).
+
+It also shows the paper's "missing link" (Section 4.3): the synopsis'
+internal squared error tracks the external answer quality, which is why
+TSBUILD can optimize a workload-independent objective and still win.
+
+Run:  python examples/synopsis_quality.py        (takes a minute or two)
+"""
+
+import time
+
+from repro import build_stable
+from repro.core.build import TreeSketchBuilder
+from repro.datagen import sprot_like
+from repro.metrics.esd import ESDCalculator
+from repro.workload import make_workload, run_answer_quality, run_selectivity
+from repro.xsketch import XSketchBuildOptions, build_twig_xsketch
+
+BUDGETS_KB = [8, 16, 32]
+ESD_QUERIES = 20
+
+
+def main() -> None:
+    print("generating protein data set ...")
+    tree = sprot_like(scale=3.0, seed=13)
+    stable = build_stable(tree)
+    print(f"  {len(tree):,} elements; stable summary "
+          f"{stable.size_bytes() / 1024:.0f} KB\n")
+
+    workload = make_workload(tree, num_queries=60, seed=2, stable=stable)
+    training = make_workload(tree, num_queries=25, seed=77, stable=stable)
+
+    print("building synopses ...")
+    builder = TreeSketchBuilder(stable)
+    start = time.perf_counter()
+    tsketches = {
+        kb: builder.compress_to(kb * 1024) for kb in sorted(BUDGETS_KB, reverse=True)
+    }
+    ts_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    xsketches_by_bytes = build_twig_xsketch(
+        stable,
+        max(BUDGETS_KB) * 1024,
+        training.queries,
+        training.truths,
+        XSketchBuildOptions(sample_size=12, candidate_clusters=4),
+        snapshot_budgets=[kb * 1024 for kb in BUDGETS_KB],
+    )
+    xs_seconds = time.perf_counter() - start
+    print(f"  TreeSketch sweep: {ts_seconds:.1f}s   "
+          f"twig-XSketch sweep: {xs_seconds:.1f}s  "
+          f"(workload-driven construction is the baseline's bottleneck)\n")
+
+    calc = ESDCalculator()
+    query_ids = list(range(ESD_QUERIES))
+    header = (f"{'budget':>8}  {'TS err':>8}  {'XS err':>8}  "
+              f"{'TS ESD':>9}  {'XS ESD':>9}  {'TS sq(TS)':>10}")
+    print(header)
+    print("-" * len(header))
+    for kb in sorted(BUDGETS_KB, reverse=True):
+        ts, xs = tsketches[kb], xsketches_by_bytes[kb * 1024]
+        ts_sel = run_selectivity(ts, workload)
+        xs_sel = run_selectivity(xs, workload)
+        ts_ans = run_answer_quality(ts, workload, query_ids, calculator=calc)
+        xs_ans = run_answer_quality(xs, workload, query_ids, calculator=calc)
+        print(f"{kb:>6}KB  {ts_sel.avg_error:>7.1%}  {xs_sel.avg_error:>7.1%}  "
+              f"{ts_ans.avg_esd:>9.0f}  {xs_ans.avg_esd:>9.0f}  "
+              f"{ts.squared_error():>10.0f}")
+
+    print("\nsq(TS) falls as budgets grow and the ESD column falls with it:")
+    print("low clustering error makes the evaluator's independence")
+    print("assumptions valid, which is exactly the paper's argument for a")
+    print("workload-independent build objective.")
+
+
+if __name__ == "__main__":
+    main()

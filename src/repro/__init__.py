@@ -1,0 +1,101 @@
+"""TreeSketch: approximate XML query answers.
+
+A from-scratch reproduction of *"Approximate XML Query Answers"*
+(N. Polyzotis, M. Garofalakis, Y. Ioannidis; SIGMOD 2004).
+
+The library summarizes a node-labeled XML document into a compact
+**TreeSketch** synopsis -- a clustering of elements with similar sub-tree
+structure -- and answers twig queries *approximately* over the synopsis:
+fast tree-structured previews of the real answer plus accurate selectivity
+estimates.  It also ships the paper's full experimental apparatus: the
+count-stable summary, the TSBUILD compression algorithm, the
+EVALQUERY/EVALEMBED approximate evaluator, the Element Simulation Distance
+(ESD) quality metric, the twig-XSketch baseline, synthetic data sets, and
+benchmark harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import (
+        XMLTree, parse_twig, build_stable, build_treesketch,
+        eval_query, expand_result, estimate_selectivity, ExactEvaluator,
+    )
+
+    tree = ...                                    # an XMLTree
+    sketch = build_treesketch(tree, budget_bytes=10 * 1024)
+    query = parse_twig("//a[//b] ( //p ( //k ? ), //n ? )")
+
+    result = eval_query(sketch, query)            # approximate evaluation
+    preview = expand_result(result)               # approximate nesting tree
+    estimate = estimate_selectivity(result)       # approximate selectivity
+
+    truth = ExactEvaluator(tree).evaluate(query)  # ground truth
+"""
+
+from repro.xmltree import (
+    XMLNode,
+    XMLTree,
+    parse_xml,
+    parse_compact,
+    to_xml,
+    to_compact,
+)
+from repro.query import Path, PathStep, Axis, TwigQuery, parse_path, parse_twig
+from repro.query.generator import (
+    WorkloadOptions,
+    generate_workload,
+    generate_negative_workload,
+)
+from repro.workload import make_workload
+from repro.engine import ExactEvaluator, NestingTree, NTNode
+from repro.core.io import save_synopsis, load_synopsis
+from repro.core import (
+    StableSummary,
+    build_stable,
+    expand_stable,
+    TreeSketch,
+    TSBuildOptions,
+    build_treesketch,
+    compress_to_budgets,
+    ResultSketch,
+    eval_query,
+    estimate_selectivity,
+    expand_result,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XMLNode",
+    "XMLTree",
+    "parse_xml",
+    "parse_compact",
+    "to_xml",
+    "to_compact",
+    "Path",
+    "PathStep",
+    "Axis",
+    "TwigQuery",
+    "parse_path",
+    "parse_twig",
+    "ExactEvaluator",
+    "NestingTree",
+    "NTNode",
+    "StableSummary",
+    "build_stable",
+    "expand_stable",
+    "TreeSketch",
+    "TSBuildOptions",
+    "build_treesketch",
+    "compress_to_budgets",
+    "ResultSketch",
+    "eval_query",
+    "estimate_selectivity",
+    "expand_result",
+    "WorkloadOptions",
+    "generate_workload",
+    "generate_negative_workload",
+    "make_workload",
+    "save_synopsis",
+    "load_synopsis",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface: build synopses and query them approximately.
+
+Installed as the ``treesketch`` console script::
+
+    treesketch stats    data.xml
+    treesketch stable   data.xml -o stable.json
+    treesketch build    data.xml --budget-kb 10 -o sketch.json
+    treesketch query    sketch.json "//a[//b] ( //p ( //k ? ), //n ? )"
+    treesketch exact    data.xml   "//a[//b] ( //p ( //k ? ), //n ? )"
+    treesketch compare  data.xml sketch.json "//a (//p)"
+
+``build`` accepts either raw XML or a saved stable summary, so the
+expensive parse/summarize step can be done once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.io import load_synopsis, save_synopsis
+from repro.core.stable import StableSummary, build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+from repro.xmltree.parser import parse_xml_file
+from repro.xmltree.serialize import to_xml
+from repro.xmltree.stats import compute_stats
+
+
+def _load_document(path: str):
+    return parse_xml_file(path)
+
+
+def _load_sketch(path: str) -> TreeSketch:
+    synopsis = load_synopsis(path)
+    if isinstance(synopsis, StableSummary):
+        return TreeSketch.from_stable(synopsis)
+    return synopsis
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    tree = _load_document(args.document)
+    stats = compute_stats(tree)
+    print(stats)
+    stable = build_stable(tree)
+    print(
+        f"stable summary: {stable.num_nodes} nodes, {stable.num_edges} edges, "
+        f"{stable.size_bytes() / 1024:.1f} KB"
+    )
+    return 0
+
+
+def cmd_stable(args: argparse.Namespace) -> int:
+    tree = _load_document(args.document)
+    stable = build_stable(tree)
+    save_synopsis(stable, args.output)
+    print(
+        f"wrote {args.output}: {stable.num_nodes} nodes, "
+        f"{stable.size_bytes() / 1024:.1f} KB (lossless)"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    value_summaries = None
+    if args.source.endswith(".json"):
+        source = load_synopsis(args.source)
+        if not isinstance(source, StableSummary):
+            print("build expects XML or a *stable* summary JSON", file=sys.stderr)
+            return 2
+        if args.values:
+            print("--values needs an XML source (values live in the document)",
+                  file=sys.stderr)
+            return 2
+    elif args.values:
+        from repro.values import annotate_sketch_values, annotate_stable_values
+
+        tree = parse_xml_file(args.source, keep_values=True)
+        source = build_stable(tree, keep_extents=True)
+        value_summaries = annotate_stable_values(source, tree)
+    else:
+        source = build_stable(_load_document(args.source))
+    sketch = build_treesketch(source, int(args.budget_kb * 1024))
+    if value_summaries is not None:
+        from repro.values import annotate_sketch_values
+
+        annotate_sketch_values(sketch, value_summaries)
+    save_synopsis(sketch, args.output)
+    print(
+        f"wrote {args.output}: {sketch.num_nodes} nodes, "
+        f"{sketch.size_bytes() / 1024:.1f} KB, "
+        f"squared error {sketch.squared_error():.1f}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    sketch = _load_sketch(args.sketch)
+    query = parse_twig(args.twig)
+    result = eval_query(sketch, query)
+    estimate = estimate_selectivity(result)
+    print(f"estimated binding tuples: {estimate:,.1f}")
+    if args.preview:
+        nesting = expand_result(result, max_nodes=args.max_preview_nodes)
+        with open(args.preview, "w", encoding="utf-8") as handle:
+            handle.write(to_xml(nesting.to_xmltree()))
+        print(f"approximate answer ({nesting.size():,} elements) -> {args.preview}")
+    return 0
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    tree = parse_xml_file(args.document, keep_values=args.values)
+    query = parse_twig(args.twig)
+    evaluator = ExactEvaluator(tree)
+    print(f"exact binding tuples: {evaluator.selectivity(query):,}")
+    return 0
+
+
+def cmd_gen_corpus(args: argparse.Namespace) -> int:
+    from repro.datagen.corpus import available_datasets, write_corpus
+
+    names = args.datasets or None
+    try:
+        written = write_corpus(args.directory, names=names, scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for name, path in written.items():
+        print(f"{name}: {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    tree = _load_document(args.document)
+    sketch = _load_sketch(args.sketch)
+    query = parse_twig(args.twig)
+    evaluator = ExactEvaluator(tree)
+    truth = evaluator.evaluate(query)
+    result = eval_query(sketch, query)
+    estimate = estimate_selectivity(result)
+    approx = expand_result(result, max_nodes=args.max_preview_nodes)
+    true_count = truth.binding_tuple_count()
+    error = abs(estimate - true_count) / max(true_count, 1)
+    print(f"exact tuples:     {true_count:,}")
+    print(f"estimated tuples: {estimate:,.1f}  (error {error:.1%})")
+    print(f"answer ESD:       {esd_nesting_trees(truth, approx):,.1f} (0 = exact)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="treesketch",
+        description="Approximate XML query answers via TreeSketch synopses",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="document and stable-summary statistics")
+    p.add_argument("document")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("stable", help="build the lossless count-stable summary")
+    p.add_argument("document")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_stable)
+
+    p = sub.add_parser("build", help="compress to a TreeSketch under a budget")
+    p.add_argument("source", help="XML document or stable-summary JSON")
+    p.add_argument("--budget-kb", type=float, required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument(
+        "--values",
+        action="store_true",
+        help="annotate the sketch with leaf-value summaries "
+             "(enables [path = 'v'] predicates; XML source only)",
+    )
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="approximate a twig query over a synopsis")
+    p.add_argument("sketch", help="synopsis JSON (TreeSketch or stable)")
+    p.add_argument("twig", help='e.g. "//a[//b] ( //p ( //k ? ), //n ? )"')
+    p.add_argument("--preview", help="write the approximate answer XML here")
+    p.add_argument("--max-preview-nodes", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("exact", help="evaluate a twig query exactly")
+    p.add_argument("document")
+    p.add_argument("twig")
+    p.add_argument("--values", action="store_true",
+                   help="keep leaf values (for [path = 'v'] predicates)")
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("gen-corpus", help="materialize benchmark data sets as XML")
+    p.add_argument("directory")
+    p.add_argument("datasets", nargs="*",
+                   help="data set names (default: all; see repro.datagen)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="size multiplier relative to the benchmark documents")
+    p.set_defaults(func=cmd_gen_corpus)
+
+    p = sub.add_parser("compare", help="approximate vs exact, with ESD")
+    p.add_argument("document")
+    p.add_argument("sketch")
+    p.add_argument("twig")
+    p.add_argument("--max-preview-nodes", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""TreeSketch: the paper's primary contribution.
+
+This package implements Sections 3 and 4 of the paper:
+
+* :mod:`repro.core.synopsis` -- the generic node-partitioning graph-synopsis
+  model (Section 3.1).
+* :mod:`repro.core.stable` -- count stability, the BUILD_STABLE algorithm
+  (Fig. 4), and the ``Expand`` inverse of Lemma 3.1.
+* :mod:`repro.core.treesketch` -- the TreeSketch synopsis (Definition 3.2)
+  with per-edge sufficient statistics and the squared-error quality metric.
+* :mod:`repro.core.build` / :mod:`repro.core.pool` -- the TSBUILD
+  compression algorithm (Fig. 5) and CREATEPOOL candidate generation
+  (Fig. 6).
+* :mod:`repro.core.evaluate` -- EVALQUERY / EVALEMBED approximate query
+  processing (Figs. 7-8).
+* :mod:`repro.core.estimate` -- twig selectivity estimation over the result
+  synopsis (Section 4.4).
+* :mod:`repro.core.expand` -- expansion of a result synopsis into an
+  approximate nesting tree.
+* :mod:`repro.core.size` -- the synopsis storage-size model.
+"""
+
+from repro.core.stable import StableSummary, build_stable, expand_stable
+from repro.core.maintain import StableMaintainer
+from repro.core.io import save_synopsis, load_synopsis
+from repro.core.treesketch import TreeSketch
+from repro.core.build import TSBuildOptions, build_treesketch, compress_to_budgets
+from repro.core.evaluate import ResultSketch, eval_query
+from repro.core.estimate import estimate_selectivity
+from repro.core.expand import expand_result
+from repro.core.size import EDGE_BYTES, NODE_BYTES, synopsis_bytes
+
+__all__ = [
+    "StableSummary",
+    "build_stable",
+    "expand_stable",
+    "StableMaintainer",
+    "save_synopsis",
+    "load_synopsis",
+    "TreeSketch",
+    "TSBuildOptions",
+    "build_treesketch",
+    "compress_to_budgets",
+    "ResultSketch",
+    "eval_query",
+    "estimate_selectivity",
+    "expand_result",
+    "NODE_BYTES",
+    "EDGE_BYTES",
+    "synopsis_bytes",
+]

@@ -1,0 +1,190 @@
+"""TSBUILD: compressing the count-stable summary to a space budget (Fig. 5).
+
+The builder maintains a min-heap of candidate merges ordered by the
+marginal-gain ratio ``errd / sized`` (least squared-error increase per byte
+saved).  It repeatedly applies the best merge, rewrites heap entries whose
+operands were absorbed, and recomputes entries whose neighbourhood changed
+(the paper's ``affected(h, m)`` set -- realized here with per-cluster
+version stamps and lazy recomputation at pop time).  When the heap drains
+below ``Lh`` the pool is regenerated via CREATEPOOL; the loop ends when the
+synopsis fits the budget or no merges remain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.partition import MergePartition
+from repro.core.pool import create_pool
+from repro.core.stable import StableSummary, build_stable
+from repro.core.treesketch import TreeSketch
+from repro.xmltree.tree import XMLTree
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class TSBuildOptions:
+    """Tuning knobs of TSBUILD.
+
+    ``heap_upper`` / ``heap_lower`` are the paper's ``Uh`` / ``Lh`` (the
+    experiments use 10000 / 100).  ``pair_window`` bounds candidate
+    generation within large (label, depth) groups (``None`` = exhaustive,
+    see CREATEPOOL).  ``drain_fraction`` regenerates the pool once this
+    fraction of it remains: merges applied early change which candidates
+    are worthwhile, and refreshing the pool before it runs dry measurably
+    improves synopsis quality at negligible cost (see the pool ablation).
+    ``stop_when_full`` restores Fig. 6's literal early termination of
+    candidate generation.
+    """
+
+    heap_upper: int = 10_000
+    heap_lower: int = 100
+    pair_window: Optional[int] = 32
+    drain_fraction: float = 0.5
+    stop_when_full: bool = False
+
+
+class TreeSketchBuilder:
+    """Incrementally compresses one document's stable summary.
+
+    Reusable across decreasing budgets: ``compress_to`` continues merging
+    from the current state, so a sweep over budgets (as in the paper's
+    figures) costs one construction pass.
+    """
+
+    def __init__(
+        self,
+        source: Union[XMLTree, StableSummary],
+        options: Optional[TSBuildOptions] = None,
+    ) -> None:
+        stable = source if isinstance(source, StableSummary) else build_stable(source)
+        self.stable = stable
+        self.options = options or TSBuildOptions()
+        self.partition = MergePartition(stable)
+        self.merges_applied = 0
+        # Forwarding chains for clusters absorbed by merges.
+        self._merged_into: Dict[int, int] = {}
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return self.partition.size_bytes()
+
+    def squared_error(self) -> float:
+        return self.partition.total_sq
+
+    def _resolve(self, cid: int) -> int:
+        """Follow forwarding pointers to the surviving cluster id."""
+        seen = []
+        while cid in self._merged_into:
+            seen.append(cid)
+            cid = self._merged_into[cid]
+        for s in seen:  # path compression
+            self._merged_into[s] = cid
+        return cid
+
+    def compress_to(self, budget_bytes: int) -> TreeSketch:
+        """Merge until ``size <= budget_bytes`` (or no merges remain).
+
+        Returns the TreeSketch snapshot of the resulting partition.
+        """
+        opts = self.options
+        part = self.partition
+        while part.size_bytes() > budget_bytes:
+            pool = create_pool(part, opts.heap_upper, opts.pair_window, opts.stop_when_full)
+            if not pool:
+                logger.debug(
+                    "tsbuild: no candidates left at %d bytes (budget %d)",
+                    part.size_bytes(), budget_bytes,
+                )
+                break  # nothing left to merge; budget unreachable
+            logger.debug(
+                "tsbuild: pool of %d candidates at %d bytes (budget %d, sq %.1f)",
+                len(pool), part.size_bytes(), budget_bytes, part.total_sq,
+            )
+            heap = [
+                (ratio, next(self._tiebreak), errd, sized, u, v,
+                 part.version.get(u, 0), part.version.get(v, 0))
+                for ratio, errd, sized, u, v in pool
+            ]
+            heapq.heapify(heap)
+            # Refresh the pool after draining (1 - drain_fraction) of it;
+            # on small inputs the whole pool fits under Lh, so fall back to
+            # draining fully rather than regenerating without progress.
+            lower = int(len(heap) * opts.drain_fraction)
+            if len(heap) > opts.heap_lower:
+                lower = max(lower, opts.heap_lower)
+            progressed = self._drain_heap(heap, budget_bytes, lower)
+            if not progressed:
+                break  # defensive: avoid spinning if the pool yields nothing
+        logger.info(
+            "tsbuild: %d bytes (budget %d), %d nodes, sq %.1f, %d merges total",
+            part.size_bytes(), budget_bytes, part.num_nodes,
+            part.total_sq, self.merges_applied,
+        )
+        return part.to_treesketch()
+
+    def _drain_heap(self, heap: List, budget_bytes: int, lower: int) -> bool:
+        """Apply merges from ``heap`` until budget met or heap low.
+
+        Returns True iff at least one merge was applied.
+        """
+        part = self.partition
+        applied = 0
+        while heap and len(heap) > lower and part.size_bytes() > budget_bytes:
+            ratio, _, errd, sized, u, v, ver_u, ver_v = heapq.heappop(heap)
+            u, v = self._resolve(u), self._resolve(v)
+            if u == v:
+                continue  # operands already merged together
+            cur_u, cur_v = part.version.get(u, 0), part.version.get(v, 0)
+            if (ver_u, ver_v) != (cur_u, cur_v):
+                # Stale (operand rewritten or neighbourhood changed):
+                # recompute the metrics and re-queue with fresh stamps.
+                result = part.evaluate_merge(u, v)
+                heapq.heappush(
+                    heap,
+                    (result.ratio, next(self._tiebreak), result.errd,
+                     result.sized, u, v, cur_u, cur_v),
+                )
+                continue
+            part.apply_merge(u, v)
+            self._merged_into[v] = u
+            self.merges_applied += 1
+            applied += 1
+        return applied > 0
+
+
+def build_treesketch(
+    source: Union[XMLTree, StableSummary],
+    budget_bytes: int,
+    options: Optional[TSBuildOptions] = None,
+) -> TreeSketch:
+    """One-shot TSBUILD: compress ``source`` to at most ``budget_bytes``.
+
+    ``source`` may be a document tree (the stable summary is built first)
+    or a pre-built :class:`StableSummary`.
+    """
+    return TreeSketchBuilder(source, options).compress_to(budget_bytes)
+
+
+def compress_to_budgets(
+    source: Union[XMLTree, StableSummary],
+    budgets_bytes: Iterable[int],
+    options: Optional[TSBuildOptions] = None,
+) -> Dict[int, TreeSketch]:
+    """Build TreeSketches for several budgets in one compression pass.
+
+    Budgets are visited in decreasing order (merging is monotone), and the
+    result maps each requested budget to its sketch.
+    """
+    builder = TreeSketchBuilder(source, options)
+    sketches: Dict[int, TreeSketch] = {}
+    for budget in sorted(set(budgets_bytes), reverse=True):
+        sketches[budget] = builder.compress_to(budget)
+    return sketches

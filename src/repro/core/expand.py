@@ -1,0 +1,213 @@
+"""Expanding a result sketch into an approximate nesting tree.
+
+A result sketch stores, per edge ``(u_Q, v_Q)``, the *average* number of
+``v_Q`` children each occurrence of ``u_Q`` has.  Expansion materializes
+occurrences; fractional averages are apportioned deterministically with a
+Bresenham-style cumulative-rounding scheme, so that after ``n`` occurrences
+of ``u_Q`` the total number of emitted ``v_Q`` children is ``round(n * k)``
+-- the expansion preserves aggregate counts as faithfully as integer
+occurrences allow, without randomness.
+
+The true nesting tree only contains elements that appear in *complete*
+bindings, whereas EVALQUERY's result sketch may retain bindings whose solid
+(non-optional) sub-constraints fail (Fig. 7 only tests global emptiness).
+Expansion therefore weights every binding by its *satisfaction fraction* --
+the estimated fraction of its elements whose solid child constraints are
+all met, computed bottom-up with the same "counts below one are fractions
+of elements" reading EVALEMBED applies to branch predicates.  On a
+count-stable synopsis the fractions are exactly 0 or 1 and the expansion
+reproduces the exact nesting tree, realizing the paper's exactness claim
+for stable synopses (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.evaluate import ResultSketch, RSKey
+from repro.engine.nesting import NestingTree, NTNode
+
+
+class ExpansionLimitError(RuntimeError):
+    """Raised when an expansion would exceed the node safety limit."""
+
+
+def satisfaction_fractions(result: ResultSketch) -> Dict[RSKey, float]:
+    """Estimated fraction of each binding's elements in complete bindings.
+
+    ``sat(u_Q) = prod over solid child variables q_c of
+    min(1, sum_v count(u_Q, v_Q) * sat(v_Q))`` -- child variables are
+    processed before their parents (reverse query pre-order).
+    """
+    qnode_of = {n.var: n for n in result.query.nodes}
+    sat: Dict[RSKey, float] = {}
+    for qnode in reversed(result.query.nodes):
+        for key in result.bind.get(qnode.var, []):
+            total = 1.0
+            edges = result.out.get(key, {})
+            for qc in qnode.children:
+                if qc.optional:
+                    continue
+                supply = sum(
+                    avg * sat.get(v_key, 0.0)
+                    for v_key, avg in edges.items()
+                    if v_key[1] == qc.var
+                )
+                total *= min(1.0, supply)
+                if total == 0.0:
+                    break
+            sat[key] = total
+    return sat
+
+
+def _variance_specs(
+    result: ResultSketch, sketch
+) -> Dict[Tuple[RSKey, RSKey], Tuple[int, int, float]]:
+    """Two-point distributions for result edges backed by one synopsis edge.
+
+    A result edge ``(u, q) -> (v, q_c)`` whose query path is a single
+    child-axis step maps 1:1 to the synopsis edge ``u -> v``; its stored
+    sufficient statistics give the per-element mean ``m`` and standard
+    deviation ``s`` of the child counts.  The two-point support
+    ``{round(m - s), round(m + s)}`` with ``P(high) = (m - l)/(h - l)``
+    matches the mean exactly and the variance approximately -- and
+    reproduces bimodal clusters (counts {1,1,4,4} expand back to 1s and
+    4s instead of a uniform 2.5).  Falls back to plain mean expansion
+    when the result count was scaled by predicates or satisfaction.
+    """
+    from repro.query.path import Axis  # local to avoid import cycles
+
+    qnode_of = {n.var: n for n in result.query.nodes}
+    specs: Dict[Tuple[RSKey, RSKey], Tuple[int, int, float]] = {}
+    for parent_key, edges in result.out.items():
+        for child_key, avg in edges.items():
+            qnode = qnode_of[child_key[1]]
+            path = qnode.path
+            if path is None or len(path.steps) != 1:
+                continue
+            step = path.steps[0]
+            if step.axis is not Axis.CHILD or step.predicates:
+                continue
+            u, v = parent_key[0], child_key[0]
+            stats = getattr(sketch, "stats", {}).get((u, v))
+            if stats is None:
+                continue
+            count = sketch.count.get(u)
+            if not count:
+                continue
+            mean = stats[0] / count
+            if abs(avg - mean) > 1e-9 * max(1.0, mean):
+                continue  # predicate-scaled edge: keep mean expansion
+            variance = max(0.0, stats[1] / count - mean * mean)
+            sd = math.sqrt(variance)
+            low = max(0, int(math.floor(mean - sd + 0.5)))
+            high = max(low, int(math.floor(mean + sd + 0.5)))
+            if high == low:
+                if low == mean:
+                    specs[(parent_key, child_key)] = (low, low, 0.0)
+                continue  # integer support cannot carry this mean; fall back
+            p_high = (mean - low) / (high - low)
+            if not (0.0 <= p_high <= 1.0):
+                continue
+            specs[(parent_key, child_key)] = (low, high, p_high)
+    return specs
+
+
+def expand_result(
+    result: ResultSketch,
+    max_nodes: int = 2_000_000,
+    sketch=None,
+    seed: Optional[int] = None,
+) -> NestingTree:
+    """Materialize the approximate nesting tree of a result sketch.
+
+    ``max_nodes`` guards against pathological expansions (deep chains of
+    large fractional counts multiply); exceeding it raises
+    :class:`ExpansionLimitError` rather than exhausting memory.
+
+    When the originating ``sketch`` is supplied, edges that map 1:1 to a
+    synopsis edge are expanded *variance-aware*: the synopsis' sufficient
+    statistics pick a deterministic two-point count distribution instead
+    of a flat average (see :func:`_variance_specs`); everything else uses
+    phase-staggered Bresenham apportioning of the average.
+
+    With ``seed`` set, per-occurrence counts are *sampled* (stochastic
+    rounding / two-point draws with the same means) instead of
+    apportioned deterministically -- useful for variance studies and for
+    a like-for-like comparison with the twig-XSketch sampled answers.
+    """
+    sat = satisfaction_fractions(result)
+    specs = _variance_specs(result, sketch) if sketch is not None else {}
+    rng = random.Random(seed) if seed is not None else None
+    # Cumulative occurrence counters per sketch edge for the Bresenham
+    # apportioning: occurrence i of the source receives
+    # floor((i+1)*k + phase) - floor(i*k + phase) children along the edge.
+    # Each edge gets its own deterministic phase (golden-ratio sequence):
+    # without staggering, all fractional edges of a node round up at the
+    # same occurrence indices, concentrating children in a few occurrences
+    # and fabricating skew the document does not have.
+    emitted: Dict[Tuple[RSKey, RSKey], int] = {}
+    phases: Dict[Tuple[RSKey, RSKey], float] = {}
+    budget = [max_nodes]
+
+    def phase_of(key: Tuple[RSKey, RSKey]) -> float:
+        phase = phases.get(key)
+        if phase is None:
+            phase = (0.6180339887498949 * (len(phases) + 1)) % 1.0
+            phases[key] = phase
+        return phase
+
+    def take(parent: RSKey, child: RSKey, avg: float) -> int:
+        key = (parent, child)
+        phase = phase_of(key)
+        i = emitted.get(key, 0)
+        emitted[key] = i + 1
+        spec = specs.get(key)
+        if spec is not None and sat.get(child, 0.0) >= 1.0:
+            low, high, p_high = spec
+            if rng is not None:
+                return high if rng.random() < p_high else low
+            hits_now = math.floor((i + 1) * p_high + phase)
+            hits_before = math.floor(i * p_high + phase)
+            return high if hits_now > hits_before else low
+        if rng is not None:
+            base = math.floor(avg)
+            frac = avg - base
+            return int(base + (1 if rng.random() < frac else 0))
+        return int(math.floor((i + 1) * avg + phase) - math.floor(i * avg + phase))
+
+    def build(key: RSKey) -> NTNode:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise ExpansionLimitError(
+                f"expansion exceeds max_nodes={max_nodes}; "
+                "the approximate answer is too large to materialize"
+            )
+        node = NTNode(label=result.label[key], qvar=key[1])
+        for child_key, avg in result.out.get(key, {}).items():
+            effective = avg * sat.get(child_key, 0.0)
+            for _ in range(take(key, child_key, effective)):
+                node.add(build(child_key))
+        return node
+
+    root = build(result.root_key)
+    return NestingTree(root, result.query)
+
+
+def expected_size(result: ResultSketch) -> float:
+    """Expected node count of the expansion (without materializing it).
+
+    Computed by propagating expected occurrence counts through the sketch
+    in query pre-order; useful to check against ``max_nodes`` beforehand.
+    """
+    occurrences: Dict[RSKey, float] = {result.root_key: 1.0}
+    total = 0.0
+    for qnode in result.query.nodes:
+        for key in result.bind.get(qnode.var, []):
+            occ = occurrences.get(key, 0.0)
+            total += occ
+            for child_key, avg in result.out.get(key, {}).items():
+                occurrences[child_key] = occurrences.get(child_key, 0.0) + occ * avg
+    return total

@@ -1,0 +1,119 @@
+"""Persistence for synopses: save/load as JSON.
+
+A synopsis is only useful if it can be built once and shipped to the
+query-time component, so both summary types serialize to a compact JSON
+document (stable summaries losslessly; TreeSketches including their
+sufficient statistics, so squared error survives the round trip).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.core.stable import StableSummary
+from repro.core.treesketch import TreeSketch
+
+_FORMAT_VERSION = 1
+
+
+def synopsis_to_dict(synopsis: Union[StableSummary, TreeSketch]) -> Dict[str, Any]:
+    """Plain-dict form of a synopsis (JSON-ready)."""
+    kind = "stable" if isinstance(synopsis, StableSummary) else "treesketch"
+    payload: Dict[str, Any] = {
+        "format": _FORMAT_VERSION,
+        "kind": kind,
+        "root_id": synopsis.root_id,
+        "doc_height": synopsis.doc_height,
+        "nodes": [
+            [nid, synopsis.label[nid], synopsis.count[nid]]
+            for nid in sorted(synopsis.label)
+        ],
+        "edges": [
+            [src, dst, weight] for src, dst, weight in sorted(synopsis.edges())
+        ],
+    }
+    if isinstance(synopsis, StableSummary):
+        payload["depth"] = [
+            [nid, synopsis.depth[nid]] for nid in sorted(synopsis.depth)
+        ]
+    else:
+        payload["stats"] = [
+            [src, dst, s, sq] for (src, dst), (s, sq) in sorted(synopsis.stats.items())
+        ]
+        if synopsis.members:
+            payload["members"] = [
+                [nid, sorted(classes)] for nid, classes in sorted(synopsis.members.items())
+            ]
+        if synopsis.values:
+            payload["values"] = [
+                [
+                    nid,
+                    sorted(summary.top.items()),
+                    summary.rest_count,
+                    summary.rest_distinct,
+                    summary.null_count,
+                ]
+                for nid, summary in sorted(synopsis.values.items())
+            ]
+    return payload
+
+
+def synopsis_from_dict(payload: Dict[str, Any]) -> Union[StableSummary, TreeSketch]:
+    """Inverse of :func:`synopsis_to_dict`."""
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported synopsis format version {version!r}")
+    kind = payload.get("kind")
+    if kind == "stable":
+        synopsis: Union[StableSummary, TreeSketch] = StableSummary()
+    elif kind == "treesketch":
+        synopsis = TreeSketch()
+    else:
+        raise ValueError(f"unknown synopsis kind {kind!r}")
+
+    for nid, label, count in payload["nodes"]:
+        synopsis.add_node(int(nid), label, int(count))
+    for src, dst, weight in payload["edges"]:
+        synopsis.add_edge(int(src), int(dst), float(weight))
+    synopsis.root_id = int(payload["root_id"])
+    synopsis.doc_height = int(payload["doc_height"])
+
+    if isinstance(synopsis, StableSummary):
+        synopsis.depth = {int(nid): int(d) for nid, d in payload.get("depth", [])}
+    else:
+        synopsis.stats = {
+            (int(src), int(dst)): (float(s), float(sq))
+            for src, dst, s, sq in payload.get("stats", [])
+        }
+        synopsis.members = {
+            int(nid): set(int(c) for c in classes)
+            for nid, classes in payload.get("members", [])
+        }
+        if payload.get("values"):
+            from repro.values.summary import ValueSummary
+
+            synopsis.values = {
+                int(nid): ValueSummary(
+                    top={v: int(c) for v, c in top},
+                    rest_count=int(rest_count),
+                    rest_distinct=int(rest_distinct),
+                    null_count=int(null_count),
+                )
+                for nid, top, rest_count, rest_distinct, null_count
+                in payload["values"]
+            }
+    synopsis.validate()
+    return synopsis
+
+
+def save_synopsis(synopsis: Union[StableSummary, TreeSketch], path: str) -> None:
+    """Write a synopsis to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(synopsis_to_dict(synopsis), handle, separators=(",", ":"))
+
+
+def load_synopsis(path: str) -> Union[StableSummary, TreeSketch]:
+    """Read a synopsis written by :func:`save_synopsis`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return synopsis_from_dict(json.load(handle))

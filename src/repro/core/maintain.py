@@ -1,0 +1,192 @@
+"""Incremental maintenance of count-stable summaries under updates.
+
+The paper builds its summaries offline; a production deployment also needs
+to keep them fresh as the document changes.  Count stability localizes the
+work nicely: an element's class depends only on its label and its
+children's classes, so inserting or deleting a sub-tree can only change
+the classes of the edited node's *ancestors* -- a root path of length at
+most the document height -- plus a bottom-up classification of the
+inserted sub-tree itself.
+
+:class:`StableMaintainer` owns a mutable document and its evolving
+summary:
+
+* ``insert_subtree(parent, spec)`` attaches a new sub-tree (given in the
+  nested-tuple format of ``XMLTree.from_nested``) and updates classes;
+* ``delete_subtree(node)`` detaches a sub-tree and updates classes;
+* ``summary()`` exports a regular :class:`StableSummary`, identical (up
+  to class renaming) to a from-scratch ``build_stable`` of the current
+  document -- the equivalence the test suite checks after random edit
+  sequences.
+
+Cost per edit: O(|inserted sub-tree| + height * max fan-out) hash
+operations, versus O(|document|) for a rebuild.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.stable import StableSummary
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+Signature = Tuple[str, Tuple[Tuple[int, int], ...]]
+
+
+class StableMaintainer:
+    """Maintains the count-stable summary of a mutable document."""
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.tree = tree
+        # Signature interning: signature -> class id (ids never reused).
+        self._classes: Dict[Signature, int] = {}
+        self._signature_of: Dict[int, Signature] = {}
+        self._count: Dict[int, int] = {}
+        self._next_cid = 0
+        # Per-node class assignment, keyed by object identity.
+        self._class_of: Dict[int, int] = {}
+        self.edits_applied = 0
+
+        for node in tree.root.iter_postorder():
+            self._assign(node)
+
+    # ------------------------------------------------------------------
+    # Classification primitives
+    # ------------------------------------------------------------------
+
+    def _signature(self, node: XMLNode) -> Signature:
+        counts: Counter = Counter(self._class_of[id(c)] for c in node.children)
+        return (node.label, tuple(sorted(counts.items())))
+
+    def _intern(self, signature: Signature) -> int:
+        cid = self._classes.get(signature)
+        if cid is None:
+            cid = self._next_cid
+            self._next_cid += 1
+            self._classes[signature] = cid
+            self._signature_of[cid] = signature
+            self._count[cid] = 0
+        return cid
+
+    def _assign(self, node: XMLNode) -> int:
+        """(Re)compute and record the class of one node."""
+        signature = self._signature(node)
+        cid = self._intern(signature)
+        old = self._class_of.get(id(node))
+        if old == cid:
+            return cid
+        if old is not None:
+            self._release(old)
+        self._class_of[id(node)] = cid
+        self._count[cid] += 1
+        return cid
+
+    def _release(self, cid: int) -> None:
+        self._count[cid] -= 1
+        if self._count[cid] == 0:
+            # Garbage-collect the empty class so the summary stays minimal.
+            del self._count[cid]
+            signature = self._signature_of.pop(cid)
+            del self._classes[signature]
+
+    def _drop_node(self, node: XMLNode) -> None:
+        cid = self._class_of.pop(id(node))
+        self._release(cid)
+
+    def _reclassify_ancestors(self, node: Optional[XMLNode]) -> None:
+        """Refresh classes from ``node`` up to the root."""
+        while node is not None:
+            before = self._class_of.get(id(node))
+            after = self._assign(node)
+            if before == after:
+                break  # signature unchanged; ancestors cannot change either
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Edits
+    # ------------------------------------------------------------------
+
+    def insert_subtree(
+        self, parent: XMLNode, spec: Union[str, tuple, XMLNode]
+    ) -> XMLNode:
+        """Attach a sub-tree under ``parent`` and update the summary.
+
+        ``spec`` is a label, a nested ``(label, [children])`` tuple, or a
+        detached :class:`XMLNode`.  Returns the inserted root node.
+        """
+        node = spec if isinstance(spec, XMLNode) else _build(spec)
+        if node.parent is not None:
+            raise ValueError("spec node is already attached to a document")
+        if id(node) in self._class_of:
+            raise ValueError("spec node is already tracked by this maintainer")
+        parent.add_child(node)
+        for descendant in node.iter_postorder():
+            self._assign(descendant)
+        self._reclassify_ancestors(parent)
+        self.edits_applied += 1
+        return node
+
+    def delete_subtree(self, node: XMLNode) -> None:
+        """Detach ``node`` (and its sub-tree) and update the summary."""
+        parent = node.parent
+        if parent is None:
+            raise ValueError("cannot delete the document root")
+        parent.children.remove(node)
+        node.parent = None
+        for descendant in node.iter_postorder():
+            self._drop_node(descendant)
+        self._reclassify_ancestors(parent)
+        self.edits_applied += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._count)
+
+    def summary(self) -> StableSummary:
+        """Materialize the current count-stable summary.
+
+        Node ids are the maintainer's class ids (stable across edits for
+        surviving classes).  Depth per class is derived from the class DAG
+        -- all elements of a class have isomorphic sub-trees, so the class
+        depth is exact.
+        """
+        summary = StableSummary()
+        for cid, count in self._count.items():
+            label, child_counts = self._signature_of[cid]
+            summary.add_node(cid, label, count)
+            for child_cid, k in child_counts:
+                summary.add_edge(cid, child_cid, k)
+
+        depth: Dict[int, int] = {}
+        order = summary.topological_order()
+        if order is None:  # pragma: no cover - class DAGs are always acyclic
+            raise AssertionError("count-stable class graph must be acyclic")
+        for cid in reversed(order):
+            children = summary.out.get(cid, {})
+            depth[cid] = 1 + max((depth[c] for c in children), default=-1)
+        summary.depth = depth
+
+        root_cid = self._class_of[id(self.tree.root)]
+        summary.root_id = root_cid
+        summary.doc_height = depth[root_cid]
+        return summary
+
+    def class_of(self, node: XMLNode) -> int:
+        """Current class id of a tracked node."""
+        return self._class_of[id(node)]
+
+
+def _build(spec: Union[str, tuple]) -> XMLNode:
+    if isinstance(spec, str):
+        return XMLNode(spec)
+    label, children = spec
+    node = XMLNode(label)
+    for child in children:
+        node.add_child(_build(child))
+    return node

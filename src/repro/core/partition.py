@@ -1,0 +1,352 @@
+"""Working state of TSBUILD: a partition of stable-summary nodes.
+
+TSBUILD (Fig. 5) starts from the count-stable summary and repeatedly merges
+synopsis nodes.  :class:`MergePartition` maintains the partition of stable
+classes into clusters together with everything needed to score and apply
+merges *without touching base data* (the paper's sufficient-statistics
+scheme, Section 4.2):
+
+* ``gs[s]``: for every stable class ``s``, its out-adjacency grouped by the
+  *current* clusters (``cluster id -> total child count``).  This is the
+  "small subset of the stable summary" that must be consulted when merges
+  of children create cross-terms that plain per-edge statistics cannot
+  capture.
+* ``out_stats[c][t] = (sum, sum_sq)``: per cluster-edge sufficient
+  statistics of the per-element child counts, from which both the average
+  edge counts and the squared-error metric follow in closed form.
+* ``in_sources[c]``: the stable classes with at least one edge into
+  cluster ``c`` (the reverse index that makes parent-side updates local).
+
+Merging clusters ``u`` and ``v`` into ``w``:
+
+* dimensions toward targets outside ``{u, v}`` are *additive* (every
+  element belongs to exactly one of the extents, so sums and sums of
+  squares just add);
+* the dimension toward ``w`` itself (when ``u``/``v`` had edges among
+  themselves) needs per-stable-class recomputation via ``gs`` because an
+  element's counts toward ``u`` and ``v`` combine: ``(k_u + k_v)^2`` has a
+  cross-term;
+* parent clusters see their two dimensions ``->u``, ``->v`` collapse into
+  one ``->w`` dimension, likewise recomputed via ``gs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.size import EDGE_BYTES, NODE_BYTES
+from repro.core.stable import StableSummary
+from repro.core.treesketch import TreeSketch
+
+
+class MergeResult:
+    """Score of a candidate merge: errd (squared-error increase) and sized
+    (synopsis-size decrease in bytes).  ``ratio`` is the marginal-gain key
+    of the TSBUILD heap."""
+
+    __slots__ = ("errd", "sized")
+
+    def __init__(self, errd: float, sized: int) -> None:
+        self.errd = errd
+        self.sized = sized
+
+    @property
+    def ratio(self) -> float:
+        return self.errd / self.sized
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeResult(errd={self.errd:.3f}, sized={self.sized})"
+
+
+class MergePartition:
+    """Mutable clustering of the stable summary's classes."""
+
+    def __init__(self, stable: StableSummary) -> None:
+        self.stable = stable
+        self.s_count: Dict[int, int] = dict(stable.count)
+        self.s_label: Dict[int, str] = dict(stable.label)
+        self.s_depth: Dict[int, int] = dict(stable.depth)
+
+        # Cluster state; initially one cluster per stable class (same ids).
+        self.members: Dict[int, Set[int]] = {
+            nid: {nid} for nid in stable.node_ids()
+        }
+        self.count: Dict[int, int] = dict(stable.count)
+        self.cluster_label: Dict[int, str] = dict(stable.label)
+        self.cluster_depth: Dict[int, int] = dict(stable.depth)
+        self.assign: Dict[int, int] = {nid: nid for nid in stable.node_ids()}
+
+        # Grouped stable out-adjacency and its reverse index.
+        self.gs: Dict[int, Dict[int, float]] = {
+            nid: {dst: float(k) for dst, k in stable.out.get(nid, {}).items()}
+            for nid in stable.node_ids()
+        }
+        self.in_sources: Dict[int, Set[int]] = {nid: set() for nid in stable.node_ids()}
+        for src, dst, _ in stable.edges():
+            self.in_sources[dst].add(src)
+
+        # Sufficient statistics per cluster edge, and per-cluster sq error.
+        self.out_stats: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        for nid in stable.node_ids():
+            count = self.s_count[nid]
+            self.out_stats[nid] = {
+                dst: (count * float(k), count * float(k) ** 2)
+                for dst, k in stable.out.get(nid, {}).items()
+            }
+        self.cluster_sq: Dict[int, float] = {nid: 0.0 for nid in stable.node_ids()}
+
+        self.num_edges: int = stable.num_edges
+        self.total_sq: float = 0.0
+        # Version stamps for lazy heap invalidation.
+        self.version: Dict[int, int] = {nid: 0 for nid in stable.node_ids()}
+
+    # ------------------------------------------------------------------
+    # Size and quality
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.members)
+
+    def size_bytes(self) -> int:
+        return NODE_BYTES * self.num_nodes + EDGE_BYTES * self.num_edges
+
+    def alive(self, cid: int) -> bool:
+        return cid in self.members
+
+    def parents_of(self, cid: int) -> Set[int]:
+        """Clusters with at least one edge into ``cid``."""
+        return {self.assign[s] for s in self.in_sources[cid]}
+
+    # ------------------------------------------------------------------
+    # Candidate scoring
+    # ------------------------------------------------------------------
+
+    def evaluate_merge(self, u: int, v: int) -> MergeResult:
+        """Score merging clusters ``u`` and ``v`` without applying it."""
+        if u == v:
+            raise ValueError("cannot merge a cluster with itself")
+        count_w = self.count[u] + self.count[v]
+        out_u, out_v = self.out_stats[u], self.out_stats[v]
+
+        # --- out dimensions toward targets outside {u, v}: additive.
+        merged: Dict[int, Tuple[float, float]] = {}
+        for out in (out_u, out_v):
+            for t, (s, sq) in out.items():
+                if t == u or t == v:
+                    continue
+                acc = merged.get(t)
+                merged[t] = (s + acc[0], sq + acc[1]) if acc else (s, sq)
+
+        # --- self dimension toward w: recompute via gs (cross-terms).
+        sources = self.in_sources[u] | self.in_sources[v]
+        mem_u, mem_v = self.members[u], self.members[v]
+        sum_w = sq_w = 0.0
+        has_self = False
+        for s_id in sources:
+            if s_id in mem_u or s_id in mem_v:
+                k = self.gs[s_id].get(u, 0.0) + self.gs[s_id].get(v, 0.0)
+                if k:
+                    sc = self.s_count[s_id]
+                    sum_w += sc * k
+                    sq_w += sc * k * k
+                    has_self = True
+
+        sq_new_w = sum(sq - (s * s) / count_w for s, sq in merged.values())
+        if has_self:
+            sq_new_w += sq_w - (sum_w * sum_w) / count_w
+        errd = sq_new_w - self.cluster_sq[u] - self.cluster_sq[v]
+
+        # --- parent dimensions: ->u and ->v collapse into ->w.
+        parent_acc: Dict[int, List[float]] = {}
+        for s_id in sources:
+            p = self.assign[s_id]
+            if p == u or p == v:
+                continue
+            k = self.gs[s_id].get(u, 0.0) + self.gs[s_id].get(v, 0.0)
+            if not k:
+                continue
+            sc = self.s_count[s_id]
+            acc = parent_acc.get(p)
+            if acc is None:
+                parent_acc[p] = [sc * k, sc * k * k]
+            else:
+                acc[0] += sc * k
+                acc[1] += sc * k * k
+
+        in_edges_removed = 0
+        for p, (sp, sqp) in parent_acc.items():
+            count_p = self.count[p]
+            old_sq = 0.0
+            old_dims = 0
+            for t in (u, v):
+                stats = self.out_stats[p].get(t)
+                if stats is not None:
+                    old_sq += stats[1] - (stats[0] * stats[0]) / count_p
+                    old_dims += 1
+            errd += (sqp - (sp * sp) / count_p) - old_sq
+            in_edges_removed += old_dims - 1
+
+        out_edges_old = len(out_u) + len(out_v)
+        out_edges_new = len(merged) + (1 if has_self else 0)
+        edges_removed = (out_edges_old - out_edges_new) + in_edges_removed
+        sized = NODE_BYTES + EDGE_BYTES * edges_removed
+        # errd can be legitimately negative: merging nodes whose dimensions
+        # collapse (mutual edges, or a parent's two anti-correlated
+        # dimensions becoming one) may reduce the total squared error.
+        return MergeResult(errd, sized)
+
+    # ------------------------------------------------------------------
+    # Applying a merge
+    # ------------------------------------------------------------------
+
+    def apply_merge(self, u: int, v: int) -> int:
+        """Merge cluster ``v`` into cluster ``u``; returns the merged id."""
+        if not (self.alive(u) and self.alive(v)) or u == v:
+            raise ValueError(f"cannot merge {u} and {v}")
+
+        # 1. Re-group stable adjacencies pointing into u or v.
+        src_union = self.in_sources[u] | self.in_sources.pop(v)
+        for s_id in src_union:
+            gs = self.gs[s_id]
+            k = gs.pop(u, 0.0) + gs.pop(v, 0.0)
+            if k:
+                gs[u] = k
+        self.in_sources[u] = src_union
+
+        # 2. Absorb v's members.
+        for s_id in self.members[v]:
+            self.assign[s_id] = u
+        self.members[u] |= self.members.pop(v)
+        self.count[u] += self.count.pop(v)
+        self.cluster_depth[u] = max(self.cluster_depth[u], self.cluster_depth.pop(v))
+        self.cluster_label.pop(v)
+
+        # 3. Rebuild u's out dimensions (additive except the self dim).
+        out_u = self.out_stats[u]
+        out_v = self.out_stats.pop(v)
+        old_edges_out = len(out_u) + len(out_v)
+        new_out: Dict[int, Tuple[float, float]] = {}
+        for out in (out_u, out_v):
+            for t, (s, sq) in out.items():
+                if t == u or t == v:
+                    continue
+                acc = new_out.get(t)
+                new_out[t] = (s + acc[0], sq + acc[1]) if acc else (s, sq)
+        sum_w = sq_w = 0.0
+        has_self = False
+        mem_u = self.members[u]
+        # Iterate the smaller of (sources, members) for the intersection.
+        probe, other = (
+            (src_union, mem_u) if len(src_union) <= len(mem_u) else (mem_u, src_union)
+        )
+        for s_id in probe:
+            if s_id in other:
+                k = self.gs[s_id].get(u, 0.0)
+                if k:
+                    sc = self.s_count[s_id]
+                    sum_w += sc * k
+                    sq_w += sc * k * k
+                    has_self = True
+        if has_self:
+            new_out[u] = (sum_w, sq_w)
+        self.out_stats[u] = new_out
+
+        count_u = self.count[u]
+        old_sq_u = self.cluster_sq[u] + self.cluster_sq.pop(v)
+        new_sq_u = sum(sq - (s * s) / count_u for s, sq in new_out.values())
+        self.cluster_sq[u] = new_sq_u
+        self.total_sq += new_sq_u - old_sq_u
+        self.num_edges += len(new_out) - old_edges_out
+
+        # 4. Parents outside {u}: collapse their ->u / ->v dims into ->u.
+        parent_acc: Dict[int, List[float]] = {}
+        for s_id in src_union:
+            p = self.assign[s_id]
+            if p == u:
+                continue
+            k = self.gs[s_id].get(u, 0.0)
+            if not k:
+                continue
+            sc = self.s_count[s_id]
+            acc = parent_acc.get(p)
+            if acc is None:
+                parent_acc[p] = [sc * k, sc * k * k]
+            else:
+                acc[0] += sc * k
+                acc[1] += sc * k * k
+        for p, (sp, sqp) in parent_acc.items():
+            out_p = self.out_stats[p]
+            count_p = self.count[p]
+            old_sq = 0.0
+            old_dims = 0
+            for t in (u, v):
+                stats = out_p.pop(t, None)
+                if stats is not None:
+                    old_sq += stats[1] - (stats[0] * stats[0]) / count_p
+                    old_dims += 1
+            out_p[u] = (sp, sqp)
+            new_sq = sqp - (sp * sp) / count_p
+            self.cluster_sq[p] += new_sq - old_sq
+            self.total_sq += new_sq - old_sq
+            self.num_edges += 1 - old_dims
+            self.version[p] = self.version.get(p, 0) + 1
+
+        # 5. Invalidate heap entries touching u, its parents, its children.
+        self.version[u] = self.version.get(u, 0) + 1
+        self.version.pop(v, None)
+        for child in self.out_stats[u]:
+            if child != u:
+                self.version[child] = self.version.get(child, 0) + 1
+        return u
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_treesketch(self) -> TreeSketch:
+        """Freeze the current partition into a TreeSketch synopsis."""
+        sketch = TreeSketch()
+        for cid, label in self.cluster_label.items():
+            sketch.add_node(cid, label, self.count[cid])
+        for cid, out in self.out_stats.items():
+            count = self.count[cid]
+            for t, (s, sq) in out.items():
+                sketch.add_edge(cid, t, s / count)
+                sketch.stats[(cid, t)] = (s, sq)
+        sketch.root_id = self.assign[self.stable.root_id]
+        sketch.doc_height = self.stable.doc_height
+        sketch.members = {cid: set(mem) for cid, mem in self.members.items()}
+        return sketch
+
+    def check_invariants(self) -> None:
+        """Expensive consistency audit used by the test suite."""
+        # Edge count bookkeeping.
+        actual_edges = sum(len(out) for out in self.out_stats.values())
+        assert actual_edges == self.num_edges, (actual_edges, self.num_edges)
+        # Cluster counts vs. members.
+        for cid, mem in self.members.items():
+            assert self.count[cid] == sum(self.s_count[s] for s in mem)
+            for s_id in mem:
+                assert self.assign[s_id] == cid
+        # gs grouping matches stable adjacency under current assignment.
+        for s_id, grouped in self.gs.items():
+            expected: Dict[int, float] = {}
+            for dst, k in self.stable.out.get(s_id, {}).items():
+                c = self.assign[dst]
+                expected[c] = expected.get(c, 0.0) + float(k)
+            assert grouped == expected, (s_id, grouped, expected)
+        # Stats match a from-scratch recomputation.
+        for cid, mem in self.members.items():
+            fresh: Dict[int, List[float]] = {}
+            for s_id in mem:
+                sc = self.s_count[s_id]
+                for t, k in self.gs[s_id].items():
+                    acc = fresh.setdefault(t, [0.0, 0.0])
+                    acc[0] += sc * k
+                    acc[1] += sc * k * k
+            stored = self.out_stats[cid]
+            assert set(fresh) == set(stored), (cid, set(fresh), set(stored))
+            for t, (a, b) in fresh.items():
+                sa, sb = stored[t]
+                assert abs(a - sa) < 1e-6 and abs(b - sb) < 1e-6

@@ -1,0 +1,157 @@
+"""CREATEPOOL: bottom-up generation of candidate merge operations (Fig. 6).
+
+A merge of two synopsis nodes clusters well only when their sub-trees are
+similar, and sub-trees become similar only after *their* children have been
+merged.  CREATEPOOL therefore scans same-label cluster pairs in increasing
+order of depth (the longest downward path of any extent element) and keeps
+the best ``Uh`` candidates by marginal-gain ratio ``errd / sized`` in a
+bounded heap; generation stops once the current depth is exhausted and the
+heap is full.
+
+On top of the paper's scheme, very large (label, depth) groups are thinned
+with a locality window: group members are sorted by a cheap structural key
+(out-degree, total child count, extent size) and each node is paired only
+with its ``pair_window`` nearest neighbours.  ``pair_window=None`` restores
+the exhaustive behaviour (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.partition import MergePartition
+
+# A pool entry: (ratio, errd, sized, u, v).
+PoolEntry = Tuple[float, float, int, int, int]
+
+
+def _structural_key(partition: MergePartition, cid: int) -> Tuple[float, float, int]:
+    out = partition.out_stats[cid]
+    total = sum(s for s, _ in out.values()) / max(1, partition.count[cid])
+    return (len(out), total, partition.count[cid])
+
+
+class _BoundedBest:
+    """Keeps the ``limit`` entries with the smallest ratio."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        # Max-heap by ratio via negation, so the worst entry pops first.
+        self._heap: List[Tuple[float, float, int, int, int]] = []
+
+    def push(self, entry: PoolEntry) -> None:
+        ratio, errd, sized, u, v = entry
+        item = (-ratio, errd, sized, u, v)
+        if len(self._heap) < self.limit:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            # Strictly better (smaller ratio) than the current worst.
+            heapq.heapreplace(self._heap, item)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def entries(self) -> List[PoolEntry]:
+        return [(-nratio, errd, sized, u, v) for nratio, errd, sized, u, v in self._heap]
+
+
+def create_pool(
+    partition: MergePartition,
+    heap_upper: int,
+    pair_window: Optional[int] = 32,
+    stop_when_full: bool = False,
+) -> List[PoolEntry]:
+    """Generate up to ``heap_upper`` scored merge candidates, bottom-up.
+
+    With ``stop_when_full=True`` generation terminates once the current
+    depth is exhausted and the heap is full -- the literal Fig. 6
+    behaviour.  The default keeps scanning all levels while retaining only
+    the best ``heap_upper`` candidates: when the space budget is reached
+    before the pool is ever regenerated, the literal variant never
+    considers upper-level merges and leaves redundancy there (see the
+    pool ablation benchmark); scanning costs the same asymptotics and
+    strictly improves the candidate set.
+    """
+    best = _BoundedBest(heap_upper)
+
+    # Group clusters by label, bucketed by depth.
+    by_label: Dict[str, Dict[int, List[int]]] = {}
+    max_depth = 0
+    for cid, label in partition.cluster_label.items():
+        depth = partition.cluster_depth[cid]
+        by_label.setdefault(label, {}).setdefault(depth, []).append(cid)
+        if depth > max_depth:
+            max_depth = depth
+
+    # Labels where any merge is possible at all.
+    mergeable = {
+        label: buckets
+        for label, buckets in by_label.items()
+        if sum(len(b) for b in buckets.values()) >= 2
+    }
+
+    for level in range(max_depth + 1):
+        for buckets in mergeable.values():
+            news = buckets.get(level)
+            if not news:
+                continue
+            partners: List[int] = []
+            for depth, bucket in buckets.items():
+                if depth <= level:
+                    partners.extend(bucket)
+            if len(partners) < 2:
+                continue
+            _pair_up(partition, news, partners, level, pair_window, best)
+        if stop_when_full and len(best) >= heap_upper:
+            break
+    return best.entries()
+
+
+def _pair_up(
+    partition: MergePartition,
+    news: List[int],
+    partners: List[int],
+    level: int,
+    pair_window: Optional[int],
+    best: _BoundedBest,
+) -> None:
+    """Score pairs (a, b) with ``a`` at the current level, max-depth = level."""
+    if pair_window is None or len(partners) <= pair_window + 1:
+        seen = set()
+        for a in news:
+            for b in partners:
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                if key in seen:
+                    continue
+                seen.add(key)
+                _score(partition, key[0], key[1], best)
+        return
+
+    keyed = sorted(
+        (( _structural_key(partition, cid), cid) for cid in partners),
+    )
+    keys = [k for k, _ in keyed]
+    order = [cid for _, cid in keyed]
+    half = max(1, pair_window // 2)
+    seen = set()
+    for a in news:
+        pos = bisect_left(keys, _structural_key(partition, a))
+        lo = max(0, pos - half)
+        hi = min(len(order), pos + half + 1)
+        for b in order[lo:hi]:
+            if a == b:
+                continue
+            key = (a, b) if a < b else (b, a)
+            if key in seen:
+                continue
+            seen.add(key)
+            _score(partition, key[0], key[1], best)
+
+
+def _score(partition: MergePartition, u: int, v: int, best: _BoundedBest) -> None:
+    result = partition.evaluate_merge(u, v)
+    best.push((result.ratio, result.errd, result.sized, u, v))

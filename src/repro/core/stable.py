@@ -1,0 +1,140 @@
+"""Count stability and the BUILD_STABLE algorithm (paper Section 3.2, Fig. 4).
+
+A pair of element classes ``(u, v)`` is *k-stable* when every element of
+``u`` has exactly ``k`` children in ``v``; a synopsis is *count stable* when
+every class pair is k-stable for some k.  The minimal count-stable summary
+is unique (Lemma 3.1), losslessly encodes the document's tree structure, and
+is recovered here bottom-up in linear time by hashing each element's
+``(label, child-class signature)``.
+
+``expand_stable`` implements the ``Expand`` function of Lemma 3.1: it
+reconstructs a document isomorphic to the original from the stable summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.size import synopsis_bytes
+from repro.core.synopsis import GraphSynopsis
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class StableSummary(GraphSynopsis):
+    """The minimal count-stable summary of one document.
+
+    Edge weights are the exact integer child counts ``k`` of Definition 3.1.
+    ``depth`` records each class's depth (the max over its extent of the
+    longest downward path to a leaf), which CREATEPOOL uses to schedule
+    merges bottom-up.  ``extent`` optionally keeps the member oids of every
+    class (for tests and for the twig-XSketch baseline, which needs element
+    -> class assignments).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.depth: Dict[int, int] = {}
+        self.extent: Optional[Dict[int, List[int]]] = None
+
+    def size_bytes(self) -> int:
+        """Storage footprint under the library's synopsis size model."""
+        return synopsis_bytes(self.num_nodes, self.num_edges)
+
+    def class_of(self) -> Dict[int, int]:
+        """Element oid -> class id (requires ``keep_extents=True``)."""
+        if self.extent is None:
+            raise ValueError("summary was built without keep_extents=True")
+        mapping: Dict[int, int] = {}
+        for nid, oids in self.extent.items():
+            for oid in oids:
+                mapping[oid] = nid
+        return mapping
+
+
+def build_stable(tree: XMLTree, keep_extents: bool = False) -> StableSummary:
+    """BUILD_STABLE (paper Fig. 4): minimal count-stable summary in O(|T|).
+
+    Processes elements in post-order; an element's class is determined by
+    its label plus the multiset of (child class, count) pairs, which are
+    already known when the element is visited.
+    """
+    summary = StableSummary()
+    if keep_extents:
+        summary.extent = {}
+
+    # Signature -> class id.  A signature is (label, sorted child-class
+    # count pairs); leaves of equal label share the signature (label, ()).
+    classes: Dict[Tuple[str, Tuple[Tuple[int, int], ...]], int] = {}
+    class_of_oid: Dict[int, int] = {}
+
+    for elem in tree.root.iter_postorder():
+        child_counts: Counter = Counter(
+            class_of_oid[child.oid] for child in elem.children
+        )
+        signature = (elem.label, tuple(sorted(child_counts.items())))
+        nid = classes.get(signature)
+        if nid is None:
+            nid = len(classes)
+            classes[signature] = nid
+            summary.add_node(nid, elem.label, 0)
+            for child_nid, k in signature[1]:
+                summary.add_edge(nid, child_nid, k)
+            summary.depth[nid] = tree.depth_below(elem)
+            if summary.extent is not None:
+                summary.extent[nid] = []
+        summary.count[nid] += 1
+        if summary.extent is not None:
+            summary.extent[nid].append(elem.oid)
+        class_of_oid[elem.oid] = nid
+
+    summary.root_id = class_of_oid[tree.root.oid]
+    summary.doc_height = tree.height
+    return summary
+
+
+def expand_stable(summary: StableSummary) -> XMLTree:
+    """``Expand`` (Lemma 3.1): rebuild a document isomorphic to the original.
+
+    Works because every element of a class has identical child-class counts:
+    starting from the root class (whose extent is the single document root),
+    each class node expands to ``k`` copies of each child class's expansion.
+    Children are emitted grouped by class; isomorphism is up to sibling
+    order, which the data model does not constrain.
+    """
+    root = XMLNode(summary.label[summary.root_id])
+    # Iterative expansion; stack entries are (class id, parent XMLNode).
+    stack: List[Tuple[int, XMLNode]] = []
+
+    def push_children(nid: int, node: XMLNode) -> None:
+        for child_nid, k in summary.out.get(nid, {}).items():
+            for _ in range(int(k)):
+                stack.append((child_nid, node))
+
+    push_children(summary.root_id, root)
+    while stack:
+        nid, parent = stack.pop()
+        node = parent.new_child(summary.label[nid])
+        push_children(nid, node)
+    return XMLTree(root)
+
+
+def is_count_stable(tree: XMLTree, assignment: Dict[int, int]) -> bool:
+    """Check Definition 3.1 for an arbitrary element partitioning.
+
+    ``assignment`` maps element oid -> class id.  Returns True iff every
+    class pair is k-stable for some k (elements of a class all have the
+    same per-class child counts) and the partitioning respects labels.
+    """
+    label_of_class: Dict[int, str] = {}
+    signature_of_class: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+    for elem in tree:
+        cid = assignment[elem.oid]
+        if label_of_class.setdefault(cid, elem.label) != elem.label:
+            return False
+        counts = Counter(assignment[c.oid] for c in elem.children)
+        signature = tuple(sorted(counts.items()))
+        if signature_of_class.setdefault(cid, signature) != signature:
+            return False
+    return True

@@ -1,0 +1,137 @@
+"""Generic node-partitioning graph-synopsis model (paper Section 3.1).
+
+A graph synopsis of a document ``T(V, E)`` is induced by a label-respecting
+equivalence relation over ``V``: each synopsis node is an equivalence class
+(its *extent*), and a synopsis edge ``(u, v)`` exists iff some element in
+``extent(u)`` has a child in ``extent(v)``.
+
+:class:`GraphSynopsis` is the shared representation used by count-stable
+summaries, TreeSketches, and the twig-XSketch baseline: integer node ids,
+labels, extent sizes, and a weighted out-adjacency (the weight's meaning --
+exact count, average count, or mere existence -- is up to the subclass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class GraphSynopsis:
+    """A node- and edge-labeled graph synopsis.
+
+    Attributes:
+        label: node id -> element tag of the class.
+        count: node id -> extent size ``|extent(u)|``.
+        out: node id -> {child node id -> edge weight}.
+        root_id: the class containing the document root.
+        doc_height: height of the summarized document (used to bound
+            descendant-axis searches on possibly-cyclic synopses).
+    """
+
+    def __init__(self) -> None:
+        self.label: Dict[int, str] = {}
+        self.count: Dict[int, int] = {}
+        self.out: Dict[int, Dict[int, float]] = {}
+        self.root_id: int = -1
+        self.doc_height: int = 0
+        self._topo: Optional[List[int]] = None
+        self._topo_computed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, nid: int, label: str, count: int) -> None:
+        self.label[nid] = label
+        self.count[nid] = count
+        self.out.setdefault(nid, {})
+        self._topo_computed = False
+
+    def add_edge(self, src: int, dst: int, weight: float) -> None:
+        self.out.setdefault(src, {})[dst] = weight
+        self._topo_computed = False
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.label)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self.out.values())
+
+    def node_ids(self) -> Iterable[int]:
+        return self.label.keys()
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        for src, targets in self.out.items():
+            for dst, weight in targets.items():
+                yield src, dst, weight
+
+    def children_of(self, nid: int) -> Dict[int, float]:
+        return self.out.get(nid, {})
+
+    def nodes_with_label(self, label: str) -> List[int]:
+        return [nid for nid, lab in self.label.items() if lab == label]
+
+    def parents_index(self) -> Dict[int, Set[int]]:
+        """Reverse adjacency: node id -> set of parent node ids."""
+        parents: Dict[int, Set[int]] = {nid: set() for nid in self.label}
+        for src, dst, _ in self.edges():
+            parents[dst].add(src)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> Optional[List[int]]:
+        """Topological order of nodes, or ``None`` if the synopsis is cyclic.
+
+        Count-stable summaries of trees are always DAGs (a class is created
+        strictly after all its child classes).  Compressed TreeSketches can
+        acquire cycles when recursive labels are merged across levels; the
+        evaluation algorithms fall back to height-bounded propagation then.
+        """
+        if self._topo_computed:
+            return self._topo
+        indeg: Dict[int, int] = {nid: 0 for nid in self.label}
+        for _, dst, _ in self.edges():
+            indeg[dst] += 1
+        frontier = [nid for nid, deg in indeg.items() if deg == 0]
+        order: List[int] = []
+        while frontier:
+            nid = frontier.pop()
+            order.append(nid)
+            for dst in self.out.get(nid, {}):
+                indeg[dst] -= 1
+                if indeg[dst] == 0:
+                    frontier.append(dst)
+        self._topo = order if len(order) == len(self.label) else None
+        self._topo_computed = True
+        return self._topo
+
+    def is_dag(self) -> bool:
+        return self.topological_order() is not None
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency (used by tests)."""
+        if self.root_id not in self.label:
+            raise AssertionError("root_id is not a synopsis node")
+        for src, dst, weight in self.edges():
+            if src not in self.label or dst not in self.label:
+                raise AssertionError(f"dangling edge {src}->{dst}")
+            if weight <= 0:
+                raise AssertionError(f"non-positive edge weight on {src}->{dst}")
+        for nid, cnt in self.count.items():
+            if cnt <= 0:
+                raise AssertionError(f"non-positive extent size on node {nid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, root={self.root_id})"
+        )

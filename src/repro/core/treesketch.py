@@ -1,0 +1,118 @@
+"""The TreeSketch synopsis (paper Definition 3.2).
+
+A TreeSketch is a graph synopsis where each node stores its extent size and
+each edge ``(u, v)`` stores the *average* number of children in
+``extent(v)`` per element of ``extent(u)``.  Interpreting the averages as
+exact per-element counts is what makes approximate evaluation work; the
+fidelity of that interpretation is quantified by the *squared error* of the
+induced clustering (Section 3.2), which this class computes from per-edge
+sufficient statistics (sum and sum of squares of the per-element child
+counts) without touching base data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.size import synopsis_bytes
+from repro.core.stable import StableSummary
+from repro.core.synopsis import GraphSynopsis
+
+
+class TreeSketch(GraphSynopsis):
+    """A TreeSketch synopsis ``TS`` of an XML document.
+
+    Edge weights (``self.out``) are average child counts
+    ``count(u, v)``.  ``stats`` holds per-edge sufficient statistics
+    ``(sum, sum_of_squares)`` over all elements of the source extent
+    (elements with zero children toward the target contribute zero to
+    both), from which the squared error of each cluster follows as
+    ``sum_sq - sum**2 / count(u)``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (src, dst) -> (sum of child counts, sum of squared child counts)
+        self.stats: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        # node id -> stable classes merged into it (for value annotation).
+        self.members: Dict[int, set] = {}
+        # node id -> ValueSummary; populated by the values extension.
+        self.values: Dict[int, object] = {}
+
+    def value_probability(self, nid: int, value: str) -> Optional[float]:
+        """``P(element of nid carries this value)``; None if unannotated.
+
+        The hook EVALQUERY's value-predicate selectivity consults (see
+        :mod:`repro.values`).
+        """
+        summary = self.values.get(nid)
+        if summary is None:
+            return None
+        return summary.probability(value)
+
+    # ------------------------------------------------------------------
+    # Quality and size
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Storage footprint under the library's synopsis size model."""
+        return synopsis_bytes(self.num_nodes, self.num_edges)
+
+    def cluster_squared_error(self, nid: int) -> float:
+        """Squared error ``sq(u)`` of one cluster (Section 3.2)."""
+        count = self.count[nid]
+        total = 0.0
+        for dst in self.out.get(nid, {}):
+            s, sq = self.stats[(nid, dst)]
+            total += sq - (s * s) / count
+        # Clamp tiny negative residue from float arithmetic.
+        return max(0.0, total)
+
+    def squared_error(self) -> float:
+        """Squared error ``sq(TS)`` of the synopsis: sum over clusters."""
+        return sum(self.cluster_squared_error(nid) for nid in self.label)
+
+    def edge_average(self, src: int, dst: int) -> float:
+        """Average child count ``count(u, v)`` along one edge."""
+        return self.out[src][dst]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_stable(cls, summary: StableSummary) -> "TreeSketch":
+        """The zero-error TreeSketch corresponding to a count-stable summary.
+
+        Every edge of a stable summary is k-stable, so the averages equal k
+        exactly, the sufficient statistics follow in closed form
+        (``sum = count * k``, ``sum_sq = count * k**2``), and the squared
+        error is zero.
+        """
+        sketch = cls()
+        for nid in summary.node_ids():
+            sketch.add_node(nid, summary.label[nid], summary.count[nid])
+        for src, dst, k in summary.edges():
+            count = summary.count[src]
+            sketch.add_edge(src, dst, float(k))
+            sketch.stats[(src, dst)] = (count * float(k), count * float(k) ** 2)
+        sketch.root_id = summary.root_id
+        sketch.doc_height = summary.doc_height
+        sketch.members = {nid: {nid} for nid in summary.node_ids()}
+        return sketch
+
+    def validate(self) -> None:
+        super().validate()
+        for (src, dst), (s, sq) in self.stats.items():
+            if dst not in self.out.get(src, {}):
+                raise AssertionError(f"stats for missing edge {src}->{dst}")
+            avg = self.out[src][dst]
+            expected = s / self.count[src]
+            if abs(avg - expected) > 1e-6 * max(1.0, abs(avg)):
+                raise AssertionError(
+                    f"edge {src}->{dst}: stored avg {avg} != sum/count {expected}"
+                )
+            if sq + 1e-9 < (s * s) / (self.count[src] or 1):
+                raise AssertionError(
+                    f"edge {src}->{dst}: sum_sq below Cauchy-Schwarz bound"
+                )

@@ -1,0 +1,48 @@
+"""Synthetic XML data sets.
+
+The paper evaluates on IMDB, XMark, SwissProt, and DBLP documents that are
+not redistributable; :mod:`repro.datagen.datasets` generates seeded
+synthetic stand-ins that mimic each data set's structural signature (label
+alphabet, fan-out skew, recursion, and the sub-structure clustering /
+sibling-count correlations the synopses compete on).  See DESIGN.md for the
+substitution rationale.  :mod:`repro.datagen.synthetic` is the generic
+schema-driven generator they are built on.
+"""
+
+from repro.datagen.synthetic import (
+    Fixed,
+    Uniform,
+    Geometric,
+    Zipf,
+    Choice,
+    ChildSpec,
+    Profile,
+    LabelSchema,
+    SchemaGenerator,
+)
+from repro.datagen.datasets import (
+    imdb_like,
+    xmark_like,
+    sprot_like,
+    dblp_like,
+    DATASETS,
+    TX_DATASETS,
+)
+
+__all__ = [
+    "Fixed",
+    "Uniform",
+    "Geometric",
+    "Zipf",
+    "Choice",
+    "ChildSpec",
+    "Profile",
+    "LabelSchema",
+    "SchemaGenerator",
+    "imdb_like",
+    "xmark_like",
+    "sprot_like",
+    "dblp_like",
+    "DATASETS",
+    "TX_DATASETS",
+]

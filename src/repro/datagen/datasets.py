@@ -1,0 +1,454 @@
+"""Synthetic stand-ins for the paper's four data sets (Table 1).
+
+Each generator mimics the structural signature of its namesake:
+
+* **IMDB** -- movie/person records with strongly bimodal cast sizes and
+  per-actor structural variety (role/credit combinations), giving
+  heterogeneous fan-out at two adjacent levels.
+* **XMark** -- the auction-site DTD skeleton: regions/items with recursive
+  ``parlist`` descriptions, people with optional profiles, open auctions
+  with bidder chains (recursion + the most path diversity; the paper's
+  hardest data set, with the largest stable summary relative to size).
+* **SwissProt** -- protein entries carrying many repeated ``ref``/
+  ``feature`` groups whose multiplicities correlate within an entry (wide
+  fan-out, heavy multiplicity skew).
+* **DBLP** -- a flat, regular bibliography with variety only in author
+  lists and optional fields (the easiest data set to summarize, as in the
+  paper, with the smallest stable summary relative to size).
+
+The paper's key structural property -- that the minimal count-stable
+summary is 1-5% of the document and meaningfully larger than the 10-50KB
+synopsis budgets -- is what the experiments exercise, so the generators
+put structural variability at *adjacent* levels (signature diversity
+composes multiplicatively up the tree).  ``scale=1.0`` targets tens of
+thousands of elements so the full suite runs in minutes; every generator
+is deterministic per (scale, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datagen.synthetic import (
+    Choice,
+    Fixed,
+    Geometric,
+    LabelSchema,
+    SchemaGenerator,
+    Uniform,
+    Zipf,
+    profile,
+)
+from repro.xmltree.tree import XMLTree
+
+
+def imdb_like(scale: float = 1.0, seed: int = 1) -> XMLTree:
+    """IMDB-like movie database (default ~7k elements at scale 1)."""
+    movies = max(1, int(300 * scale))
+    people = max(1, int(140 * scale))
+    schema = {
+        "imdb": LabelSchema((
+            profile(1.0, ("movie", Fixed(movies)), ("person", Fixed(people))),
+        )),
+        "movie": LabelSchema((
+            # Mainstream production: large cast, several genres, awards.
+            profile(
+                0.45,
+                ("title", Fixed(1)),
+                ("year", Fixed(1)),
+                ("genre", Uniform(2, 5)),
+                ("cast", Fixed(1)),
+                ("award", Choice((0, 1, 2, 3), (0.45, 0.3, 0.15, 0.1))),
+                ("release", Uniform(1, 2)),
+                ("review", Zipf(0, 4, alpha=1.3)),
+            ),
+            # Indie production: tiny cast, one genre, rarely awarded.
+            profile(
+                0.35,
+                ("title", Fixed(1)),
+                ("year", Fixed(1)),
+                ("genre", Uniform(1, 2)),
+                ("cast", Fixed(1)),
+                ("award", Choice((0, 1), (0.9, 0.1))),
+                ("review", Choice((0, 1, 2), (0.5, 0.3, 0.2))),
+            ),
+            # TV episode: no cast element at all, episode metadata instead.
+            profile(
+                0.20,
+                ("title", Fixed(1)),
+                ("year", Fixed(1)),
+                ("episode", Uniform(1, 3)),
+                ("genre", Fixed(1)),
+            ),
+        )),
+        # Casts combine credited actors (with a role) and uncredited ones;
+        # the per-cast (credited, uncredited) count pair ranges over a
+        # small grid, so casts cluster into a moderate number of genuinely
+        # similar sub-structures -- the paper's "intrinsic sub-structure
+        # similarity" premise (high-entropy per-cast noise would instead
+        # be unclusterable by *any* structural summary).
+        "cast": LabelSchema((
+            profile(
+                0.5,
+                ("actor", Uniform(1, 3)),       # credited leads
+                ("extra", Uniform(4, 9)),       # uncredited
+                ("director", Fixed(1)),
+            ),
+            profile(
+                0.5,
+                ("actor", Fixed(1)),
+                ("extra", Uniform(0, 3)),
+                ("director", Fixed(1)),
+            ),
+        )),
+        "actor": LabelSchema((
+            profile(1.0, ("name", Fixed(1)), ("role", Fixed(1))),
+        )),
+        "extra": LabelSchema((profile(1.0, ("name", Fixed(1))),)),
+        "director": LabelSchema((
+            profile(0.7, ("name", Fixed(1))),
+            profile(0.3, ("name", Fixed(1)), ("credit", Uniform(1, 2))),
+        )),
+        "person": LabelSchema((
+            profile(0.6, ("name", Fixed(1)), ("filmography", Fixed(1))),
+            profile(0.4, ("name", Fixed(1))),
+        )),
+        "filmography": LabelSchema((
+            profile(1.0, ("entry", Zipf(1, 15, alpha=1.2))),
+        )),
+        "entry": LabelSchema((
+            profile(0.8, ("title", Fixed(1))),
+            profile(0.2, ("title", Fixed(1)), ("year", Fixed(1))),
+        )),
+        "award": LabelSchema((
+            profile(0.7, ("category", Fixed(1))),
+            profile(0.3, ("category", Fixed(1)), ("year", Fixed(1))),
+        )),
+        "release": LabelSchema((
+            profile(0.8, ("region", Fixed(1)), ("date", Fixed(1))),
+            profile(0.2, ("region", Fixed(1))),
+        )),
+        "review": LabelSchema((
+            profile(0.6, ("rating", Fixed(1))),
+            profile(0.4, ("rating", Fixed(1)), ("text", Fixed(1))),
+        )),
+        "episode": LabelSchema((profile(1.0, ("title", Fixed(1))),)),
+    }
+    return SchemaGenerator("imdb", schema).generate(seed)
+
+
+def xmark_like(scale: float = 1.0, seed: int = 2) -> XMLTree:
+    """XMark-like auction site with recursive parlist descriptions."""
+    items = max(4, int(130 * scale))
+    persons = max(1, int(100 * scale))
+    auctions = max(1, int(80 * scale))
+    schema = {
+        "site": LabelSchema((
+            profile(
+                1.0,
+                ("regions", Fixed(1)),
+                ("people", Fixed(1)),
+                ("open_auctions", Fixed(1)),
+                ("closed_auctions", Fixed(1)),
+            ),
+        )),
+        "regions": LabelSchema((
+            profile(
+                1.0,
+                ("africa", Fixed(1)),
+                ("asia", Fixed(1)),
+                ("europe", Fixed(1)),
+                ("namerica", Fixed(1)),
+            ),
+        )),
+        "africa": LabelSchema((profile(1.0, ("item", Fixed(max(1, items // 10)))),)),
+        "asia": LabelSchema((profile(1.0, ("item", Fixed(max(1, items // 5)))),)),
+        "europe": LabelSchema((profile(1.0, ("item", Fixed(max(1, items // 3)))),)),
+        "namerica": LabelSchema((profile(1.0, ("item", Fixed(max(1, items // 3)))),)),
+        "item": LabelSchema((
+            profile(
+                0.6,
+                ("location", Fixed(1)),
+                ("name", Fixed(1)),
+                ("payment", Fixed(1)),
+                ("description", Fixed(1)),
+                ("shipping", Fixed(1)),
+                ("incategory", Uniform(1, 6)),
+            ),
+            profile(
+                0.4,
+                ("location", Fixed(1)),
+                ("name", Fixed(1)),
+                ("description", Fixed(1)),
+                ("mailbox", Fixed(1)),
+                ("incategory", Uniform(1, 3)),
+            ),
+        )),
+        "description": LabelSchema((
+            profile(0.5, ("text", Fixed(1))),
+            profile(0.5, ("parlist", Fixed(1))),
+        )),
+        "parlist": LabelSchema((
+            profile(1.0, ("listitem", Uniform(1, 5))),
+        )),
+        "listitem": LabelSchema((
+            profile(0.55, ("text", Uniform(1, 3))),
+            profile(0.3, ("parlist", Fixed(1))),  # recursion
+            profile(0.15, ("text", Fixed(1)), ("keyword", Uniform(1, 2))),
+        )),
+        # XMark text carries markup children (bold/keyword/emph), which is
+        # where much of the real data set's path diversity lives.
+        "text": LabelSchema((
+            profile(0.55,),
+            profile(0.25, ("bold", Uniform(1, 2))),
+            profile(0.12, ("keyword", Fixed(1)), ("emph", Uniform(0, 2))),
+            profile(0.08, ("bold", Fixed(1)), ("keyword", Uniform(1, 3))),
+        )),
+        "mailbox": LabelSchema((profile(1.0, ("mail", Uniform(0, 4))),)),
+        "mail": LabelSchema((
+            profile(0.7, ("from", Fixed(1)), ("to", Fixed(1)), ("text", Fixed(1))),
+            profile(0.3, ("from", Fixed(1)), ("to", Fixed(1)), ("text", Uniform(2, 4))),
+        )),
+        "people": LabelSchema((profile(1.0, ("person", Fixed(persons))),)),
+        "person": LabelSchema((
+            profile(
+                0.5,
+                ("name", Fixed(1)),
+                ("emailaddress", Fixed(1)),
+                ("profile", Fixed(1)),
+                ("watches", Fixed(1)),
+            ),
+            profile(0.3, ("name", Fixed(1)), ("emailaddress", Fixed(1))),
+            profile(
+                0.2,
+                ("name", Fixed(1)),
+                ("emailaddress", Fixed(1)),
+                ("phone", Fixed(1)),
+                ("watches", Fixed(1)),
+            ),
+        )),
+        "profile": LabelSchema((
+            profile(
+                1.0,
+                ("interest", Zipf(0, 6, alpha=1.3)),
+                ("education", Choice((0, 1), (0.6, 0.4))),
+                ("business", Choice((0, 1), (0.5, 0.5))),
+            ),
+        )),
+        "watches": LabelSchema((profile(1.0, ("watch", Geometric(0.6, cap=10))),)),
+        "watch": LabelSchema((
+            profile(0.8, ("open_auction_ref", Fixed(1))),
+            profile(0.2, ("open_auction_ref", Fixed(1)), ("note", Fixed(1))),
+        )),
+        "open_auctions": LabelSchema((profile(1.0, ("open_auction", Fixed(auctions))),)),
+        "open_auction": LabelSchema((
+            profile(
+                0.65,
+                ("initial", Fixed(1)),
+                ("bidder", Geometric(0.72, cap=14)),
+                ("current", Fixed(1)),
+                ("itemref", Fixed(1)),
+                ("annotation", Choice((0, 1), (0.4, 0.6))),
+            ),
+            profile(
+                0.35,
+                ("initial", Fixed(1)),
+                ("itemref", Fixed(1)),
+            ),
+        )),
+        "bidder": LabelSchema((
+            profile(0.65, ("date", Fixed(1)), ("personref", Fixed(1)), ("increase", Fixed(1))),
+            profile(0.25, ("date", Fixed(1)), ("personref", Fixed(1))),
+            profile(0.10, ("date", Fixed(1)), ("personref", Fixed(1)), ("increase", Uniform(2, 3))),
+        )),
+        "annotation": LabelSchema((
+            profile(1.0, ("description", Fixed(1)), ("happiness", Fixed(1))),
+        )),
+        "closed_auctions": LabelSchema((
+            profile(1.0, ("closed_auction", Fixed(max(1, auctions // 2)))),
+        )),
+        "closed_auction": LabelSchema((
+            profile(
+                0.7,
+                ("seller", Fixed(1)),
+                ("buyer", Fixed(1)),
+                ("itemref", Fixed(1)),
+                ("price", Fixed(1)),
+            ),
+            profile(
+                0.3,
+                ("seller", Fixed(1)),
+                ("buyer", Fixed(1)),
+                ("itemref", Fixed(1)),
+                ("price", Fixed(1)),
+                ("annotation", Fixed(1)),
+            ),
+        )),
+    }
+    return SchemaGenerator("site", schema, recursion_decay=0.5, max_depth=18).generate(seed)
+
+
+def sprot_like(scale: float = 1.0, seed: int = 3) -> XMLTree:
+    """SwissProt-like protein annotation database."""
+    entries = max(1, int(170 * scale))
+    schema = {
+        "sprot": LabelSchema((profile(1.0, ("entry", Fixed(entries))),)),
+        "entry": LabelSchema((
+            # Heavily-annotated entry: many refs and features together.
+            profile(
+                0.35,
+                ("protein", Fixed(1)),
+                ("organism", Fixed(1)),
+                ("ref", Uniform(4, 10)),
+                ("feature", Uniform(6, 16)),
+                ("keyword", Uniform(3, 7)),
+            ),
+            # Lightly-annotated entry: few of both.
+            profile(
+                0.5,
+                ("protein", Fixed(1)),
+                ("organism", Fixed(1)),
+                ("ref", Uniform(1, 3)),
+                ("feature", Uniform(0, 4)),
+                ("keyword", Uniform(0, 2)),
+            ),
+            # Fragment entry: no features.
+            profile(
+                0.15,
+                ("protein", Fixed(1)),
+                ("organism", Fixed(1)),
+                ("ref", Uniform(1, 2)),
+            ),
+        )),
+        "protein": LabelSchema((
+            profile(0.8, ("name", Uniform(1, 2))),
+            profile(0.2, ("name", Fixed(1)), ("domain", Uniform(1, 3))),
+        )),
+        "organism": LabelSchema((
+            profile(0.8, ("name", Fixed(1)), ("lineage", Fixed(1))),
+            profile(0.2, ("name", Fixed(1))),
+        )),
+        "lineage": LabelSchema((profile(1.0, ("taxon", Uniform(3, 9))),)),
+        "ref": LabelSchema((
+            profile(0.6, ("citation", Fixed(1)), ("author", Uniform(2, 9))),
+            profile(
+                0.4,
+                ("citation", Fixed(1)),
+                ("author", Uniform(1, 4)),
+                ("comment", Uniform(1, 2)),
+            ),
+        )),
+        "feature": LabelSchema((
+            profile(0.55, ("ftype", Fixed(1)), ("location", Fixed(1))),
+            profile(0.45, ("ftype", Fixed(1)), ("location", Fixed(1)), ("evidence", Fixed(1))),
+        )),
+        "location": LabelSchema((
+            profile(0.85, ("begin", Fixed(1)), ("end", Fixed(1))),
+            profile(0.15, ("position", Fixed(1))),
+        )),
+    }
+    return SchemaGenerator("sprot", schema).generate(seed)
+
+
+def dblp_like(scale: float = 1.0, seed: int = 4) -> XMLTree:
+    """DBLP-like bibliography: flat and regular."""
+    articles = max(1, int(430 * scale))
+    inproc = max(1, int(540 * scale))
+    schema = {
+        "dblp": LabelSchema((
+            profile(
+                1.0,
+                ("article", Fixed(articles)),
+                ("inproceedings", Fixed(inproc)),
+                ("proceedings", Fixed(max(1, int(28 * scale)))),
+            ),
+        )),
+        "article": LabelSchema((
+            profile(
+                0.6,
+                ("author", Zipf(1, 18, alpha=1.25)),
+                ("title", Fixed(1)),
+                ("journal", Fixed(1)),
+                ("year", Fixed(1)),
+                ("pages", Fixed(1)),
+                ("volume", Choice((0, 1), (0.3, 0.7))),
+            ),
+            profile(
+                0.3,
+                ("author", Zipf(1, 18, alpha=1.25)),
+                ("title", Fixed(1)),
+                ("journal", Fixed(1)),
+                ("year", Fixed(1)),
+                ("ee", Uniform(1, 2)),
+                ("number", Choice((0, 1), (0.5, 0.5))),
+            ),
+            profile(
+                0.1,
+                ("author", Zipf(1, 10, alpha=1.3)),
+                ("title", Fixed(1)),
+                ("journal", Fixed(1)),
+                ("year", Fixed(1)),
+                ("cite", Zipf(1, 15, alpha=1.05)),
+            ),
+        )),
+        "inproceedings": LabelSchema((
+            profile(
+                0.55,
+                ("author", Zipf(1, 20, alpha=1.2)),
+                ("title", Fixed(1)),
+                ("booktitle", Fixed(1)),
+                ("year", Fixed(1)),
+                ("pages", Fixed(1)),
+            ),
+            profile(
+                0.35,
+                ("author", Zipf(1, 20, alpha=1.2)),
+                ("title", Fixed(1)),
+                ("booktitle", Fixed(1)),
+                ("year", Fixed(1)),
+                ("crossref", Fixed(1)),
+                ("ee", Choice((0, 1, 2), (0.4, 0.4, 0.2))),
+            ),
+            profile(
+                0.1,
+                ("author", Zipf(1, 12, alpha=1.2)),
+                ("title", Fixed(1)),
+                ("booktitle", Fixed(1)),
+                ("year", Fixed(1)),
+                ("cite", Zipf(1, 14, alpha=1.05)),
+            ),
+        )),
+        "cite": LabelSchema((
+            profile(0.8,),
+            profile(0.2, ("label", Fixed(1))),
+        )),
+        "proceedings": LabelSchema((
+            profile(
+                1.0,
+                ("editor", Uniform(1, 4)),
+                ("title", Fixed(1)),
+                ("booktitle", Fixed(1)),
+                ("year", Fixed(1)),
+                ("publisher", Fixed(1)),
+                ("isbn", Fixed(1)),
+            ),
+        )),
+    }
+    return SchemaGenerator("dblp", schema).generate(seed)
+
+
+# Name -> generator, mirroring the paper's Table 1 groupings.  The "TX"
+# variants are the documents used for the head-to-head against
+# twig-XSketches; the plain variants are the larger scaling data sets.
+TX_DATASETS: Dict[str, Callable[[], XMLTree]] = {
+    "IMDB-TX": lambda: imdb_like(scale=8.0, seed=11),
+    "XMark-TX": lambda: xmark_like(scale=8.0, seed=12),
+    "SProt-TX": lambda: sprot_like(scale=7.0, seed=13),
+}
+
+DATASETS: Dict[str, Callable[[], XMLTree]] = {
+    "IMDB": lambda: imdb_like(scale=18.0, seed=21),
+    "XMark": lambda: xmark_like(scale=40.0, seed=22),
+    "SProt": lambda: sprot_like(scale=14.0, seed=23),
+    "DBLP": lambda: dblp_like(scale=25.0, seed=24),
+}

@@ -1,0 +1,241 @@
+"""Generic schema-driven synthetic XML generation.
+
+A schema maps each label to a :class:`LabelSchema`: a weighted set of
+*profiles*, each listing child specs (child label + count distribution).
+Profiles are the source of the structural clustering real XML exhibits --
+all elements drawn from one profile have similar sub-trees (what TreeSketch
+clusters exploit), while distinct profiles under the same tag create the
+correlations that summaries relying on independence assumptions miss.
+
+Recursive schemas (a label reachable from itself, like XMark's ``parlist``)
+are supported; the generator decays recursion with a per-level depth factor
+and hard-caps the tree depth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class Distribution:
+    """A non-negative integer count distribution."""
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Fixed(Distribution):
+    """Always ``value``."""
+
+    value: int
+
+    def sample(self, rng: random.Random) -> int:
+        return self.value
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform integer in [low, high]."""
+
+    low: int
+    high: int
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Geometric(Distribution):
+    """Geometric-ish count: number of successes before failure, capped."""
+
+    p: float
+    cap: int = 20
+
+    def sample(self, rng: random.Random) -> int:
+        count = 0
+        while count < self.cap and rng.random() < self.p:
+            count += 1
+        return count
+
+    def mean(self) -> float:
+        # Mean of the uncapped geometric; close enough for reporting.
+        return self.p / (1.0 - self.p)
+
+
+@dataclass(frozen=True)
+class Zipf(Distribution):
+    """Zipf-skewed count over {low, .., high} (rank-1 most likely)."""
+
+    low: int
+    high: int
+    alpha: float = 1.5
+
+    def sample(self, rng: random.Random) -> int:
+        n = self.high - self.low + 1
+        weights = [1.0 / (rank ** self.alpha) for rank in range(1, n + 1)]
+        total = sum(weights)
+        pick = rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if pick <= acc:
+                return self.low + i
+        return self.high
+
+    def mean(self) -> float:
+        n = self.high - self.low + 1
+        weights = [1.0 / (rank ** self.alpha) for rank in range(1, n + 1)]
+        total = sum(weights)
+        return sum((self.low + i) * w for i, w in enumerate(weights)) / total
+
+
+@dataclass(frozen=True)
+class Choice(Distribution):
+    """Explicit categorical distribution over counts."""
+
+    values: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.choices(self.values, weights=self.weights, k=1)[0]
+
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(v * w for v, w in zip(self.values, self.weights)) / total
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    """One child slot: label plus its count distribution."""
+
+    label: str
+    count: Distribution
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One structural variant of a label's elements."""
+
+    weight: float
+    children: Tuple[ChildSpec, ...]
+
+
+@dataclass(frozen=True)
+class LabelSchema:
+    """All structural variants of one label."""
+
+    profiles: Tuple[Profile, ...]
+
+
+def profile(weight: float, *children: Tuple[str, Distribution]) -> Profile:
+    """Shorthand: ``profile(0.7, ("actor", Uniform(2, 5)), ...)``."""
+    return Profile(weight, tuple(ChildSpec(lab, dist) for lab, dist in children))
+
+
+class SchemaGenerator:
+    """Generates documents from a label schema.
+
+    ``recursion_decay`` multiplies recursive child counts by
+    ``decay**level`` (probabilistically) so recursive labels terminate;
+    ``max_depth`` is a hard cap.
+    """
+
+    def __init__(
+        self,
+        root_label: str,
+        schema: Dict[str, LabelSchema],
+        recursion_decay: float = 0.55,
+        max_depth: int = 16,
+    ) -> None:
+        self.root_label = root_label
+        self.schema = schema
+        self.recursion_decay = recursion_decay
+        self.max_depth = max_depth
+        self._recursive_labels = self._find_recursive_labels()
+
+    def _find_recursive_labels(self) -> set:
+        """Labels that can reach themselves through the schema."""
+        adjacency: Dict[str, set] = {}
+        for label, label_schema in self.schema.items():
+            targets = set()
+            for prof in label_schema.profiles:
+                targets.update(spec.label for spec in prof.children)
+            adjacency[label] = targets
+        recursive = set()
+        for label in adjacency:
+            frontier = set(adjacency.get(label, ()))
+            seen = set(frontier)
+            while frontier:
+                nxt = set()
+                for lab in frontier:
+                    for t in adjacency.get(lab, ()):
+                        if t not in seen:
+                            seen.add(t)
+                            nxt.add(t)
+                frontier = nxt
+            if label in seen:
+                recursive.add(label)
+        return recursive
+
+    def generate(self, seed: int = 0) -> XMLTree:
+        """Generate one document (deterministic per seed)."""
+        rng = random.Random(seed)
+        root = XMLNode(self.root_label)
+        # Stack entries carry the per-recursive-label nesting count so the
+        # decay is relative to recursion level, not absolute depth.
+        empty: Dict[str, int] = {}
+        stack: List[Tuple[XMLNode, int, Dict[str, int]]] = [(root, 0, empty)]
+        while stack:
+            node, depth, rec = stack.pop()
+            label_schema = self.schema.get(node.label)
+            if label_schema is None or depth >= self.max_depth:
+                continue
+            prof = self._pick_profile(label_schema, rng)
+            for spec in prof.children:
+                count = spec.count.sample(rng)
+                child_rec = rec
+                if spec.label in self._recursive_labels:
+                    level = rec.get(spec.label, 0)
+                    if level:
+                        # Thin nested occurrences geometrically per level.
+                        count = sum(
+                            1
+                            for _ in range(count)
+                            if rng.random() < self.recursion_decay ** level
+                        )
+                    if count:
+                        child_rec = dict(rec)
+                        child_rec[spec.label] = level + 1
+                for _ in range(count):
+                    child = node.new_child(spec.label)
+                    stack.append((child, depth + 1, child_rec))
+        return XMLTree(root)
+
+    @staticmethod
+    def _pick_profile(label_schema: LabelSchema, rng: random.Random) -> Profile:
+        profiles = label_schema.profiles
+        if len(profiles) == 1:
+            return profiles[0]
+        total = sum(p.weight for p in profiles)
+        pick = rng.random() * total
+        acc = 0.0
+        for prof in profiles:
+            acc += prof.weight
+            if pick <= acc:
+                return prof
+        return profiles[-1]

@@ -1,0 +1,24 @@
+"""Exact twig-query evaluation over XML document trees.
+
+This is the ground-truth engine the experiments compare against: it computes
+the true nesting tree ``NT(Q)`` (paper Fig. 2(c)) and the true selectivity
+(number of binding tuples) of a twig query.
+
+* :mod:`repro.engine.index` -- label/descendant indexes over a document.
+* :mod:`repro.engine.nesting` -- the :class:`NestingTree` result structure.
+* :mod:`repro.engine.exact` -- the :class:`ExactEvaluator`.
+"""
+
+from repro.engine.exact import ExactEvaluator
+from repro.engine.nesting import NestingTree, NTNode
+from repro.engine.index import DocumentIndex
+from repro.engine.planner import branch_survival, reorder_query
+
+__all__ = [
+    "ExactEvaluator",
+    "NestingTree",
+    "NTNode",
+    "DocumentIndex",
+    "branch_survival",
+    "reorder_query",
+]

@@ -1,0 +1,61 @@
+"""Structural indexes used by the exact query engine.
+
+The engine needs two primitives per axis step:
+
+* children of ``e`` with label ``l`` -- answered by scanning ``e.children``
+  (document fan-outs are modest);
+* proper descendants of ``e`` with label ``l`` -- answered in
+  O(log n + answers) using the fact that oids are assigned in pre-order, so
+  a sub-tree is a contiguous oid interval and the per-label oid lists are
+  sorted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List
+
+from repro.query.path import WILDCARD
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class DocumentIndex:
+    """Label + interval index over one document tree."""
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.tree = tree
+        # Per-label sorted oid lists come straight from the tree's index.
+        self._by_label: Dict[str, List[int]] = {
+            label: tree.oids_with_label(label) for label in tree.labels
+        }
+
+    def children_with_label(self, node: XMLNode, label: str) -> List[XMLNode]:
+        """Direct children of ``node`` matching ``label`` (doc order)."""
+        if label == WILDCARD:
+            return list(node.children)
+        return [c for c in node.children if c.label == label]
+
+    def descendants_with_label(self, node: XMLNode, label: str) -> List[XMLNode]:
+        """Proper descendants of ``node`` matching ``label`` (doc order)."""
+        lo = node.oid + 1
+        hi = node.oid + self.tree.subtree_size(node)  # inclusive of last oid
+        if label == WILDCARD:
+            return [self.tree.node(oid) for oid in range(lo, hi)]
+        oids = self._by_label.get(label)
+        if not oids:
+            return []
+        start = bisect_left(oids, lo)
+        end = bisect_right(oids, hi - 1)
+        return [self.tree.node(oid) for oid in oids[start:end]]
+
+    def count_descendants_with_label(self, node: XMLNode, label: str) -> int:
+        """Number of proper descendants of ``node`` matching ``label``."""
+        lo = node.oid + 1
+        hi = node.oid + self.tree.subtree_size(node)
+        if label == WILDCARD:
+            return hi - lo
+        oids = self._by_label.get(label)
+        if not oids:
+            return 0
+        return bisect_right(oids, hi - 1) - bisect_left(oids, lo)

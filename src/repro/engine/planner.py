@@ -1,0 +1,89 @@
+"""Synopsis-guided twig planning: ordering joins by estimated selectivity.
+
+The paper motivates selectivity estimation with query optimization
+(Section 4.4: "accurate estimation ... is a key requirement in producing
+effective query plans").  This module closes that loop inside the library:
+given a TreeSketch, :func:`reorder_query` rewrites a twig so that each
+node's *most selective* solid branches come first.  The rewritten query is
+semantically identical (branch order does not affect bindings, counts, or
+nesting), but the exact engine's satisfaction checks short-circuit on the
+first failing solid branch -- testing likely-to-fail branches first prunes
+unsatisfied elements sooner.
+
+Selectivity per branch comes from the synopsis itself: the query is
+evaluated approximately once, and each variable's average satisfaction
+fraction (see :func:`repro.core.expand.satisfaction_fractions`) ranks its
+sub-tree's likelihood to survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.query.twig import QueryNode, TwigQuery
+
+# repro.core.expand imports repro.engine.nesting; importing repro.core here
+# at module load would close that cycle through the package __init__, so
+# the core imports happen inside the functions.
+
+
+def _core():
+    from repro.core.evaluate import eval_query
+    from repro.core.expand import satisfaction_fractions
+
+    return eval_query, satisfaction_fractions
+
+
+def branch_survival(query: TwigQuery, sketch) -> Dict[str, float]:
+    """Estimated P(parent binding finds a satisfied match) per child var.
+
+    For a query edge ``q -> q_c``, this is the average over ``q``'s
+    bindings of ``min(1, sum_v count(u_Q, v_Q) * sat(v_Q))`` -- the same
+    per-binding factor the satisfaction fractions use.  1.0 means the
+    branch never rejects; values near 0 mark branches that reject almost
+    every candidate (the ones worth testing first).  Child variables whose
+    parent has no bindings map to 0.
+    """
+    eval_query, satisfaction_fractions = _core()
+    result = eval_query(sketch, query)
+    sat = satisfaction_fractions(result)
+    survival: Dict[str, float] = {}
+    for qnode in query.nodes:
+        parent_keys = result.bind.get(qnode.var, [])
+        for qc in qnode.children:
+            if not parent_keys:
+                survival[qc.var] = 0.0
+                continue
+            total = 0.0
+            for key in parent_keys:
+                supply = sum(
+                    avg * sat.get(v_key, 0.0)
+                    for v_key, avg in result.out.get(key, {}).items()
+                    if v_key[1] == qc.var
+                )
+                total += min(1.0, supply)
+            survival[qc.var] = total / len(parent_keys)
+    return survival
+
+
+def reorder_query(query: TwigQuery, sketch) -> TwigQuery:
+    """Equivalent twig with solid branches ordered most-selective-first.
+
+    Solid (non-optional) children are sorted by ascending estimated
+    survival; optional children keep their relative order and come last
+    (they can never reject a binding).  Variable names are re-assigned in
+    the new pre-order, as always.
+    """
+    survival = branch_survival(query, sketch)
+
+    def clone(node: QueryNode, into: QueryNode) -> None:
+        solid = [c for c in node.children if not c.optional]
+        optional = [c for c in node.children if c.optional]
+        solid.sort(key=lambda c: survival.get(c.var, 0.0))
+        for child in solid + optional:
+            copied = into.add_child(child.path, optional=child.optional)
+            clone(child, copied)
+
+    reordered = TwigQuery()
+    clone(query.root, reordered.root)
+    return reordered.finalize()

@@ -1,0 +1,172 @@
+"""Ablations for the design choices the paper calls out.
+
+* **Bottom-up vs top-down construction** (Section 4.2 claims bottom-up
+  merging "yields much better results" than top-down splitting):
+  :func:`build_treesketch_topdown` is the top-down comparator -- greedy
+  squared-error-driven node splitting from the label-split graph, i.e. the
+  XSketch-style search direction with TSBUILD's workload-independent
+  objective.
+* **CREATEPOOL candidate cap**: quality/time trade-off of the bounded,
+  windowed candidate pool vs exhaustive same-label pair generation.
+* **Squared error vs answer quality** (the Section 4.3 "missing link"):
+  the correlation between ``sq(TS)`` and the ESD of the answers TS
+  produces, across compression levels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.build import TreeSketchBuilder, TSBuildOptions
+from repro.core.size import EDGE_BYTES, NODE_BYTES
+from repro.core.stable import StableSummary
+from repro.core.treesketch import TreeSketch
+from repro.experiments.harness import Bundle
+from repro.metrics.esd import ESDCalculator
+from repro.workload.runner import run_answer_quality, run_selectivity
+from repro.xsketch.atoms import build_atom_graph
+from repro.xsketch.build import _Partition, _proposed_splits
+
+
+def build_treesketch_topdown(
+    stable: StableSummary,
+    budget_bytes: int,
+    candidate_clusters: int = 8,
+) -> TreeSketch:
+    """Top-down TreeSketch: split greedily by squared-error reduction.
+
+    Starts from the label-split graph and repeatedly applies the split
+    that most reduces the summed child-count variance per byte spent,
+    until the budget is filled.  Sizes count nodes and edges only (the
+    TreeSketch size model), so the comparison against TSBUILD is at equal
+    budgets with the same objective -- only the search direction differs.
+    """
+    atoms = build_atom_graph(stable)
+    # A huge bucket budget keeps the partition's histograms exact.
+    part = _Partition(atoms, bucket_budget=1_000_000_000)
+
+    def size_bytes() -> int:
+        nodes = len(part.members)
+        edges = sum(
+            1
+            for cid in part.members
+            for t in part.histogram(cid).targets
+            if part.histogram(cid).mean(t) > 0
+        )
+        return NODE_BYTES * nodes + EDGE_BYTES * edges
+
+    exhausted: set = set()
+    while size_bytes() < budget_bytes:
+        ranked = sorted(
+            (c for c in part.members if c not in exhausted),
+            key=lambda c: -part.cluster_spread(c),
+        )
+        applied = False
+        for cid in ranked[:candidate_clusters]:
+            proposals = _proposed_splits(part, cid)
+            best: Optional[Tuple[float, Sequence[Sequence[int]]]] = None
+            spread_before = part.cluster_spread(cid)
+            for groups in proposals:
+                token = part.split(cid, groups)
+                try:
+                    spread_after = sum(
+                        part.cluster_spread(c)
+                        for c in set(part.assign[a] for g in groups for a in g)
+                    )
+                finally:
+                    part.undo(token)
+                gain = spread_before - spread_after
+                if best is None or gain > best[0]:
+                    best = (gain, groups)
+            if best is None:
+                exhausted.add(cid)
+                continue
+            part.split(cid, best[1])
+            applied = True
+            break
+        if not applied:
+            if len(exhausted) >= len(part.members):
+                break
+            if not ranked:
+                break
+    return part.synopsis().view()
+
+
+def topdown_vs_bottomup(
+    bundle: Bundle,
+    budgets_kb: Sequence[int],
+    esd_queries: int = 25,
+) -> List[List[object]]:
+    """[budget, bottom-up err%, top-down err%, bu ESD, td ESD] rows."""
+    calc = ESDCalculator()
+    query_ids = bundle.esd_query_ids(min(esd_queries, len(bundle.workload)))
+    rows = []
+    for kb in budgets_kb:
+        bottom_up = bundle.treesketch(kb * 1024)
+        top_down = build_treesketch_topdown(bundle.stable, kb * 1024)
+        bu_sel = run_selectivity(bottom_up, bundle.workload)
+        td_sel = run_selectivity(top_down, bundle.workload)
+        bu_esd = run_answer_quality(bottom_up, bundle.workload, query_ids, calculator=calc)
+        td_esd = run_answer_quality(top_down, bundle.workload, query_ids, calculator=calc)
+        rows.append(
+            [kb, bu_sel.avg_error * 100, td_sel.avg_error * 100,
+             bu_esd.avg_esd, td_esd.avg_esd]
+        )
+    return rows
+
+
+def pool_window_ablation(
+    bundle: Bundle,
+    budget_kb: int,
+    windows: Sequence[Optional[int]] = (8, 32, 128, None),
+) -> List[List[object]]:
+    """[window, build seconds, squared error, selectivity err%] rows.
+
+    ``None`` is the exhaustive pool (the paper's unbounded CREATEPOOL).
+    """
+    rows = []
+    for window in windows:
+        options = TSBuildOptions(pair_window=window)
+        start = time.perf_counter()
+        sketch = TreeSketchBuilder(bundle.stable, options).compress_to(budget_kb * 1024)
+        seconds = time.perf_counter() - start
+        quality = run_selectivity(sketch, bundle.workload)
+        rows.append(
+            ["exhaustive" if window is None else window,
+             seconds, sketch.squared_error(), quality.avg_error * 100]
+        )
+    return rows
+
+
+def sq_error_vs_esd(
+    bundle: Bundle,
+    budgets_kb: Sequence[int],
+    esd_queries: int = 25,
+) -> List[List[object]]:
+    """[budget, sq(TS), avg ESD] rows -- the Section 4.3 'missing link'."""
+    calc = ESDCalculator()
+    query_ids = bundle.esd_query_ids(min(esd_queries, len(bundle.workload)))
+    rows = []
+    for kb in sorted(budgets_kb, reverse=True):
+        sketch = bundle.treesketch(kb * 1024)
+        quality = run_answer_quality(sketch, bundle.workload, query_ids, calculator=calc)
+        rows.append([kb, sketch.squared_error(), quality.avg_esd])
+    return rows
+
+
+def spearman_rank_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (no ties expected in these series)."""
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        rank = [0.0] * len(values)
+        for position, idx in enumerate(order):
+            rank[idx] = float(position)
+        return rank
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    if n < 2:
+        return float("nan")
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1.0 - (6.0 * d2) / (n * (n * n - 1))

@@ -1,0 +1,71 @@
+"""Numeric analysis helpers for experiment series (numpy-backed).
+
+Small utilities the benchmark reports and EXPERIMENTS.md use to
+characterize accuracy/space curves: error percentiles, log-log slope fits
+(how fast error decays with budget), and correlation between internal and
+external quality metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def percentile_profile(
+    errors: Sequence[float], percentiles: Sequence[float] = (50, 90, 99)
+) -> Tuple[float, ...]:
+    """Selected percentiles of a per-query error distribution."""
+    if not len(errors):
+        raise ValueError("empty error series")
+    return tuple(float(np.percentile(np.asarray(errors, dtype=float), p))
+                 for p in percentiles)
+
+
+def loglog_slope(budgets: Sequence[float], errors: Sequence[float]) -> float:
+    """Least-squares slope of log(error) vs log(budget).
+
+    A slope of about -1 means error halves when the budget doubles;
+    steeper (more negative) slopes mean the synopsis exploits extra space
+    super-linearly.  Zero error values are clamped to the smallest
+    positive value observed (log cannot take 0).
+    """
+    x = np.asarray(budgets, dtype=float)
+    y = np.asarray(errors, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need two or more (budget, error) points")
+    positive = y[y > 0]
+    floor = positive.min() if positive.size else 1.0
+    y = np.clip(y, floor, None)
+    slope, _intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation between two equal-length series."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two or more paired points")
+    if np.std(x) == 0 or np.std(y) == 0:
+        return float("nan")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def geometric_mean_ratio(
+    baseline: Sequence[float], challenger: Sequence[float]
+) -> float:
+    """Geometric mean of baseline/challenger ratios (how many times better).
+
+    Used to condense "TreeSketch is N x better across budgets" into one
+    number; pairs where either side is zero are skipped.
+    """
+    ratios = [
+        b / c
+        for b, c in zip(baseline, challenger)
+        if b > 0 and c > 0
+    ]
+    if not ratios:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(ratios))))

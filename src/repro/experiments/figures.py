@@ -1,0 +1,96 @@
+"""Figures 11-13 of the paper.
+
+Each function returns the plotted series as rows (one per budget), so the
+benchmark harness can print the same numbers the paper's plots show:
+
+* Fig. 11: average ESD of approximate answers vs synopsis size, TreeSketch
+  vs twig-XSketch, on the TX data sets.
+* Fig. 12: average relative selectivity-estimation error vs synopsis size,
+  both techniques, on the TX data sets.
+* Fig. 13: TreeSketch estimation error vs synopsis size on the large data
+  sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    Bundle,
+    budgets_kb,
+    esd_query_count,
+    load_bundle,
+)
+from repro.metrics.esd import ESDCalculator
+from repro.workload.runner import run_answer_quality, run_selectivity
+from repro.xsketch.build import XSketchBuildOptions
+
+
+def fig11_series(
+    name: str,
+    budgets: Optional[Sequence[int]] = None,
+    esd_queries: Optional[int] = None,
+    xsketch_options: Optional[XSketchBuildOptions] = None,
+) -> List[List[object]]:
+    """[budget KB, TreeSketch avg ESD, twig-XSketch avg ESD] rows."""
+    bundle = load_bundle(name)
+    kbs = list(budgets or budgets_kb())
+    n_esd = esd_queries if esd_queries is not None else esd_query_count()
+    # Fixed query set with bounded exact answers, shared by every budget
+    # and technique (see Bundle.esd_query_ids).
+    query_ids = bundle.esd_query_ids(min(n_esd, len(bundle.workload)))
+
+    tsketches = bundle.treesketch_sweep([kb * 1024 for kb in kbs])
+    xsketches = bundle.xsketch_sweep([kb * 1024 for kb in kbs], xsketch_options)
+
+    calc = ESDCalculator()
+    rows = []
+    for kb in kbs:
+        ts_quality = run_answer_quality(
+            tsketches[kb * 1024], bundle.workload, query_ids, calculator=calc
+        )
+        xs_quality = run_answer_quality(
+            xsketches[kb * 1024], bundle.workload, query_ids, calculator=calc
+        )
+        rows.append([kb, ts_quality.avg_esd, xs_quality.avg_esd])
+    return rows
+
+
+def fig12_series(
+    name: str,
+    budgets: Optional[Sequence[int]] = None,
+    xsketch_options: Optional[XSketchBuildOptions] = None,
+) -> List[List[object]]:
+    """[budget KB, TreeSketch error %, twig-XSketch error %] rows."""
+    bundle = load_bundle(name)
+    kbs = list(budgets or budgets_kb())
+
+    tsketches = bundle.treesketch_sweep([kb * 1024 for kb in kbs])
+    xsketches = bundle.xsketch_sweep([kb * 1024 for kb in kbs], xsketch_options)
+
+    rows = []
+    for kb in kbs:
+        ts_quality = run_selectivity(tsketches[kb * 1024], bundle.workload)
+        xs_quality = run_selectivity(xsketches[kb * 1024], bundle.workload)
+        rows.append([kb, ts_quality.avg_error * 100, xs_quality.avg_error * 100])
+    return rows
+
+
+def fig13_series(
+    names: Optional[Sequence[str]] = None,
+    budgets: Optional[Sequence[int]] = None,
+) -> Dict[str, List[List[object]]]:
+    """Per data set: [budget KB, TreeSketch error %] rows (large sets)."""
+    from repro.experiments.harness import dataset_names
+
+    kbs = list(budgets or budgets_kb())
+    out: Dict[str, List[List[object]]] = {}
+    for name in names or dataset_names(large_only=True):
+        bundle = load_bundle(name)
+        tsketches = bundle.treesketch_sweep([kb * 1024 for kb in kbs])
+        rows = []
+        for kb in kbs:
+            quality = run_selectivity(tsketches[kb * 1024], bundle.workload)
+            rows.append([kb, quality.avg_error * 100])
+        out[name] = rows
+    return out

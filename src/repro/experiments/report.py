@@ -1,0 +1,121 @@
+"""One-shot experiment report: ``python -m repro.experiments.report``.
+
+Runs the full table/figure pipeline (the same code the benchmarks wrap)
+and writes a self-contained Markdown report.  Use ``--quick`` for a
+fast sanity pass (small workloads, two budgets, TX data sets only).
+
+This is the entry point for someone who wants the paper-vs-measured
+story without pytest in the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+
+def _configure(quick: bool) -> None:
+    if quick:
+        os.environ.setdefault("REPRO_WORKLOAD_SIZE", "40")
+        os.environ.setdefault("REPRO_ESD_QUERIES", "12")
+        os.environ.setdefault("REPRO_BUDGETS_KB", "10,30")
+
+
+def _markdown_table(header: Sequence[str], rows) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:,.2f}")
+            elif isinstance(value, int):
+                cells.append(f"{value:,}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines
+
+
+def generate_report(quick: bool = False, esd: bool = True) -> str:
+    """Build the Markdown report text (imports deferred until configured)."""
+    _configure(quick)
+    from repro.experiments.figures import fig11_series, fig12_series, fig13_series
+    from repro.experiments.harness import budgets_kb, dataset_names, workload_size
+    from repro.experiments.tables import table1_rows, table2_rows, table3_rows
+
+    started = time.strftime("%Y-%m-%d %H:%M:%S")
+    lines: List[str] = [
+        "# TreeSketch experiment report",
+        "",
+        f"Generated {started}; workload size {workload_size()}, "
+        f"budgets {budgets_kb()} KB"
+        + (" (quick mode)" if quick else "") + ".",
+        "",
+        "## Table 1 — data sets",
+        "",
+    ]
+    lines += _markdown_table(
+        ["data set", "elements", "file MB", "stable KB"], table1_rows()
+    )
+
+    lines += ["## Table 2 — workloads", ""]
+    lines += _markdown_table(["data set", "avg binding tuples"], table2_rows())
+
+    lines += ["## Table 3 — construction seconds", ""]
+    lines += _markdown_table(
+        ["data set", "TreeSketch s", "twig-XSketch s", "ratio"],
+        table3_rows(budgets_kb=budgets_kb()),
+    )
+
+    tx = dataset_names(tx_only=True)
+    if esd:
+        for name in tx:
+            lines += [f"## Figure 11 — avg answer ESD ({name})", ""]
+            lines += _markdown_table(
+                ["budget KB", "TreeSketch", "twig-XSketch"], fig11_series(name)
+            )
+
+    for name in tx:
+        lines += [f"## Figure 12 — selectivity error % ({name})", ""]
+        lines += _markdown_table(
+            ["budget KB", "TreeSketch %", "twig-XSketch %"], fig12_series(name)
+        )
+
+    lines += ["## Figure 13 — large data sets, TreeSketch error %", ""]
+    fig13 = fig13_series()
+    names = list(fig13)
+    header = ["budget KB"] + names
+    rows = []
+    for i, (kb, _err) in enumerate(fig13[names[0]]):
+        rows.append([kb] + [fig13[name][i][1] for name in names])
+    lines += _markdown_table(header, rows)
+
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.report",
+        description="Regenerate the paper's tables/figures into a Markdown report",
+    )
+    parser.add_argument("-o", "--output", default="RESULTS.md")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads, two budgets (sanity pass)")
+    parser.add_argument("--no-esd", action="store_true",
+                        help="skip the (slow) Figure 11 answer-quality runs")
+    args = parser.parse_args(argv)
+
+    report = generate_report(quick=args.quick, esd=not args.no_esd)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

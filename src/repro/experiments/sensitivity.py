@@ -1,0 +1,62 @@
+"""Workload-shape sensitivity of TreeSketch estimation.
+
+The paper evaluates one workload distribution; a robustness question
+remains: does accuracy hold up when queries get deeper, branchier, more
+descendant-heavy, or more predicate-laden?  This module sweeps workload
+generator parameters, one axis at a time, and measures estimation error
+at a fixed budget -- the "beyond the paper" robustness experiment backing
+``benchmarks/test_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.experiments.harness import Bundle
+from repro.metrics.error import average_error
+from repro.query.generator import WorkloadOptions, generate_workload
+
+# One-axis-at-a-time variations of the default workload shape.
+DEFAULT_VARIATIONS: Dict[str, dict] = {
+    "default": {},
+    "child-axis only": {"descendant_prob": 0.0},
+    "descendant heavy": {"descendant_prob": 0.95},
+    "deep queries": {"max_query_depth": 5, "max_path_len": 4},
+    "branchy": {"max_branches": 4, "branch_prob": 0.9},
+    "predicate heavy": {"predicate_prob": 0.8},
+    "no optional edges": {"optional_prob": 0.0},
+    "all optional edges": {"optional_prob": 1.0},
+}
+
+
+def workload_sensitivity(
+    bundle: Bundle,
+    budget_kb: int,
+    num_queries: int = 60,
+    seed: int = 414,
+    variations: Optional[Dict[str, dict]] = None,
+) -> List[List[object]]:
+    """Rows of [variation, avg err %, max err %] at one synopsis budget."""
+    sketch = bundle.treesketch(budget_kb * 1024)
+    evaluator = bundle.workload.evaluator
+    rows: List[List[object]] = []
+    for name, overrides in (variations or DEFAULT_VARIATIONS).items():
+        options = replace(
+            WorkloadOptions(num_queries=num_queries, seed=seed), **overrides
+        )
+        queries = generate_workload(bundle.stable, options)
+        pairs = [
+            (float(evaluator.selectivity(q)),
+             estimate_selectivity(eval_query(sketch, q)))
+            for q in queries
+        ]
+        from repro.metrics.error import workload_errors
+
+        errors = workload_errors(pairs)
+        rows.append(
+            [name, average_error(pairs) * 100, max(errors) * 100]
+        )
+    return rows

@@ -1,0 +1,27 @@
+"""Classic node-partitioning path indexes: 1-index and A(k)-index.
+
+Section 3.1 of the paper observes that 1-indexes [Milo & Suciu, ICDT'99],
+A(k)-indexes [Kaushik et al., ICDE'02], XSketches, and TreeSketches are all
+instances of one abstract model: a label-respecting partition of the
+document's elements plus the induced edge structure.  This package
+implements the classic *backward* (incoming-path) partitions for tree
+data, where they take a particularly simple form:
+
+* the 1-index groups elements by their full root label path;
+* the A(k)-index groups by the last ``k+1`` labels of that path
+  (``A(0)`` = label-split graph; large ``k`` converges to the 1-index).
+
+Turning such a partition into an average-count summary
+(:func:`partition_sketch`) yields an alternative baseline for the paper's
+selectivity experiments: same storage model as a TreeSketch, but a
+partition chosen by path context instead of squared-error-driven
+clustering (see ``benchmarks/test_baseline_ak.py``).
+"""
+
+from repro.indexes.ak import (
+    ak_index_partition,
+    one_index_partition,
+    partition_sketch,
+)
+
+__all__ = ["ak_index_partition", "one_index_partition", "partition_sketch"]

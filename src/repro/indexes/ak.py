@@ -1,0 +1,90 @@
+"""A(k)-index and 1-index partitions for tree-shaped XML.
+
+On a tree, two elements are backward-bisimilar iff their root label paths
+coincide, and k-bisimilar iff the last ``k+1`` labels coincide, so the
+partitions are computed in one pre-order pass.  The induced graph synopsis
+(one node per class, average child counts per edge) is produced by
+:func:`partition_sketch` and can be queried with the shared TreeSketch
+evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.treesketch import TreeSketch
+from repro.xmltree.tree import XMLTree
+
+
+def ak_index_partition(tree: XMLTree, k: int) -> Dict[int, int]:
+    """Element oid -> A(k) class id (same k-suffix of the root label path).
+
+    ``k = 0`` is the label-split partition; ``k >= height`` equals the
+    1-index partition.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    classes: Dict[Tuple[str, ...], int] = {}
+    assignment: Dict[int, int] = {}
+    # Walk in pre-order keeping the current root path suffix.
+    stack: List[Tuple[object, Tuple[str, ...]]] = [
+        (tree.root, (tree.root.label,))
+    ]
+    while stack:
+        node, suffix = stack.pop()
+        cid = classes.setdefault(suffix, len(classes))
+        assignment[node.oid] = cid
+        for child in node.children:
+            child_suffix = (suffix + (child.label,))[-(k + 1):]
+            stack.append((child, child_suffix))
+    return assignment
+
+
+def one_index_partition(tree: XMLTree) -> Dict[int, int]:
+    """Element oid -> 1-index class id (full root label path)."""
+    return ak_index_partition(tree, k=tree.height)
+
+
+def partition_sketch(tree: XMLTree, assignment: Dict[int, int]) -> TreeSketch:
+    """Average-count summary over an arbitrary element partition.
+
+    Produces a :class:`TreeSketch` (counts, edge averages, sufficient
+    statistics) so the partition can be evaluated and scored with the
+    library's shared machinery.  The partition must respect labels.
+    """
+    labels: Dict[int, str] = {}
+    counts: Dict[int, int] = {}
+    # Per (class, class) edge: per-element child counts accumulate into
+    # sufficient statistics.
+    sums: Dict[Tuple[int, int], float] = {}
+    sumsqs: Dict[Tuple[int, int], float] = {}
+
+    for node in tree:
+        cid = assignment[node.oid]
+        prior = labels.setdefault(cid, node.label)
+        if prior != node.label:
+            raise ValueError(f"partition mixes labels {prior!r}/{node.label!r}")
+        counts[cid] = counts.get(cid, 0) + 1
+        per_child: Dict[int, int] = {}
+        for child in node.children:
+            tid = assignment[child.oid]
+            per_child[tid] = per_child.get(tid, 0) + 1
+        for tid, k in per_child.items():
+            key = (cid, tid)
+            sums[key] = sums.get(key, 0.0) + k
+            sumsqs[key] = sumsqs.get(key, 0.0) + k * k
+
+    sketch = TreeSketch()
+    for cid, label in labels.items():
+        sketch.add_node(cid, label, counts[cid])
+    for (cid, tid), total in sums.items():
+        sketch.add_edge(cid, tid, total / counts[cid])
+        sketch.stats[(cid, tid)] = (total, sumsqs[(cid, tid)])
+    sketch.root_id = assignment[tree.root.oid]
+    sketch.doc_height = tree.height
+    return sketch
+
+
+def ak_sketch(tree: XMLTree, k: int) -> TreeSketch:
+    """Convenience: the average-count summary of the A(k) partition."""
+    return partition_sketch(tree, ak_index_partition(tree, k))

@@ -1,0 +1,13 @@
+"""Markov-table path selectivity estimation (Aboulnaga et al., VLDB'01).
+
+One of the earlier XML summarization lines the paper cites ([1]): instead
+of a graph synopsis, keep occurrence counts of short label paths and chain
+them with a Markov assumption.  Only simple (child-axis) path expressions
+are supported -- exactly the scope limitation that motivated the
+twig-capable synopses this repository is about.  Provided as a baseline
+for the path-workload benchmark (`benchmarks/test_baseline_markov.py`).
+"""
+
+from repro.markov.tables import MarkovPathEstimator
+
+__all__ = ["MarkovPathEstimator"]

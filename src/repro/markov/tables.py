@@ -1,0 +1,128 @@
+"""Markov tables over label paths.
+
+The order-``m`` Markov table stores the number of occurrences of every
+downward label path of length ``<= m`` in the document (an occurrence of
+``(l1, .., lk)`` is a node chain ``e1/../ek`` with those labels).  A long
+path's count is estimated by chaining conditionals:
+
+    f(t1..tn) ~= f(t1..tm) * prod_{i=2..n-m+1} f(ti..ti+m-1) / f(ti..ti+m-2)
+
+which is exact when label paths are (m-1)-order Markov.  To respect a
+space budget the table keeps the highest-count paths exactly and collapses
+the discarded ones into per-length fallback buckets (average count over
+the discarded paths of that length) -- the "star" pruning of the original
+proposal, simplified.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.xmltree.tree import XMLTree
+
+PathKey = Tuple[str, ...]
+
+
+class MarkovPathEstimator:
+    """Order-``m`` Markov table for child-axis path counts."""
+
+    def __init__(
+        self,
+        order: int,
+        counts: Dict[PathKey, int],
+        fallback: Dict[int, float],
+    ) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.counts = counts
+        self.fallback = fallback
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: XMLTree,
+        order: int = 2,
+        budget_bytes: Optional[int] = None,
+    ) -> "MarkovPathEstimator":
+        """Count all label paths of length <= order; prune to a budget."""
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        counter: Counter = Counter()
+        # Every node starts paths ending at itself: walk up at most
+        # ``order`` ancestors.
+        for node in tree:
+            labels: List[str] = []
+            cursor = node
+            for _ in range(order):
+                if cursor is None:
+                    break
+                labels.append(cursor.label)
+                counter[tuple(reversed(labels))] += 1
+                cursor = cursor.parent
+
+        counts = dict(counter)
+        fallback: Dict[int, float] = {}
+        if budget_bytes is not None:
+            keep = max(1, budget_bytes // cls._entry_bytes(order))
+            if len(counts) > keep:
+                ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+                kept = dict(ranked[:keep])
+                dropped = ranked[keep:]
+                per_length: Dict[int, List[int]] = {}
+                for key, value in dropped:
+                    per_length.setdefault(len(key), []).append(value)
+                fallback = {
+                    length: sum(values) / len(values)
+                    for length, values in per_length.items()
+                }
+                counts = kept
+        return cls(order, counts, fallback)
+
+    @staticmethod
+    def _entry_bytes(order: int) -> int:
+        # label ids + a count, 4 bytes each.
+        return 4 * (order + 1)
+
+    def size_bytes(self) -> int:
+        per_entry = self._entry_bytes(self.order)
+        return per_entry * len(self.counts) + 8 * len(self.fallback)
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, key: PathKey) -> float:
+        value = self.counts.get(key)
+        if value is not None:
+            return float(value)
+        return self.fallback.get(len(key), 0.0)
+
+    def estimate(self, labels: Sequence[str]) -> float:
+        """Estimated occurrences of the downward label path ``labels``.
+
+        For ``len(labels) <= order`` this is a (possibly pruned) lookup;
+        longer paths chain conditional factors under the Markov
+        assumption.
+        """
+        key = tuple(labels)
+        if not key:
+            raise ValueError("empty label path")
+        if len(key) <= self.order:
+            return self._lookup(key)
+        estimate = self._lookup(key[: self.order])
+        for i in range(1, len(key) - self.order + 1):
+            window = key[i : i + self.order]
+            numerator = self._lookup(window)
+            denominator = self._lookup(window[:-1])
+            if numerator <= 0 or denominator <= 0:
+                return 0.0
+            estimate *= numerator / denominator
+        return estimate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MarkovPathEstimator(order={self.order}, entries={len(self.counts)}, "
+            f"{self.size_bytes()} bytes)"
+        )

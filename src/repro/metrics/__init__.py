@@ -1,0 +1,32 @@
+"""Error metrics for approximate XML query answers (paper Section 5).
+
+* :mod:`repro.metrics.mac` -- a Match-And-Compare style distance between
+  weighted value multisets (our instantiation of MAC [Ioannidis & Poosala,
+  VLDB'99]; see DESIGN.md for the substitution notes).
+* :mod:`repro.metrics.emd` -- an Earth-Mover's-Distance style alternative
+  set distance.
+* :mod:`repro.metrics.esd` -- the Element Simulation Distance between XML
+  trees, computed over their joint count-stable summaries.
+* :mod:`repro.metrics.tree_edit` -- Zhang-Shasha tree-edit distance (the
+  syntax-oriented strawman the paper argues against).
+* :mod:`repro.metrics.error` -- sanity-bounded relative error for
+  selectivity estimates.
+"""
+
+from repro.metrics.mac import mac_distance, FrequencyPenalty
+from repro.metrics.emd import emd_distance
+from repro.metrics.esd import esd, esd_nesting_trees
+from repro.metrics.tree_edit import tree_edit_distance
+from repro.metrics.error import absolute_relative_error, sanity_bound, workload_errors
+
+__all__ = [
+    "mac_distance",
+    "FrequencyPenalty",
+    "emd_distance",
+    "esd",
+    "esd_nesting_trees",
+    "tree_edit_distance",
+    "absolute_relative_error",
+    "sanity_bound",
+    "workload_errors",
+]

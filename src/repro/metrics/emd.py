@@ -1,0 +1,82 @@
+"""Earth-Mover's-Distance style set distance (alternative to MAC).
+
+The EMD of Chakrabarti et al. [VLDB'00] measures how much "work" turns one
+value distribution into another.  Multisets here carry unequal total mass
+(different element counts), so the transport is computed on raw
+multiplicities -- greedy, cheapest ground distance first -- and whatever
+mass cannot be matched (the difference of the totals) is charged its
+magnitude linearly.  Compared with :func:`repro.metrics.mac.mac_distance`,
+EMD's linear residual makes it insensitive to *how* a multiplicity surplus
+is distributed across parents; the ESD experiments therefore default to
+MAC, and EMD is provided for comparison (the paper names both as valid
+plug-ins for the set distance inside ESD).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+Value = Hashable
+Weighted = Sequence[Tuple[Value, int]]
+
+
+def emd_distance(
+    left: Weighted,
+    right: Weighted,
+    dist_fn: Callable[[Value, Value], float],
+    magnitude_fn: Callable[[Value], float],
+    tiebreak_fn: Callable[[Value], str] = repr,
+) -> float:
+    """EMD-style distance between two weighted multisets."""
+    remaining_l: Dict[Value, float] = {}
+    for value, mult in left:
+        remaining_l[value] = remaining_l.get(value, 0.0) + mult
+    remaining_r: Dict[Value, float] = {}
+    for value, mult in right:
+        remaining_r[value] = remaining_r.get(value, 0.0) + mult
+
+    # Identical values transport at zero cost first -- always optimal for
+    # a ground metric, and it guarantees that afterwards each value
+    # survives on at most one side, which makes the side-symmetric
+    # tie-break below unambiguous.
+    for value in list(remaining_l):
+        if value in remaining_r:
+            flow = min(remaining_l[value], remaining_r[value])
+            _consume(remaining_l, value, flow)
+            _consume(remaining_r, value, flow)
+
+    total = 0.0
+    if remaining_l and remaining_r:
+        pairs: List[Tuple[float, Value, Value]] = [
+            (dist_fn(lv, rv), lv, rv)
+            for lv in remaining_l
+            for rv in remaining_r
+        ]
+        # Side-symmetric tie-break (see repro.metrics.mac).
+        pairs.sort(
+            key=lambda p: (p[0], *sorted((tiebreak_fn(p[1]), tiebreak_fn(p[2]))))
+        )
+        for dist, lv, rv in pairs:
+            have_l = remaining_l.get(lv, 0.0)
+            have_r = remaining_r.get(rv, 0.0)
+            if not have_l or not have_r:
+                continue
+            flow = min(have_l, have_r)
+            total += flow * dist
+            _consume(remaining_l, lv, flow)
+            _consume(remaining_r, rv, flow)
+            if not remaining_l or not remaining_r:
+                break
+
+    for residue in (remaining_l, remaining_r):
+        for value, mult in residue.items():
+            total += magnitude_fn(value) * mult
+    return total
+
+
+def _consume(pool: Dict[Value, float], value: Value, flow: float) -> None:
+    left = pool[value] - flow
+    if left <= 1e-12:
+        del pool[value]
+    else:
+        pool[value] = left

@@ -1,0 +1,116 @@
+"""Zhang-Shasha tree-edit distance [Shasha & Zhang, J. Algorithms 1990].
+
+The paper uses tree-edit distance as the strawman: it measures *syntactic*
+differences (minimum-cost node insertions, deletions, relabelings over
+ordered trees) and therefore cannot tell apart approximate answers that
+preserve edge-count correlations from those that destroy them (Fig. 10).
+We implement it to reproduce that argument quantitatively; complexity is
+O(n1 * n2 * min(depth, leaves)^2), so use it on small trees only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def _postorder_arrays(root: XMLNode) -> Tuple[List[str], List[int]]:
+    """Labels and leftmost-leaf-descendant indexes, in post-order."""
+    labels: List[str] = []
+    lmld: List[int] = []
+    index_of = {}
+
+    def walk(node: XMLNode) -> int:
+        first_leaf: Optional[int] = None
+        for child in node.children:
+            child_leaf = walk(child)
+            if first_leaf is None:
+                first_leaf = child_leaf
+        idx = len(labels)
+        labels.append(node.label)
+        leaf = idx if first_leaf is None else first_leaf
+        lmld.append(leaf)
+        index_of[id(node)] = idx
+        return leaf
+
+    walk(root)
+    return labels, lmld
+
+
+def _keyroots(lmld: List[int]) -> List[int]:
+    """Key roots: nodes with no ancestor sharing their leftmost leaf."""
+    seen = set()
+    keyroots = []
+    for i in range(len(lmld) - 1, -1, -1):
+        if lmld[i] not in seen:
+            keyroots.append(i)
+            seen.add(lmld[i])
+    keyroots.reverse()
+    return keyroots
+
+
+def tree_edit_distance(
+    left: XMLTree,
+    right: XMLTree,
+    insert_cost: float = 1.0,
+    delete_cost: float = 1.0,
+    relabel_cost: Callable[[str, str], float] = lambda a, b: 0.0 if a == b else 1.0,
+) -> float:
+    """Minimum-cost edit script turning ``left`` into ``right``."""
+    labels1, lmld1 = _postorder_arrays(left.root)
+    labels2, lmld2 = _postorder_arrays(right.root)
+    n1, n2 = len(labels1), len(labels2)
+    kr1, kr2 = _keyroots(lmld1), _keyroots(lmld2)
+
+    treedist = [[0.0] * n2 for _ in range(n1)]
+
+    for i in kr1:
+        for j in kr2:
+            _compute_treedist(
+                i, j, labels1, labels2, lmld1, lmld2, treedist,
+                insert_cost, delete_cost, relabel_cost,
+            )
+    return treedist[n1 - 1][n2 - 1]
+
+
+def _compute_treedist(
+    i: int,
+    j: int,
+    labels1: List[str],
+    labels2: List[str],
+    lmld1: List[int],
+    lmld2: List[int],
+    treedist: List[List[float]],
+    ins: float,
+    dele: float,
+    relabel: Callable[[str, str], float],
+) -> None:
+    li, lj = lmld1[i], lmld2[j]
+    m, n = i - li + 2, j - lj + 2
+    forest = [[0.0] * n for _ in range(m)]
+
+    for di in range(1, m):
+        forest[di][0] = forest[di - 1][0] + dele
+    for dj in range(1, n):
+        forest[0][dj] = forest[0][dj - 1] + ins
+
+    for di in range(1, m):
+        for dj in range(1, n):
+            i1, j1 = li + di - 1, lj + dj - 1
+            if lmld1[i1] == li and lmld2[j1] == lj:
+                forest[di][dj] = min(
+                    forest[di - 1][dj] + dele,
+                    forest[di][dj - 1] + ins,
+                    forest[di - 1][dj - 1] + relabel(labels1[i1], labels2[j1]),
+                )
+                treedist[i1][j1] = forest[di][dj]
+            else:
+                fi = lmld1[i1] - li
+                fj = lmld2[j1] - lj
+                forest[di][dj] = min(
+                    forest[di - 1][dj] + dele,
+                    forest[di][dj - 1] + ins,
+                    forest[fi][fj] + treedist[i1][j1],
+                )

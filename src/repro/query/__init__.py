@@ -1,0 +1,32 @@
+"""Twig-query model (paper Section 2).
+
+A twig query is a node-labeled *query tree*: each node is a variable
+``q_i`` (with ``q0`` bound to the document root) and each edge carries an
+XPath expression over the supported subset (child ``/`` and
+descendant-or-self ``//`` axes, plus existential branching predicates
+``[path]``).  Dashed (optional) edges mark paths from the query's return
+clause that may be empty without nullifying the result.
+
+Contents:
+
+* :mod:`repro.query.path` -- the XPath-subset AST (:class:`Path`,
+  :class:`PathStep`).
+* :mod:`repro.query.twig` -- :class:`TwigQuery` / :class:`QueryNode`.
+* :mod:`repro.query.parser` -- text syntax for paths and twigs.
+* :mod:`repro.query.generator` -- workload generation by sampling the
+  count-stable summary (paper Section 6.1).
+"""
+
+from repro.query.path import Axis, Path, PathStep
+from repro.query.twig import QueryNode, TwigQuery
+from repro.query.parser import parse_path, parse_twig
+
+__all__ = [
+    "Axis",
+    "Path",
+    "PathStep",
+    "QueryNode",
+    "TwigQuery",
+    "parse_path",
+    "parse_twig",
+]

@@ -1,0 +1,267 @@
+"""Workload generation by sampling the count-stable summary (Section 6.1).
+
+The paper generates query workloads "by sampling sub-trees from the stable
+synopsis and converting them to twig queries".  Count stability makes
+positivity automatic: every edge ``(u, v, k)`` of the stable summary means
+*every* element of ``u`` has ``k >= 1`` children in ``v``, so any twig whose
+paths follow stable edges has a non-empty result on the document.
+
+A sampled query is built recursively: pick a downward label walk for each
+query edge (rendered either as an explicit child-axis chain or collapsed to
+a descendant step), optionally attach existential branch predicates sampled
+beneath intermediate classes, and mark non-first branches as dashed
+(optional) with some probability -- mirroring return-clause paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.stable import StableSummary
+from repro.query.path import Axis, Path, PathStep, ValueTest
+from repro.query.twig import QueryNode, TwigQuery
+
+
+@dataclass
+class WorkloadOptions:
+    """Shape parameters of sampled twig queries."""
+
+    num_queries: int = 1000
+    seed: int = 0
+    max_branches: int = 2       # extra children per query node
+    max_query_depth: int = 3    # depth of the query tree
+    min_path_len: int = 1
+    max_path_len: int = 3
+    descendant_prob: float = 0.5
+    optional_prob: float = 0.4
+    predicate_prob: float = 0.25
+    branch_prob: float = 0.6    # probability of growing extra branches
+    # Fraction of generated structural predicates upgraded to value tests
+    # ``[path = "v"]`` when the stable summary carries value summaries
+    # (see repro.values).  At most one value test per query, with the
+    # value drawn from the terminal class's retained heavy hitters, which
+    # keeps queries positive.
+    value_predicate_prob: float = 0.0
+
+
+class WorkloadGenerator:
+    """Samples positive twig queries from one document's stable summary."""
+
+    def __init__(self, stable: StableSummary, options: Optional[WorkloadOptions] = None):
+        self.stable = stable
+        self.options = options or WorkloadOptions()
+        # Pre-compute out-edge lists for uniform sampling.
+        self._out: dict = {
+            nid: sorted(stable.out.get(nid, {}).keys())
+            for nid in stable.node_ids()
+        }
+        self._value_test_used = False
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> List[TwigQuery]:
+        """The full workload (deterministic per options.seed)."""
+        rng = random.Random(self.options.seed)
+        queries = []
+        attempts = 0
+        while len(queries) < self.options.num_queries:
+            attempts += 1
+            if attempts > 50 * self.options.num_queries:
+                raise RuntimeError("workload generation is not converging")
+            query = self.sample_query(rng)
+            if query is not None:
+                queries.append(query)
+        return queries
+
+    def sample_query(self, rng: random.Random) -> Optional[TwigQuery]:
+        """One random positive twig query (None if sampling dead-ends)."""
+        self._value_test_used = False
+        query = TwigQuery()
+        target = self._grow_edge(query.root, self.stable.root_id, rng, optional=False)
+        if target is None:
+            return None
+        self._grow_branches(query.root.children[0], target, rng, depth=1)
+        return query.finalize()
+
+    # ------------------------------------------------------------------
+
+    def _grow_branches(
+        self, qnode: QueryNode, cls: int, rng: random.Random, depth: int
+    ) -> None:
+        opts = self.options
+        if depth >= opts.max_query_depth:
+            return
+        first = True
+        for _ in range(opts.max_branches):
+            if not first and rng.random() > opts.branch_prob:
+                break
+            optional = (not first) and rng.random() < opts.optional_prob
+            target = self._grow_edge(qnode, cls, rng, optional)
+            if target is None:
+                break
+            self._grow_branches(qnode.children[-1], target, rng, depth + 1)
+            first = False
+
+    def _grow_edge(
+        self, qnode: QueryNode, cls: int, rng: random.Random, optional: bool
+    ) -> Optional[int]:
+        """Attach one sampled child edge under ``qnode``; returns its class."""
+        walked = self._sample_walk(cls, rng)
+        if walked is None:
+            return None
+        steps, end_cls = walked
+        qnode.add_child(Path(tuple(steps)), optional=optional)
+        return end_cls
+
+    def _sample_walk(
+        self, cls: int, rng: random.Random
+    ) -> Optional[Tuple[List[PathStep], int]]:
+        """Random downward walk from ``cls`` rendered as path steps."""
+        opts = self.options
+        length = rng.randint(opts.min_path_len, opts.max_path_len)
+        steps: List[PathStep] = []
+        current = cls
+        hops: List[int] = []
+        for _ in range(length):
+            targets = self._out.get(current)
+            if not targets:
+                break
+            current = rng.choice(targets)
+            hops.append(current)
+        if not hops:
+            return None
+
+        # Render: collapse the whole walk into one descendant step, or emit
+        # an explicit child chain (possibly with a descendant first step).
+        if rng.random() < opts.descendant_prob:
+            final = hops[-1]
+            step = PathStep(
+                Axis.DESCENDANT,
+                self.stable.label[final],
+                self._maybe_predicate(final, rng),
+            )
+            return [step], final
+        for hop in hops:
+            steps.append(
+                PathStep(
+                    Axis.CHILD,
+                    self.stable.label[hop],
+                    self._maybe_predicate(hop, rng),
+                )
+            )
+        return steps, hops[-1]
+
+    def _maybe_predicate(self, cls: int, rng: random.Random) -> Tuple[object, ...]:
+        """With some probability, a 1-2 hop existence predicate under cls."""
+        opts = self.options
+        if rng.random() >= opts.predicate_prob:
+            return ()
+        targets = self._out.get(cls)
+        if not targets:
+            return ()
+        value_test = self._maybe_value_test(cls, targets, rng)
+        if value_test is not None:
+            return (value_test,)
+        first = rng.choice(targets)
+        steps = [PathStep(Axis.CHILD, self.stable.label[first])]
+        deeper = self._out.get(first)
+        if deeper and rng.random() < 0.5:
+            second = rng.choice(deeper)
+            if rng.random() < 0.5:
+                steps = [PathStep(Axis.DESCENDANT, self.stable.label[second])]
+            else:
+                steps.append(PathStep(Axis.CHILD, self.stable.label[second]))
+        return (Path(tuple(steps)),)
+
+    def _maybe_value_test(
+        self, cls: int, targets, rng: random.Random
+    ) -> Optional[ValueTest]:
+        """Upgrade a predicate to ``[child = "v"]`` when values allow it.
+
+        ``v`` comes from the retained heavy hitters of a valued child
+        class, so at least one element carries it -- with at most one
+        value test per query this preserves workload positivity.
+        """
+        opts = self.options
+        if opts.value_predicate_prob <= 0 or self._value_test_used:
+            return None
+        summaries = getattr(self.stable, "values", None)
+        if not summaries:
+            return None
+        if rng.random() >= opts.value_predicate_prob:
+            return None
+        valued = [t for t in targets if summaries.get(t) and summaries[t].top]
+        if not valued:
+            return None
+        target = rng.choice(valued)
+        value = rng.choice(sorted(summaries[target].top))
+        self._value_test_used = True
+        return ValueTest(
+            Path((PathStep(Axis.CHILD, self.stable.label[target]),)), value
+        )
+
+
+def generate_workload(
+    stable: StableSummary, options: Optional[WorkloadOptions] = None
+) -> List[TwigQuery]:
+    """Convenience wrapper: sample a workload from a stable summary."""
+    return WorkloadGenerator(stable, options).generate()
+
+
+def generate_negative_workload(
+    stable: StableSummary,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> List[TwigQuery]:
+    """Twig queries guaranteed to have *empty* results on the document.
+
+    The paper reports that TreeSketches "consistently produce empty
+    answers" on negative workloads; this generator supplies such workloads
+    by two corruption modes:
+
+    * a child-axis label pair ``/l1/l2`` that occurs nowhere in the
+      document (absent from the stable summary, hence absent from the
+      data);
+    * a positive query prefix extended with such an impossible pair, so
+      part of the query does match data before the dead end.
+    """
+    rng = random.Random(seed)
+    labels = sorted(set(stable.label.values()))
+    present_pairs = {
+        (stable.label[src], stable.label[dst]) for src, dst, _ in stable.edges()
+    }
+    absent_pairs = [
+        (a, b)
+        for a in labels
+        for b in labels
+        if (a, b) not in present_pairs
+    ]
+    if not absent_pairs:
+        raise ValueError("document realizes every label pair; cannot build negatives")
+    positive = WorkloadGenerator(
+        stable, WorkloadOptions(num_queries=1, seed=seed)
+    )
+
+    queries: List[TwigQuery] = []
+    while len(queries) < num_queries:
+        a, b = rng.choice(absent_pairs)
+        dead_end = [
+            PathStep(Axis.DESCENDANT, a),
+            PathStep(Axis.CHILD, b),
+        ]
+        query = TwigQuery()
+        if rng.random() < 0.5:
+            # Pure dead end from the root.
+            query.root.add_child(Path(tuple(dead_end)))
+        else:
+            # Positive prefix, then the impossible pair as a solid child.
+            prefix = positive.sample_query(rng)
+            if prefix is None:
+                continue
+            query = prefix
+            leaf = next(n for n in query.nodes if n.is_leaf)
+            leaf.add_child(Path(tuple(dead_end)))
+        queries.append(query.finalize())
+    return queries

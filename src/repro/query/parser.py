@@ -1,0 +1,153 @@
+"""Text syntax for paths and twig queries.
+
+Path syntax (the paper's XPath subset)::
+
+    path  :=  step+
+    step  :=  axis? label pred*
+    axis  :=  '//' | '/'          (a missing leading axis means '/')
+    label :=  NCName-ish token, '*', or an alternation  a|b|c
+    pred  :=  '[' path ']'                     (existential branch)
+           |  '[' path '=' string ']'          (value test; see repro.values)
+
+Twig syntax (one line per query)::
+
+    twig     :=  branch (',' branch)*
+    branch   :=  path ( '(' twig ')' )? '?'?
+
+The top-level branches hang off ``q0`` (the document root); ``?`` marks a
+dashed/optional edge.  Example — the paper's Fig. 2 query::
+
+    //a[//b] ( //p ( //k ? ), //n ? )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.query.path import Axis, Path, PathStep, ValueTest
+from repro.query.twig import QueryNode, TwigQuery
+
+_LABEL_RE = re.compile(r"[A-Za-z_][\w.\-]*|\*")
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed path or twig text."""
+
+
+class _Scanner:
+    """Tiny cursor over the input text with shared error reporting."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def accept(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.accept(token):
+            self.error(f"expected {token!r}")
+
+    def label(self) -> str:
+        self.skip_ws()
+        match = _LABEL_RE.match(self.text, self.pos)
+        if not match:
+            self.error("expected a label")
+        self.pos = match.end()
+        return match.group()
+
+    def quoted_string(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            self.error("expected a quoted string")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            self.error("unterminated string literal")
+        literal = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return literal
+
+    def error(self, message: str) -> None:
+        raise QuerySyntaxError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+
+def _parse_steps(scanner: _Scanner) -> Path:
+    steps: List[PathStep] = []
+    while True:
+        if scanner.accept("//"):
+            axis = Axis.DESCENDANT
+        elif scanner.accept("/"):
+            axis = Axis.CHILD
+        elif not steps:
+            axis = Axis.CHILD  # relative first step defaults to child axis
+        else:
+            break
+        label = scanner.label()
+        while scanner.accept("|"):
+            label += "|" + scanner.label()
+        predicates: List[object] = []
+        while scanner.accept("["):
+            inner = _parse_steps(scanner)
+            if scanner.accept("="):
+                predicates.append(ValueTest(inner, scanner.quoted_string()))
+            else:
+                predicates.append(inner)
+            scanner.expect("]")
+        steps.append(PathStep(axis, label, tuple(predicates)))
+        # Next iteration only continues if another axis token follows.
+        if not (scanner.peek("/") or scanner.peek("//")):
+            break
+    if not steps:
+        scanner.error("expected a path")
+    return Path(tuple(steps))
+
+
+def parse_path(text: str) -> Path:
+    """Parse a path expression, e.g. ``"//a[//b]/c"``."""
+    scanner = _Scanner(text)
+    result = _parse_steps(scanner)
+    if not scanner.at_end():
+        scanner.error("trailing input after path")
+    return result
+
+
+def _parse_branches(scanner: _Scanner, parent: QueryNode) -> None:
+    while True:
+        path = _parse_steps(scanner)
+        node = parent.add_child(path)
+        if scanner.accept("("):
+            _parse_branches(scanner, node)
+            scanner.expect(")")
+        if scanner.accept("?"):
+            node.optional = True
+        if not scanner.accept(","):
+            break
+
+
+def parse_twig(text: str) -> TwigQuery:
+    """Parse a twig query, e.g. ``"//a[//b] ( //p ( //k ? ), //n ? )"``."""
+    scanner = _Scanner(text)
+    query = TwigQuery()
+    _parse_branches(scanner, query.root)
+    if not scanner.at_end():
+        scanner.error("trailing input after twig")
+    return query.finalize()

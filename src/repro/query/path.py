@@ -1,0 +1,125 @@
+"""AST for the supported XPath subset.
+
+The paper considers XPath expressions built from the child (``/``) and
+descendant-or-self (``//``) axes with existential branching predicates
+``[path]``.  A :class:`Path` is a sequence of :class:`PathStep`; each step
+has an axis, a label test, and zero or more branch predicates (each itself a
+:class:`Path`).  The *main path* of an expression is the step sequence with
+predicates stripped (used by EVALQUERY, Fig. 7, line 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+WILDCARD = "*"
+
+
+class Axis(enum.Enum):
+    """XPath axis of one step."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a path: ``axis label [pred]*``.
+
+    The label test may be a single tag, the ``*`` wildcard, or an
+    alternation ``a|b|c`` (used, e.g., by the paper's Fig. 9 example
+    query ``b|e``).  Predicates are existential :class:`Path` branches or
+    :class:`ValueTest` value-equality branches (the values extension).
+    """
+
+    axis: Axis
+    label: str
+    predicates: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if "|" in self.label:
+            object.__setattr__(self, "_alternatives", frozenset(self.label.split("|")))
+        else:
+            object.__setattr__(self, "_alternatives", None)
+
+    def matches_label(self, label: str) -> bool:
+        """Label test, honouring the ``*`` wildcard and ``|`` alternation."""
+        alternatives = self._alternatives  # type: ignore[attr-defined]
+        if alternatives is not None:
+            return label in alternatives
+        return self.label == WILDCARD or self.label == label
+
+    def strip_predicates(self) -> "PathStep":
+        return PathStep(self.axis, self.label)
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis}{self.label}{preds}"
+
+
+@dataclass(frozen=True)
+class ValueTest:
+    """A value-equality predicate ``[path = "literal"]``.
+
+    Satisfied by an element that has at least one descendant along
+    ``path`` whose (leaf) value equals ``value``.  Part of the values
+    extension (:mod:`repro.values`); the structural algorithms of the
+    paper never produce these.
+    """
+
+    path: "Path"
+    value: str
+
+    def __str__(self) -> str:
+        return f'{self.path} = "{self.value}"'
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path expression: a non-empty sequence of steps."""
+
+    steps: Tuple[PathStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a Path must have at least one step")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def main_path(self) -> "Path":
+        """This path with all branch predicates removed (the twig 'spine')."""
+        return Path(tuple(step.strip_predicates() for step in self.steps))
+
+    def has_predicates(self) -> bool:
+        return any(step.predicates for step in self.steps)
+
+    def labels(self) -> List[str]:
+        """Step labels along the main path, in order."""
+        return [step.label for step in self.steps]
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)
+
+
+def child(label: str, *predicates: Path) -> PathStep:
+    """Convenience constructor for a child-axis step."""
+    return PathStep(Axis.CHILD, label, tuple(predicates))
+
+
+def descendant(label: str, *predicates: Path) -> PathStep:
+    """Convenience constructor for a descendant-axis step."""
+    return PathStep(Axis.DESCENDANT, label, tuple(predicates))
+
+
+def path(*steps: PathStep) -> Path:
+    """Convenience constructor: ``path(descendant('a'), child('b'))``."""
+    return Path(tuple(steps))

@@ -1,0 +1,130 @@
+"""Twig queries as node-labeled query trees (paper Fig. 2(b))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.query.path import Path
+
+
+@dataclass
+class QueryNode:
+    """One variable node of a twig query tree.
+
+    ``var`` is the variable name (``q0`` is the distinguished root bound to
+    the document root).  ``path`` is the XPath expression annotating the
+    edge from this node's parent (``None`` for the root).  ``optional``
+    marks a dashed edge: a return-clause path that may be empty without
+    nullifying the query (generalized-tree-pattern notation, [5]).
+    """
+
+    var: str
+    path: Optional[Path] = None
+    optional: bool = False
+    children: List["QueryNode"] = field(default_factory=list)
+    parent: Optional["QueryNode"] = None
+
+    def add_child(
+        self, path: Path, optional: bool = False, var: Optional[str] = None
+    ) -> "QueryNode":
+        """Attach and return a new child variable reached via ``path``."""
+        child = QueryNode(var=var or "?", path=path, optional=optional, parent=self)
+        self.children.append(child)
+        return child
+
+    def iter_preorder(self) -> Iterator["QueryNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["QueryNode"]:
+        out: List[QueryNode] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return iter(reversed(out))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class TwigQuery:
+    """A twig query: a query tree rooted at ``q0`` (the document root).
+
+    Construct programmatically::
+
+        q = TwigQuery()
+        q1 = q.root.add_child(parse_path("//a[//b]"))
+        q2 = q1.add_child(parse_path("//p"))
+        q1.add_child(parse_path("//n"), optional=True)
+        q2.add_child(parse_path("//k"), optional=True)
+        q.finalize()
+
+    or from text with :func:`repro.query.parser.parse_twig`.
+    """
+
+    def __init__(self) -> None:
+        self.root = QueryNode(var="q0")
+        self._nodes: List[QueryNode] = [self.root]
+
+    def finalize(self) -> "TwigQuery":
+        """Assign canonical variable names (pre-order) and freeze node list.
+
+        Must be called after programmatic construction; the parser and the
+        workload generator call it automatically.  Returns ``self``.
+        """
+        self._nodes = list(self.root.iter_preorder())
+        for i, node in enumerate(self._nodes):
+            node.var = f"q{i}"
+        return self
+
+    @property
+    def nodes(self) -> List[QueryNode]:
+        """All query nodes in pre-order (``q0`` first)."""
+        return self._nodes
+
+    @property
+    def variables(self) -> List[str]:
+        return [n.var for n in self._nodes]
+
+    def node_by_var(self, var: str) -> QueryNode:
+        for node in self._nodes:
+            if node.var == var:
+                return node
+        raise KeyError(var)
+
+    def size(self) -> int:
+        """Number of variables (including ``q0``)."""
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Height of the query tree (edges on the longest root-leaf path)."""
+
+        def height(node: QueryNode) -> int:
+            if not node.children:
+                return 0
+            return 1 + max(height(c) for c in node.children)
+
+        return height(self.root)
+
+    def __str__(self) -> str:
+        """Render in the twig text syntax accepted by ``parse_twig``."""
+        return ", ".join(_render(child) for child in self.root.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TwigQuery({self!s})"
+
+
+def _render(node: QueryNode) -> str:
+    text = str(node.path)
+    if node.children:
+        text += " (" + ", ".join(_render(c) for c in node.children) + ")"
+    if node.optional:
+        text += " ?"
+    return text

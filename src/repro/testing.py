@@ -1,0 +1,88 @@
+"""Public test helpers: random documents, equality checks.
+
+These utilities back the library's own test suite and are exported for
+downstream users who need to property-test code built on top of the
+synopses (generating random documents, checking tree isomorphism, or
+comparing summaries up to class renaming).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def make_random_tree(
+    rng: random.Random,
+    size: int,
+    labels: str = "abcdef",
+    root_label: str = "r",
+) -> XMLTree:
+    """Uniform random-attachment tree with random labels.
+
+    Every new node picks a uniformly random existing node as its parent,
+    which yields realistic depth/fan-out variety (a few deep spindly
+    branches, a few high-fan-out hubs).
+    """
+    root = XMLNode(root_label)
+    nodes = [root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        nodes.append(parent.new_child(rng.choice(labels)))
+    return XMLTree(root)
+
+
+def canonical_form(node: XMLNode):
+    """Order-insensitive canonical form of a sub-tree.
+
+    Two sub-trees have equal canonical forms iff they are isomorphic up
+    to sibling order (the notion of equality the paper's data model
+    implies -- sibling order carries no semantics).
+    """
+    return (node.label, tuple(sorted(canonical_form(c) for c in node.children)))
+
+
+def trees_isomorphic(left: XMLTree, right: XMLTree) -> bool:
+    """Isomorphism up to sibling order."""
+    if len(left) != len(right):
+        return False
+    return canonical_form(left.root) == canonical_form(right.root)
+
+
+def summaries_equivalent(a, b) -> bool:
+    """Structural equality of two stable summaries up to class renaming.
+
+    Canonicalizes each class bottom-up (label + sorted canonical child
+    forms with counts); injective on count-stable summaries.
+    """
+
+    def canonical(summary):
+        order = summary.topological_order()
+        if order is None:
+            raise ValueError("stable summaries must be acyclic")
+        form = {}
+        for nid in reversed(order):
+            children = tuple(sorted(
+                (form[c], int(k)) for c, k in summary.out.get(nid, {}).items()
+            ))
+            form[nid] = (summary.label[nid], children)
+        return sorted((form[nid], summary.count[nid]) for nid in summary.label)
+
+    return canonical(a) == canonical(b)
+
+
+def assert_valid_synopsis(synopsis, expect_elements: Optional[int] = None) -> None:
+    """Raise AssertionError unless the synopsis is internally consistent.
+
+    Runs the synopsis' own ``validate`` plus, when given, a check that the
+    extent sizes cover ``expect_elements`` document elements.
+    """
+    synopsis.validate()
+    if expect_elements is not None:
+        total = sum(synopsis.count.values())
+        assert total == expect_elements, (
+            f"extent sizes cover {total} elements, expected {expect_elements}"
+        )

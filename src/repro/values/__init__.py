@@ -1,0 +1,28 @@
+"""Value extension: structure *and* value summarization.
+
+The paper restricts itself to the label structure of documents and names
+value content as future work (Sections 1 and 7; the XSKETCH-value line of
+work [16] is the template).  This package adds the minimum machinery to
+answer twig queries with **value-equality predicates** ``[path = "v"]``
+approximately:
+
+* :mod:`repro.values.summary` -- per-synopsis-node value summaries:
+  top-k most frequent values exact, remainder under a uniform assumption;
+* :mod:`repro.values.annotate` -- attach value summaries to a stable
+  summary or TreeSketch from a value-carrying document (parse with
+  ``parse_xml(text, keep_values=True)``);
+* the evaluator hook ``TreeSketch.value_probability`` consumed by
+  EVALQUERY's branch-selectivity logic.
+
+Estimation model for ``[p = "v"]`` at synopsis node ``u``: for each
+terminal ``t`` of ``p``'s embeddings with expected count ``k_t`` and value
+probability ``p_t = P(value = v | element of t)``, an element fails the
+predicate along ``t`` with probability ``(1 - p_t)**k_t`` (``1 - k_t p_t``
+for fractional ``k_t < 1``); the per-terminal misses multiply (the same
+edge-independence reading as the structural inclusion-exclusion).
+"""
+
+from repro.values.summary import ValueSummary
+from repro.values.annotate import annotate_stable_values, annotate_sketch_values
+
+__all__ = ["ValueSummary", "annotate_stable_values", "annotate_sketch_values"]

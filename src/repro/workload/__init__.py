@@ -1,0 +1,21 @@
+"""Workloads and technique runners for the experiments (Section 6.1)."""
+
+from repro.workload.workload import Workload, make_workload
+from repro.workload.runner import (
+    AnswerQuality,
+    SelectivityQuality,
+    run_answer_quality,
+    run_selectivity,
+)
+from repro.workload.cache import load_workload, save_workload
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "AnswerQuality",
+    "SelectivityQuality",
+    "run_answer_quality",
+    "run_selectivity",
+    "save_workload",
+    "load_workload",
+]

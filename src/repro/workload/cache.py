@@ -1,0 +1,75 @@
+"""Workload persistence: save/load queries with their ground truth.
+
+Paper-scale runs (1000 queries, exact selectivities over large documents)
+are worth computing once: ``save_workload`` serializes the twig texts and
+truths to JSON, and ``load_workload`` restores a :class:`Workload` against
+the same document without re-evaluating anything.  A fingerprint of the
+document (element count + label histogram hash) guards against loading a
+workload onto the wrong data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.core.stable import StableSummary, build_stable
+from repro.query.parser import parse_twig
+from repro.workload.workload import Workload
+from repro.xmltree.tree import XMLTree
+
+_FORMAT_VERSION = 1
+
+
+def document_fingerprint(tree: XMLTree) -> str:
+    """Stable fingerprint of a document's structure (not its identity).
+
+    Hashes the element count plus the sorted label histogram -- cheap, and
+    collisions across *different generated data sets* are implausible.
+    """
+    from collections import Counter
+
+    histogram = Counter(node.label for node in tree)
+    payload = json.dumps(
+        [len(tree), sorted(histogram.items())], separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    """Write queries + truths (forcing their computation) to JSON."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "fingerprint": document_fingerprint(workload.tree),
+        "queries": [str(q) for q in workload.queries],
+        "truths": list(workload.truths),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_workload(
+    path: str,
+    tree: XMLTree,
+    stable: Optional[StableSummary] = None,
+    verify_fingerprint: bool = True,
+) -> Workload:
+    """Restore a workload against ``tree`` without recomputing truths."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported workload format {payload.get('format')!r}")
+    if verify_fingerprint and payload["fingerprint"] != document_fingerprint(tree):
+        raise ValueError(
+            "workload fingerprint does not match the supplied document; "
+            "pass verify_fingerprint=False to override"
+        )
+    queries = [parse_twig(text) for text in payload["queries"]]
+    workload = Workload(
+        tree=tree,
+        stable=stable if stable is not None else build_stable(tree),
+        queries=queries,
+    )
+    workload._truths = [int(t) for t in payload["truths"]]
+    return workload

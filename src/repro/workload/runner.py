@@ -1,0 +1,124 @@
+"""Running synopses against workloads and scoring them.
+
+Two quality measures, matching the paper's two experiments:
+
+* :func:`run_answer_quality` -- average ESD between true and approximate
+  nesting trees (Fig. 11);
+* :func:`run_selectivity` -- average sanity-bounded relative selectivity
+  error (Figs. 12-13).
+
+Both accept any synopsis with the TreeSketch evaluation interface
+(TreeSketch itself, or a TwigXSketch via its answer/estimation functions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import ExpansionLimitError, expand_result
+from repro.core.treesketch import TreeSketch
+from repro.engine.nesting import NestingTree
+from repro.metrics.esd import ESDCalculator, esd_nesting_trees
+from repro.query.twig import TwigQuery
+from repro.workload.workload import Workload
+from repro.xsketch.answers import sampled_answer
+from repro.xsketch.synopsis import TwigXSketch, xsketch_selectivity
+
+
+@dataclass
+class SelectivityQuality:
+    """Result of a selectivity run: average error and timing."""
+
+    avg_error: float
+    per_query: List[float]
+    seconds: float
+
+
+@dataclass
+class AnswerQuality:
+    """Result of an answer-quality run: average ESD and timing."""
+
+    avg_esd: float
+    per_query: List[float]
+    failures: int
+    seconds: float
+
+
+def _estimator_for(synopsis) -> Callable[[TwigQuery], float]:
+    if isinstance(synopsis, TwigXSketch):
+        return lambda q: xsketch_selectivity(synopsis, q)
+    if isinstance(synopsis, TreeSketch):
+        return lambda q: estimate_selectivity(eval_query(synopsis, q))
+    raise TypeError(f"unsupported synopsis type {type(synopsis).__name__}")
+
+
+def _answerer_for(synopsis, seed: int, max_nodes: int):
+    if isinstance(synopsis, TwigXSketch):
+        return lambda q: sampled_answer(synopsis, q, seed=seed, max_nodes=max_nodes)
+    if isinstance(synopsis, TreeSketch):
+        # Variance-aware expansion: the synopsis' sufficient statistics
+        # shape per-occurrence counts (see repro.core.expand).
+        return lambda q: expand_result(
+            eval_query(synopsis, q), max_nodes=max_nodes, sketch=synopsis
+        )
+    raise TypeError(f"unsupported synopsis type {type(synopsis).__name__}")
+
+
+def run_selectivity(
+    synopsis,
+    workload: Workload,
+    queries: Optional[Sequence[int]] = None,
+) -> SelectivityQuality:
+    """Average sanity-bounded relative error over (a slice of) a workload."""
+    estimator = _estimator_for(synopsis)
+    indices = list(queries) if queries is not None else range(len(workload))
+    start = time.perf_counter()
+    pairs = [
+        (float(workload.truths[i]), estimator(workload.queries[i])) for i in indices
+    ]
+    seconds = time.perf_counter() - start
+    from repro.metrics.error import workload_errors
+
+    per_query = workload_errors(pairs)
+    return SelectivityQuality(
+        avg_error=sum(per_query) / len(per_query),
+        per_query=per_query,
+        seconds=seconds,
+    )
+
+
+def run_answer_quality(
+    synopsis,
+    workload: Workload,
+    queries: Optional[Sequence[int]] = None,
+    calculator: Optional[ESDCalculator] = None,
+    seed: int = 0,
+    max_nodes: int = 3_000_000,
+) -> AnswerQuality:
+    """Average ESD between true and approximate nesting trees.
+
+    Queries whose approximate answer exceeds ``max_nodes`` are counted in
+    ``failures`` and skipped (this parallels the practical cut-off any
+    interactive system applies to runaway previews).
+    """
+    answerer = _answerer_for(synopsis, seed, max_nodes)
+    calc = calculator or ESDCalculator()
+    indices = list(queries) if queries is not None else range(len(workload))
+    start = time.perf_counter()
+    esds: List[float] = []
+    failures = 0
+    for i in indices:
+        truth: NestingTree = workload.evaluator.evaluate(workload.queries[i])
+        try:
+            approx = answerer(workload.queries[i])
+        except ExpansionLimitError:
+            failures += 1
+            continue
+        esds.append(esd_nesting_trees(truth, approx, calculator=calc))
+    seconds = time.perf_counter() - start
+    avg = sum(esds) / len(esds) if esds else float("nan")
+    return AnswerQuality(avg_esd=avg, per_query=esds, failures=failures, seconds=seconds)

@@ -1,0 +1,68 @@
+"""A query workload bound to one document: queries + ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.stable import StableSummary, build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.engine.nesting import NestingTree
+from repro.query.generator import WorkloadOptions, generate_workload
+from repro.query.twig import TwigQuery
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class Workload:
+    """Queries over one document, with lazily computed ground truth."""
+
+    tree: XMLTree
+    stable: StableSummary
+    queries: List[TwigQuery]
+    _evaluator: Optional[ExactEvaluator] = field(default=None, repr=False)
+    _truths: Optional[List[int]] = field(default=None, repr=False)
+    _nesting: Optional[List[NestingTree]] = field(default=None, repr=False)
+
+    @property
+    def evaluator(self) -> ExactEvaluator:
+        if self._evaluator is None:
+            self._evaluator = ExactEvaluator(self.tree)
+        return self._evaluator
+
+    @property
+    def truths(self) -> List[int]:
+        """Exact selectivities, computed once."""
+        if self._truths is None:
+            self._truths = [self.evaluator.selectivity(q) for q in self.queries]
+        return self._truths
+
+    @property
+    def nesting_trees(self) -> List[NestingTree]:
+        """Exact nesting trees, computed once (memory-heavy; use sliced)."""
+        if self._nesting is None:
+            self._nesting = [self.evaluator.evaluate(q) for q in self.queries]
+        return self._nesting
+
+    def avg_binding_tuples(self) -> float:
+        """The paper's Table 2 statistic."""
+        return sum(self.truths) / len(self.truths)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def make_workload(
+    tree: XMLTree,
+    num_queries: int = 1000,
+    seed: int = 0,
+    stable: Optional[StableSummary] = None,
+    options: Optional[WorkloadOptions] = None,
+) -> Workload:
+    """Sample a positive workload for a document (Section 6.1)."""
+    if stable is None:
+        stable = build_stable(tree)
+    if options is None:
+        options = WorkloadOptions(num_queries=num_queries, seed=seed)
+    queries = generate_workload(stable, options)
+    return Workload(tree=tree, stable=stable, queries=queries)

@@ -1,0 +1,110 @@
+"""A single node of a node-labeled XML tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class XMLNode:
+    """One element node of an XML document tree.
+
+    Nodes follow the paper's data model: a unique object identifier
+    (:attr:`oid`, assigned in document pre-order by :class:`XMLTree`), a
+    string :attr:`label` (the element tag), an ordered list of
+    :attr:`children`, and a :attr:`parent` pointer (``None`` for the root).
+
+    The paper's algorithms are purely structural; the optional
+    :attr:`value` (leaf text content) exists for the library's value
+    extension (:mod:`repro.values`, the paper's declared future work) and
+    is ignored by everything structural.
+    """
+
+    __slots__ = ("oid", "label", "parent", "children", "value")
+
+    def __init__(
+        self,
+        label: str,
+        parent: Optional["XMLNode"] = None,
+        value: Optional[str] = None,
+    ) -> None:
+        self.oid: int = -1  # assigned by XMLTree.reindex()
+        self.label = label
+        self.parent = parent
+        self.children: List["XMLNode"] = []
+        self.value = value
+
+    def add_child(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` under this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, label: str) -> "XMLNode":
+        """Create, attach, and return a new child with the given label."""
+        return self.add_child(XMLNode(label))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def iter_preorder(self) -> Iterator["XMLNode"]:
+        """Yield this node and all descendants in document (pre-) order.
+
+        Iterative to survive very deep documents without exhausting the
+        Python recursion limit.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Reversed so children are visited left-to-right.
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["XMLNode"]:
+        """Yield all descendants and this node in post-order (children first)."""
+        # Two-stack trick: push in pre-order with children reversed, then
+        # reverse the output order.
+        out: List[XMLNode] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return reversed(out)
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the sub-tree rooted here (including itself)."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def depth_below(self) -> int:
+        """Longest path to a leaf descendant (0 for a leaf).
+
+        This is the paper's notion of element *depth* used by CREATEPOOL
+        (Section 4.2): ``depth(e) = 0`` if ``e`` is a leaf, else
+        ``1 + max(depth(child))``.
+        """
+        depth = {}
+        for node in self.iter_postorder():
+            if node.children:
+                depth[id(node)] = 1 + max(depth[id(c)] for c in node.children)
+            else:
+                depth[id(node)] = 0
+            # Free child entries we no longer need to bound memory.
+        return depth[id(self)]
+
+    def path_from_root(self) -> List[str]:
+        """Label path from the document root down to this node (inclusive)."""
+        labels: List[str] = []
+        node: Optional[XMLNode] = self
+        while node is not None:
+            labels.append(node.label)
+            node = node.parent
+        labels.reverse()
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLNode(oid={self.oid}, label={self.label!r}, children={len(self.children)})"

@@ -1,0 +1,91 @@
+"""Parsing XML documents into :class:`~repro.xmltree.tree.XMLTree`.
+
+Two input forms are supported:
+
+* standard XML text, parsed with the stdlib ``xml.etree.ElementTree``
+  (value content and attributes are dropped -- the paper and this library
+  model only the label structure);
+* a *compact* native form, one node per line as ``<indent><label>``, which
+  is convenient for fixtures and is what :func:`repro.xmltree.serialize.to_compact`
+  emits.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def parse_xml(text: str, keep_values: bool = False) -> XMLTree:
+    """Parse XML text into an :class:`XMLTree`.
+
+    Attributes, comments, and processing instructions are discarded;
+    element tags become node labels.  With ``keep_values=True`` the
+    stripped text of *leaf* elements is retained as ``node.value`` (used
+    by the :mod:`repro.values` extension); otherwise all text is dropped,
+    matching the paper's structural scope.  Namespace-qualified tags keep
+    their ``{uri}local`` form as produced by ElementTree.
+    """
+    elem = ET.fromstring(text)
+    return from_etree(elem, keep_values=keep_values)
+
+
+def parse_xml_file(path: str, keep_values: bool = False) -> XMLTree:
+    """Parse an XML file on disk into an :class:`XMLTree`."""
+    elem = ET.parse(path).getroot()
+    return from_etree(elem, keep_values=keep_values)
+
+
+def from_etree(elem: ET.Element, keep_values: bool = False) -> XMLTree:
+    """Convert an ``xml.etree`` Element (and its sub-tree) to an XMLTree."""
+    root = XMLNode(elem.tag)
+    stack: List[tuple] = [(elem, root)]
+    while stack:
+        src, dst = stack.pop()
+        if keep_values and len(src) == 0 and src.text and src.text.strip():
+            dst.value = src.text.strip()
+        for child in src:
+            node = dst.new_child(child.tag)
+            stack.append((child, node))
+    return XMLTree(root)
+
+
+def parse_compact(text: str) -> XMLTree:
+    """Parse the compact one-node-per-line form.
+
+    Each non-empty line is ``<spaces><label>``; the number of leading spaces
+    is the node's level (any consistent indent step works, including 1).
+    Example::
+
+        r
+         a
+          b
+         a
+    """
+    root: XMLNode | None = None
+    # Stack of (indent, node) for the current root-to-cursor path.
+    stack: List[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        indent = len(raw) - len(raw.lstrip(" "))
+        label = raw.strip()
+        node = XMLNode(label)
+        if root is None:
+            if indent != 0:
+                raise ValueError(f"line {lineno}: first node must have no indent")
+            root = node
+            stack = [(0, node)]
+            continue
+        while stack and stack[-1][0] >= indent:
+            stack.pop()
+        if not stack:
+            raise ValueError(f"line {lineno}: multiple roots in compact input")
+        stack[-1][1].add_child(node)
+        stack.append((indent, node))
+    if root is None:
+        raise ValueError("empty compact input")
+    return XMLTree(root)

@@ -1,0 +1,124 @@
+"""Human-readable renderings of trees and synopses.
+
+Debugging summaries calls for *looking* at them.  This module renders
+
+* document trees and nesting trees as indented ASCII art, and
+* graph synopses (stable summaries, TreeSketches) as Graphviz ``dot``
+  source, with extent counts on nodes and (average) child counts on
+  edges.
+
+Both are pure string builders -- no external dependencies; pipe the dot
+output into ``dot -Tsvg`` if Graphviz is available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def render_tree(
+    tree: XMLTree,
+    max_nodes: int = 200,
+    show_values: bool = False,
+) -> str:
+    """Indented ASCII rendering of a document tree (truncated politely)."""
+    lines: List[str] = []
+    remaining = [max_nodes]
+
+    def walk(node: XMLNode, prefix: str, is_last: bool) -> None:
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        connector = "" if node.parent is None else ("`-- " if is_last else "|-- ")
+        text = node.label
+        if show_values and node.value is not None:
+            text += f' = "{node.value}"'
+        lines.append(prefix + connector + text)
+        child_prefix = prefix if node.parent is None else (
+            prefix + ("    " if is_last else "|   ")
+        )
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1)
+
+    walk(tree.root, "", True)
+    if remaining[0] <= 0:
+        lines.append(f"... (truncated at {max_nodes} nodes)")
+    return "\n".join(lines)
+
+
+def render_nesting_tree(nt, max_nodes: int = 200) -> str:
+    """ASCII rendering of a nesting tree, annotated with query variables."""
+    lines: List[str] = []
+    remaining = [max_nodes]
+
+    def walk(node, prefix: str, is_last: bool, is_root: bool) -> None:
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        connector = "" if is_root else ("`-- " if is_last else "|-- ")
+        lines.append(prefix + connector + f"{node.label} [{node.qvar}]")
+        child_prefix = prefix if is_root else prefix + ("    " if is_last else "|   ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    walk(nt.root, "", True, True)
+    if remaining[0] <= 0:
+        lines.append(f"... (truncated at {max_nodes} nodes)")
+    return "\n".join(lines)
+
+
+def synopsis_to_dot(
+    synopsis,
+    title: Optional[str] = None,
+    max_nodes: int = 400,
+) -> str:
+    """Graphviz dot source for a graph synopsis.
+
+    Nodes show ``label (extent count)``; edges show their weight (exact k
+    for stable summaries, average child count for TreeSketches, 2
+    decimals).  The root is drawn with a double border.  Oversized
+    synopses are truncated to the ``max_nodes`` ids closest to the root
+    (breadth-first).
+    """
+    # Breadth-first selection from the root keeps the rendered fragment
+    # connected and meaningful.
+    selected: List[int] = []
+    seen = set()
+    frontier = [synopsis.root_id]
+    while frontier and len(selected) < max_nodes:
+        nid = frontier.pop(0)
+        if nid in seen:
+            continue
+        seen.add(nid)
+        selected.append(nid)
+        frontier.extend(sorted(synopsis.out.get(nid, {}).keys()))
+    chosen = set(selected)
+
+    lines = ["digraph synopsis {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}"; labelloc=t;')
+    lines.append("  node [shape=box, fontsize=10];")
+    for nid in selected:
+        label = f"{synopsis.label[nid]} ({synopsis.count[nid]})"
+        shape = ', peripheries=2' if nid == synopsis.root_id else ""
+        lines.append(f'  n{nid} [label="{_escape(label)}"{shape}];')
+    for nid in selected:
+        for dst, weight in sorted(synopsis.out.get(nid, {}).items()):
+            if dst not in chosen:
+                continue
+            text = f"{weight:g}" if float(weight).is_integer() else f"{weight:.2f}"
+            lines.append(f'  n{nid} -> n{dst} [label="{text}", fontsize=9];')
+    if len(chosen) < synopsis.num_nodes:
+        lines.append(
+            f'  truncated [shape=plaintext, label="... '
+            f'{synopsis.num_nodes - len(chosen)} more nodes"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,58 @@
+"""Serializing :class:`~repro.xmltree.tree.XMLTree` back to text forms."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.xmltree.tree import XMLTree
+
+
+def to_etree(tree: XMLTree) -> ET.Element:
+    """Convert an XMLTree to an ``xml.etree`` Element tree.
+
+    Leaf values (if the tree carries any, see the values extension) are
+    emitted as text content.
+    """
+    root = ET.Element(tree.root.label)
+    if tree.root.value is not None:
+        root.text = tree.root.value
+    stack: List[tuple] = [(tree.root, root)]
+    while stack:
+        src, dst = stack.pop()
+        for child in src.children:
+            sub = ET.SubElement(dst, child.label)
+            if child.value is not None:
+                sub.text = child.value
+            stack.append((child, sub))
+    return root
+
+
+def to_xml(tree: XMLTree) -> str:
+    """Serialize to XML text (no declaration, UTF-8 safe labels assumed)."""
+    return ET.tostring(to_etree(tree), encoding="unicode")
+
+
+def to_compact(tree: XMLTree, indent: int = 1) -> str:
+    """Serialize to the compact one-node-per-line form.
+
+    The inverse of :func:`repro.xmltree.parser.parse_compact` (up to the
+    indent step size).
+    """
+    lines: List[str] = []
+    stack: List[tuple] = [(tree.root, 0)]
+    while stack:
+        node, level = stack.pop()
+        lines.append(" " * (indent * level) + node.label)
+        for child in reversed(node.children):
+            stack.append((child, level + 1))
+    return "\n".join(lines)
+
+
+def xml_byte_size(tree: XMLTree) -> int:
+    """Size in bytes of the document serialized as XML text.
+
+    Used by the experiment harness for the paper's Table 1 "File Size"
+    column.
+    """
+    return len(to_xml(tree).encode("utf-8"))

@@ -1,0 +1,74 @@
+"""Structural statistics over XML trees.
+
+These are used by the experiment harness (dataset characteristics, Table 1)
+and by the dataset generators' self-checks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class TreeStats:
+    """Summary statistics of one document tree."""
+
+    num_elements: int
+    num_labels: int
+    height: int
+    max_fanout: int
+    avg_fanout: float
+    label_histogram: Dict[str, int] = field(default_factory=dict)
+    level_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"elements={self.num_elements} labels={self.num_labels} "
+            f"height={self.height} max_fanout={self.max_fanout} "
+            f"avg_fanout={self.avg_fanout:.2f}"
+        )
+
+
+def compute_stats(tree: XMLTree) -> TreeStats:
+    """Compute :class:`TreeStats` for a document tree in one pass."""
+    label_hist: Counter = Counter()
+    level_hist: Counter = Counter()
+    max_fanout = 0
+    internal = 0
+    total_children = 0
+    for node in tree:
+        label_hist[node.label] += 1
+        level_hist[tree.level(node)] += 1
+        fanout = len(node.children)
+        if fanout:
+            internal += 1
+            total_children += fanout
+            if fanout > max_fanout:
+                max_fanout = fanout
+    return TreeStats(
+        num_elements=len(tree),
+        num_labels=len(label_hist),
+        height=tree.height,
+        max_fanout=max_fanout,
+        avg_fanout=(total_children / internal) if internal else 0.0,
+        label_histogram=dict(label_hist),
+        level_histogram=dict(level_hist),
+    )
+
+
+def fanout_distribution(tree: XMLTree, parent_label: str, child_label: str) -> Counter:
+    """Distribution of ``child_label``-child counts across ``parent_label`` nodes.
+
+    This is the quantity TreeSketch edge averages summarize; the generators'
+    tests use it to confirm the synthetic data sets carry the intended
+    fan-out skew.
+    """
+    dist: Counter = Counter()
+    for node in tree.nodes_with_label(parent_label):
+        count = sum(1 for c in node.children if c.label == child_label)
+        dist[count] += 1
+    return dist

@@ -1,0 +1,206 @@
+"""The XML document tree with structural indexes.
+
+:class:`XMLTree` wraps a root :class:`~repro.xmltree.node.XMLNode` and
+maintains the indexes the rest of the library needs:
+
+* pre-order oids (``node.oid``), so nodes can be referenced compactly;
+* Euler intervals ``(pre, post)`` for O(1) ancestor/descendant tests;
+* a label index mapping each tag to the pre-order-sorted list of its nodes,
+  which the exact query engine uses for fast ``//label`` matching;
+* per-node sub-tree depth (longest downward path), needed by CREATEPOOL and
+  by the ESD metric's missing-sub-tree penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.xmltree.node import XMLNode
+
+
+class XMLTree:
+    """A node-labeled document tree ``T(V, E)`` (paper Section 2)."""
+
+    def __init__(self, root: XMLNode) -> None:
+        if root is None:
+            raise ValueError("XMLTree requires a root node")
+        self.root = root
+        self._nodes: List[XMLNode] = []
+        self._pre: List[int] = []
+        self._post: List[int] = []
+        self._depth_below: List[int] = []
+        self._level: List[int] = []
+        self._label_index: Dict[str, List[int]] = {}
+        self.reindex()
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+
+    def reindex(self) -> None:
+        """(Re)assign oids in pre-order and rebuild all structural indexes.
+
+        Must be called after any structural mutation of the tree; all
+        factory functions in this package call it automatically.
+        """
+        nodes: List[XMLNode] = []
+        for node in self.root.iter_preorder():
+            node.oid = len(nodes)
+            nodes.append(node)
+        self._nodes = nodes
+
+        n = len(nodes)
+        self._pre = list(range(n))
+        post = [0] * n
+        for counter, node in enumerate(self.root.iter_postorder()):
+            post[node.oid] = counter
+        self._post = post
+
+        depth_below = [0] * n
+        for node in self.root.iter_postorder():
+            if node.children:
+                depth_below[node.oid] = 1 + max(
+                    depth_below[c.oid] for c in node.children
+                )
+        self._depth_below = depth_below
+
+        level = [0] * n
+        for node in nodes:
+            if node.parent is not None:
+                level[node.oid] = level[node.parent.oid] + 1
+        self._level = level
+
+        label_index: Dict[str, List[int]] = {}
+        for node in nodes:
+            label_index.setdefault(node.label, []).append(node.oid)
+        self._label_index = label_index
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self._nodes)
+
+    def node(self, oid: int) -> XMLNode:
+        """Return the node with the given pre-order oid."""
+        return self._nodes[oid]
+
+    @property
+    def nodes(self) -> Sequence[XMLNode]:
+        """All nodes in pre-order."""
+        return self._nodes
+
+    @property
+    def labels(self) -> List[str]:
+        """Sorted list of distinct labels in the document."""
+        return sorted(self._label_index)
+
+    def nodes_with_label(self, label: str) -> List[XMLNode]:
+        """All nodes with a given label, in document order."""
+        return [self._nodes[oid] for oid in self._label_index.get(label, [])]
+
+    def oids_with_label(self, label: str) -> List[int]:
+        """Pre-order oids of all nodes with a given label (sorted)."""
+        return self._label_index.get(label, [])
+
+    def depth_below(self, node: XMLNode) -> int:
+        """Longest downward path from ``node`` to a leaf (paper's depth)."""
+        return self._depth_below[node.oid]
+
+    def level(self, node: XMLNode) -> int:
+        """Distance from the root (the root has level 0)."""
+        return self._level[node.oid]
+
+    @property
+    def height(self) -> int:
+        """Height of the document: the root's depth-below value."""
+        return self._depth_below[self.root.oid] if self._nodes else 0
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+
+    def is_ancestor(self, anc: XMLNode, desc: XMLNode) -> bool:
+        """True iff ``anc`` is a proper ancestor of ``desc``.
+
+        Uses the Euler interval property: ``anc`` is an ancestor of ``desc``
+        iff ``pre(anc) < pre(desc)`` and ``post(anc) > post(desc)``.
+        """
+        return (
+            self._pre[anc.oid] < self._pre[desc.oid]
+            and self._post[anc.oid] > self._post[desc.oid]
+        )
+
+    def descendant_oid_range(self, node: XMLNode) -> range:
+        """Pre-order oid range covering ``node``'s proper descendants.
+
+        Because oids are assigned in pre-order, the descendants of a node
+        occupy a contiguous oid interval starting right after the node.
+        """
+        return range(node.oid + 1, node.oid + 1 + self._subtree_span(node))
+
+    def _subtree_span(self, node: XMLNode) -> int:
+        """Number of proper descendants of ``node``."""
+        # In pre-order, the subtree of ``node`` is exactly the oids
+        # [node.oid, node.oid + size).  We recover size from the post-order
+        # rank: a subtree of size s rooted at pre-order position p has its
+        # last pre-order member at p + s - 1.  Rather than store sizes we
+        # walk the rightmost spine; cheaper: compute from post index.
+        # post rank counts nodes finished before node, which equals
+        # (descendants of node) + (nodes wholly before node).  Deriving span
+        # directly: span = post[node] - (pre[node] - level[node] adjustments)
+        # is fiddly, so we store nothing and compute by scanning is O(s).
+        # Instead use the classic identity: size = post[v] - pre[v] + level[v] + 1.
+        size = self._post[node.oid] - self._pre[node.oid] + self._level[node.oid] + 1
+        return size - 1
+
+    def subtree_size(self, node: XMLNode) -> int:
+        """Number of nodes in the sub-tree rooted at ``node``."""
+        return self._subtree_span(node) + 1
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_nested(spec) -> "XMLTree":
+        """Build a tree from a nested ``(label, [children...])`` spec.
+
+        A spec is either a plain string label (a leaf) or a tuple/list
+        ``(label, [child_spec, ...])``.  Handy for tests and examples::
+
+            XMLTree.from_nested(("r", ["a", ("b", ["c", "c"])]))
+        """
+        root = _build_nested(spec)
+        return XMLTree(root)
+
+    def copy(self) -> "XMLTree":
+        """Deep-copy the tree (fresh nodes, fresh indexes)."""
+        mapping: Dict[int, XMLNode] = {}
+        new_root: Optional[XMLNode] = None
+        for node in self.root.iter_preorder():
+            clone = XMLNode(node.label)
+            mapping[id(node)] = clone
+            if node.parent is None:
+                new_root = clone
+            else:
+                mapping[id(node.parent)].add_child(clone)
+        assert new_root is not None
+        return XMLTree(new_root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLTree(root={self.root.label!r}, nodes={len(self)})"
+
+
+def _build_nested(spec) -> XMLNode:
+    if isinstance(spec, str):
+        return XMLNode(spec)
+    label, children = spec
+    node = XMLNode(label)
+    for child_spec in children:
+        node.add_child(_build_nested(child_spec))
+    return node

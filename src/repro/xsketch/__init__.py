@@ -1,0 +1,30 @@
+"""Twig-XSketch baseline (Polyzotis, Garofalakis, Ioannidis; ICDE 2004 [18]).
+
+The prior state of the art this paper compares against: a graph synopsis
+with per-node *edge histograms* capturing the joint distribution of child
+counts across outgoing edges, built top-down by workload-driven refinement
+of the label-split graph.  Reimplemented here from the descriptions in
+[18] and in Section 6.1 of this paper; see DESIGN.md for the documented
+simplifications.
+
+* :mod:`repro.xsketch.atoms` -- the refinement lattice base: the stable
+  summary refined by one level of backward (parent-class) context.
+* :mod:`repro.xsketch.histogram` -- bucket-capped joint edge histograms.
+* :mod:`repro.xsketch.synopsis` -- the :class:`TwigXSketch` structure and
+  its selectivity estimator.
+* :mod:`repro.xsketch.build` -- greedy workload-driven construction.
+* :mod:`repro.xsketch.answers` -- sampling-based approximate answers (the
+  generator this paper describes for the comparison of Fig. 11).
+"""
+
+from repro.xsketch.synopsis import TwigXSketch, xsketch_selectivity
+from repro.xsketch.build import XSketchBuildOptions, build_twig_xsketch
+from repro.xsketch.answers import sampled_answer
+
+__all__ = [
+    "TwigXSketch",
+    "xsketch_selectivity",
+    "XSketchBuildOptions",
+    "build_twig_xsketch",
+    "sampled_answer",
+]

@@ -1,0 +1,120 @@
+"""Sampling-based approximate answers from a twig-XSketch (Section 6.1).
+
+Twig-XSketches were designed for selectivity estimation only; for the
+approximate-answer comparison the paper equips them with a generator that
+"traverses the query tree and uses the distribution information of the
+recorded edge histograms in order to sample the number of descendants for
+each element in the approximate result tree".
+
+We implement that generator on top of the shared synopsis evaluator: the
+query is first evaluated into a result sketch (per-edge expected descendant
+counts), then expanded occurrence by occurrence, sampling each occurrence's
+child count *independently* -- from the node's joint histogram marginal
+when the result edge corresponds to a single synopsis edge, and by
+stochastic rounding of the expected count otherwise.  Independent
+per-element sampling is precisely what loses the sibling-count correlations
+that TreeSketch answers preserve, which is the effect Fig. 11 measures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Tuple
+
+from repro.core.evaluate import ResultSketch, RSKey, eval_query
+from repro.core.expand import ExpansionLimitError, satisfaction_fractions
+from repro.engine.nesting import NestingTree, NTNode
+from repro.query.path import Axis
+from repro.query.twig import TwigQuery
+from repro.xsketch.synopsis import TwigXSketch
+
+
+def sampled_answer(
+    sketch: TwigXSketch,
+    query: TwigQuery,
+    seed: int = 0,
+    max_nodes: int = 2_000_000,
+) -> NestingTree:
+    """Approximate nesting tree sampled from a twig-XSketch."""
+    result = eval_query(sketch.view(), query)
+    return expand_sampled(sketch, result, seed=seed, max_nodes=max_nodes)
+
+
+def expand_sampled(
+    sketch: TwigXSketch,
+    result: ResultSketch,
+    seed: int = 0,
+    max_nodes: int = 2_000_000,
+) -> NestingTree:
+    """Expand a result sketch with per-occurrence sampled child counts."""
+    rng = random.Random(seed)
+    budget = [max_nodes]
+    single_edge = _single_edge_map(sketch, result)
+    # Weight bindings by their solid-constraint satisfaction, as the
+    # TreeSketch expansion does, so both techniques answer the same notion
+    # of nesting tree.
+    sat = satisfaction_fractions(result)
+
+    def draw(parent: RSKey, child: RSKey, avg: float) -> int:
+        keep = sat.get(child, 0.0)
+        if keep <= 0.0:
+            return 0
+        direct = single_edge.get((parent, child))
+        if direct is not None:
+            hist = sketch.hist.get(direct[0])
+            if hist is not None and direct[1] in hist.targets:
+                dim = hist.targets.index(direct[1])
+                vector = hist.sample_vector(rng)
+                drawn = int(round(vector[dim]))
+                if keep >= 1.0:
+                    return drawn
+                # Thin each drawn child independently.
+                return sum(1 for _ in range(drawn) if rng.random() < keep)
+        # Stochastic rounding keeps the expectation at ``avg * keep``.
+        effective = avg * keep
+        base = math.floor(effective)
+        frac = effective - base
+        return int(base + (1 if rng.random() < frac else 0))
+
+    def build(key: RSKey) -> NTNode:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise ExpansionLimitError(
+                f"sampled expansion exceeds max_nodes={max_nodes}"
+            )
+        node = NTNode(label=result.label[key], qvar=key[1])
+        for child_key, avg in result.out.get(key, {}).items():
+            for _ in range(draw(key, child_key, avg)):
+                node.add(build(child_key))
+        return node
+
+    root = build(result.root_key)
+    return NestingTree(root, result.query)
+
+
+def _single_edge_map(
+    sketch: TwigXSketch, result: ResultSketch
+) -> Dict[Tuple[RSKey, RSKey], Tuple[int, int]]:
+    """Result edges that correspond to exactly one synopsis edge.
+
+    A result edge ``(u, q) -> (v, q_c)`` maps to synopsis edge ``u -> v``
+    when the connecting query path is a single child-axis step and ``v``
+    is a direct synopsis child of ``u``; only then is the node's joint
+    histogram the exact distribution of the result edge's child counts.
+    """
+    qnode_of = {n.var: n for n in result.query.nodes}
+    mapping: Dict[Tuple[RSKey, RSKey], Tuple[int, int]] = {}
+    for parent_key, edges in result.out.items():
+        for child_key in edges:
+            qnode = qnode_of[child_key[1]]
+            path = qnode.path
+            if path is None or len(path.steps) != 1:
+                continue
+            step = path.steps[0]
+            if step.axis is not Axis.CHILD:
+                continue
+            u, v = parent_key[0], child_key[0]
+            if v in sketch.out.get(u, {}):
+                mapping[(parent_key, child_key)] = (u, v)
+    return mapping

@@ -1,0 +1,104 @@
+"""Atoms: the refinement base of twig-XSketch construction.
+
+Twig-XSketch refines the label-split graph by node splits that separate
+elements with different *parent* context (backward stability) or different
+*child-count* structure (forward/count context).  To score and apply such
+splits without touching base data we precompute a fixed refinement base --
+the **atom graph**: the count-stable summary refined by one level of
+backward context.
+
+An atom ``(s, p)`` stands for the elements of stable class ``s`` whose
+parent element belongs to stable class ``p`` (``p = -1`` for the root).
+From the stable summary alone we know each atom exactly:
+
+* its size: ``count(p) * k(p, s)`` (every element of ``p`` has ``k(p, s)``
+  children in ``s``);
+* its out-adjacency: the children of an ``s``-element are elements of
+  classes ``t`` *with parent class s*, i.e. atoms ``(t, s)``, with the
+  stable counts ``k(s, t)`` -- identical for every element of the atom.
+
+Any twig-XSketch partition in this implementation is a partition of atoms
+that respects labels; all histograms over such a partition are exact and
+derivable from the atom graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.stable import StableSummary
+
+# Atom identity: (stable class id, parent stable class id or -1 for root).
+AtomKey = Tuple[int, int]
+
+
+@dataclass
+class AtomGraph:
+    """The atom-level refinement base derived from a stable summary."""
+
+    stable: StableSummary
+    keys: List[AtomKey]
+    index: Dict[AtomKey, int]
+    size: List[int]
+    label: List[str]
+    # Atom out-adjacency: atom id -> list of (child atom id, exact count k).
+    out: List[List[Tuple[int, int]]]
+    root_atom: int
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.keys)
+
+
+def build_atom_graph(stable: StableSummary) -> AtomGraph:
+    """Derive the atom graph of a document from its stable summary."""
+    keys: List[AtomKey] = []
+    index: Dict[AtomKey, int] = {}
+    size: List[int] = []
+    label: List[str] = []
+
+    def intern(key: AtomKey, atom_size: int) -> int:
+        aid = index.get(key)
+        if aid is None:
+            aid = len(keys)
+            index[key] = aid
+            keys.append(key)
+            size.append(atom_size)
+            label.append(stable.label[key[0]])
+        return aid
+
+    root = intern((stable.root_id, -1), stable.count[stable.root_id])
+    for p, s, k in stable.edges():
+        intern((s, p), stable.count[p] * int(k))
+
+    out: List[List[Tuple[int, int]]] = [[] for _ in keys]
+    for aid, (s, _p) in enumerate(keys):
+        for t, k in stable.out.get(s, {}).items():
+            child = index[(t, s)]
+            out[aid].append((child, int(k)))
+
+    graph = AtomGraph(
+        stable=stable,
+        keys=keys,
+        index=index,
+        size=size,
+        label=label,
+        out=out,
+        root_atom=root,
+    )
+    _check_sizes(graph)
+    return graph
+
+
+def _check_sizes(graph: AtomGraph) -> None:
+    """Atoms of one stable class must partition its extent."""
+    per_class: Dict[int, int] = {}
+    for (s, _p), atom_size in zip(graph.keys, graph.size):
+        per_class[s] = per_class.get(s, 0) + atom_size
+    for s, total in per_class.items():
+        expected = graph.stable.count[s]
+        if total != expected:
+            raise AssertionError(
+                f"atom sizes of class {s} sum to {total}, expected {expected}"
+            )

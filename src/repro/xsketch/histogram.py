@@ -1,0 +1,130 @@
+"""Bucket-capped joint edge histograms (twig-XSketch, [18]).
+
+For a synopsis node ``u`` with outgoing edges to ``v_1 .. v_n``, the edge
+histogram records the joint distribution of per-element child-count vectors
+``(c_1, .., c_n)`` over ``extent(u)`` -- e.g. the paper's Fig. 3(d)
+histogram ``H_B(b, c)``.  To respect a space budget the histogram keeps the
+``bucket_budget - 1`` most frequent vectors exactly and collapses the
+remainder into one centroid bucket (mean vector, total weight): the usual
+"high-dimensional histograms degrade" effect the paper points out is then
+visible as approximation error in the collapsed bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+class EdgeHistogram:
+    """Joint child-count distribution of one synopsis node."""
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        buckets: Dict[Vector, float],
+        rest_weight: float = 0.0,
+        rest_centroid: Vector = (),
+    ) -> None:
+        self.targets = tuple(targets)
+        self.buckets = buckets
+        self.rest_weight = rest_weight
+        self.rest_centroid = rest_centroid or (0.0,) * len(self.targets)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_weighted_vectors(
+        cls,
+        targets: Sequence[int],
+        weighted: Iterable[Tuple[Vector, float]],
+        bucket_budget: int,
+    ) -> "EdgeHistogram":
+        """Build from (vector, weight) pairs, capping at ``bucket_budget``."""
+        exact: Dict[Vector, float] = {}
+        for vector, weight in weighted:
+            exact[vector] = exact.get(vector, 0.0) + weight
+        if len(exact) <= bucket_budget:
+            return cls(targets, exact)
+        # Keep the heaviest budget-1 vectors; collapse the rest.
+        ranked = sorted(exact.items(), key=lambda kv: (-kv[1], kv[0]))
+        keep = dict(ranked[: bucket_budget - 1])
+        rest = ranked[bucket_budget - 1:]
+        rest_weight = sum(w for _, w in rest)
+        dims = len(tuple(targets))
+        centroid = [0.0] * dims
+        for vector, weight in rest:
+            for i, c in enumerate(vector):
+                centroid[i] += c * weight
+        centroid_vec = tuple(
+            (c / rest_weight) if rest_weight else 0.0 for c in centroid
+        )
+        return cls(targets, keep, rest_weight, centroid_vec)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_weight(self) -> float:
+        return sum(self.buckets.values()) + self.rest_weight
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets) + (1 if self.rest_weight else 0)
+
+    def size_bytes(self) -> int:
+        """Each bucket stores one count per dimension plus a weight."""
+        return self.num_buckets * 4 * (len(self.targets) + 1)
+
+    def _entries(self) -> Iterable[Tuple[Vector, float]]:
+        yield from self.buckets.items()
+        if self.rest_weight:
+            yield self.rest_centroid, self.rest_weight
+
+    def mean(self, target: int) -> float:
+        """Average child count toward one target node."""
+        try:
+            dim = self.targets.index(target)
+        except ValueError:
+            return 0.0
+        total = self.total_weight
+        if not total:
+            return 0.0
+        acc = sum(vector[dim] * weight for vector, weight in self._entries())
+        return acc / total
+
+    def prob_positive(self, target_dims: Sequence[int]) -> float:
+        """P(at least one child along any of the given dimensions).
+
+        ``target_dims`` are indexes into ``self.targets``.  This is the
+        joint-histogram capability twig-XSketch estimation leans on for
+        branching predicates.
+        """
+        total = self.total_weight
+        if not total:
+            return 0.0
+        hit = sum(
+            weight
+            for vector, weight in self._entries()
+            if any(vector[d] > 0 for d in target_dims)
+        )
+        return min(1.0, hit / total)
+
+    def sample_vector(self, rng) -> Vector:
+        """Draw one child-count vector according to bucket weights."""
+        total = self.total_weight
+        if not total:
+            return (0.0,) * len(self.targets)
+        pick = rng.random() * total
+        acc = 0.0
+        for vector, weight in self._entries():
+            acc += weight
+            if pick <= acc:
+                return vector
+        return self.rest_centroid if self.rest_weight else next(iter(self.buckets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EdgeHistogram(dims={len(self.targets)}, "
+            f"buckets={self.num_buckets}, weight={self.total_weight:g})"
+        )

@@ -1,0 +1,192 @@
+"""The twig-XSketch synopsis structure and selectivity estimation.
+
+A :class:`TwigXSketch` is a graph synopsis (a partition of the atom graph,
+see :mod:`repro.xsketch.atoms`) where each node carries its extent size and
+a joint :class:`~repro.xsketch.histogram.EdgeHistogram` over its outgoing
+edges; per-edge backward-stability flags are recorded as in [18].
+
+Query evaluation reuses the library's synopsis evaluator
+(:func:`repro.core.evaluate.eval_query`) through a :class:`TreeSketch` view
+whose edge weights are the histogram means, extended with the joint-
+histogram capability twig-XSketches have and TreeSketches lack: the
+selectivity of a one-step branching predicate is read exactly from the
+histogram (``P(child count > 0)``) instead of being assembled from
+independence assumptions.  Longer branches fall back to the shared
+inclusion-exclusion scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evaluate import eval_query
+from repro.core.estimate import estimate_selectivity
+from repro.core.size import EDGE_BYTES, NODE_BYTES
+from repro.core.treesketch import TreeSketch
+from repro.query.path import Axis, Path
+from repro.query.twig import TwigQuery
+from repro.xsketch.atoms import AtomGraph
+from repro.xsketch.histogram import EdgeHistogram
+
+
+class _XSketchView(TreeSketch):
+    """TreeSketch-shaped view of a TwigXSketch for the shared evaluator.
+
+    Implements the ``branch_probability`` hook consulted by
+    ``repro.core.evaluate._branch_selectivity``.
+    """
+
+    def __init__(self, owner: "TwigXSketch") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def branch_probability(self, node: int, pred: Path) -> Optional[float]:
+        return self._owner.branch_probability(node, pred)
+
+
+class TwigXSketch:
+    """A twig-XSketch synopsis over one document."""
+
+    def __init__(self, root_id: int, doc_height: int) -> None:
+        self.label: Dict[int, str] = {}
+        self.count: Dict[int, int] = {}
+        self.hist: Dict[int, EdgeHistogram] = {}
+        self.out: Dict[int, Dict[int, float]] = {}
+        # (src, dst) -> backward stable (every src element has a dst child).
+        self.backward_stable: Dict[Tuple[int, int], bool] = {}
+        self.root_id = root_id
+        self.doc_height = doc_height
+        self._view: Optional[_XSketchView] = None
+
+    # ------------------------------------------------------------------
+    # Construction from a partition of atoms
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_partition(
+        cls,
+        atoms: AtomGraph,
+        assign: Sequence[int],
+        bucket_budget: int,
+    ) -> "TwigXSketch":
+        """Materialize the synopsis induced by an atom partition."""
+        clusters: Dict[int, List[int]] = {}
+        for aid, cid in enumerate(assign):
+            clusters.setdefault(cid, []).append(aid)
+
+        xs = cls(root_id=assign[atoms.root_atom], doc_height=atoms.stable.doc_height)
+        for cid, members in clusters.items():
+            label = atoms.label[members[0]]
+            count = sum(atoms.size[a] for a in members)
+            xs.label[cid] = label
+            xs.count[cid] = count
+            hist = build_cluster_histogram(atoms, assign, members, bucket_budget)
+            xs.hist[cid] = hist
+            means = {
+                t: hist.mean(t) for t in hist.targets if hist.mean(t) > 0
+            }
+            xs.out[cid] = means
+            for dim, t in enumerate(hist.targets):
+                if t in means:
+                    positive = hist.prob_positive([dim])
+                    xs.backward_stable[(cid, t)] = positive >= 1.0 - 1e-12
+        return xs
+
+    # ------------------------------------------------------------------
+    # Size model
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.label)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(e) for e in self.out.values())
+
+    def size_bytes(self) -> int:
+        """Nodes + edges (incl. stability bits) + histogram buckets."""
+        total = NODE_BYTES * self.num_nodes + EDGE_BYTES * self.num_edges
+        total += sum(h.size_bytes() for h in self.hist.values())
+        return total
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def view(self) -> _XSketchView:
+        """TreeSketch-shaped view (cached) for the shared evaluator."""
+        if self._view is None:
+            view = _XSketchView(self)
+            for nid, label in self.label.items():
+                view.add_node(nid, label, self.count[nid])
+            for src, targets in self.out.items():
+                count = self.count[src]
+                for dst, mean in targets.items():
+                    view.add_edge(src, dst, mean)
+                    view.stats[(src, dst)] = (count * mean, count * mean * mean)
+            view.root_id = self.root_id
+            view.doc_height = self.doc_height
+            self._view = view
+        return self._view
+
+    def branch_probability(self, node: int, pred: Path) -> Optional[float]:
+        """Exact P(branch satisfied) for one-step child-axis predicates.
+
+        Returns ``None`` when the predicate is longer than the histogram's
+        horizon (the evaluator then falls back to inclusion-exclusion).
+        """
+        if len(pred.steps) != 1:
+            return None
+        step = pred.steps[0]
+        if step.axis is not Axis.CHILD or step.predicates:
+            return None
+        hist = self.hist.get(node)
+        if hist is None:
+            return 0.0
+        dims = [
+            dim
+            for dim, target in enumerate(hist.targets)
+            if step.matches_label(self.label.get(target, ""))
+        ]
+        if not dims:
+            return 0.0
+        return hist.prob_positive(dims)
+
+
+def build_cluster_histogram(
+    atoms: AtomGraph,
+    assign: Sequence[int],
+    members: Sequence[int],
+    bucket_budget: int,
+) -> EdgeHistogram:
+    """Joint edge histogram of one cluster, exact from the atom graph.
+
+    Every element of an atom has the same child-count vector toward the
+    current clusters, so the histogram is a weighted count over atoms.
+    """
+    # Collect the dimension set first (stable iteration order by id).
+    target_set = set()
+    grouped: List[Dict[int, float]] = []
+    for aid in members:
+        counts: Dict[int, float] = {}
+        for child_atom, k in atoms.out[aid]:
+            t = assign[child_atom]
+            counts[t] = counts.get(t, 0.0) + k
+        grouped.append(counts)
+        target_set.update(counts)
+    targets = sorted(target_set)
+    position = {t: i for i, t in enumerate(targets)}
+
+    weighted = []
+    for aid, counts in zip(members, grouped):
+        vector = [0.0] * len(targets)
+        for t, k in counts.items():
+            vector[position[t]] = k
+        weighted.append((tuple(vector), float(atoms.size[aid])))
+    return EdgeHistogram.from_weighted_vectors(targets, weighted, bucket_budget)
+
+
+def xsketch_selectivity(sketch: TwigXSketch, query: TwigQuery) -> float:
+    """Estimated selectivity of a twig query over a twig-XSketch."""
+    return estimate_selectivity(eval_query(sketch.view(), query))

@@ -1,0 +1,78 @@
+"""Tests for lazy binding-tuple enumeration."""
+
+import pytest
+
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+
+
+@pytest.fixture
+def evaluator(paper_document):
+    return ExactEvaluator(paper_document)
+
+
+class TestBindingTuples:
+    def test_count_matches_selectivity(self, evaluator):
+        for text in ["//a", "//a (//p)", "//a (//p, //n)",
+                     "//a[//b] ( //p ( //k ? ), //n ? )", "//p (//k ?)"]:
+            query = parse_twig(text)
+            tuples = list(evaluator.binding_tuples(query))
+            assert len(tuples) == evaluator.selectivity(query), text
+
+    def test_variables_present(self, evaluator):
+        query = parse_twig("//a (//p)")
+        for t in evaluator.binding_tuples(query):
+            assert set(t) == {"q0", "q1", "q2"}
+            assert t["q0"].label == "d"
+            assert t["q1"].label == "a"
+            assert t["q2"].label == "p"
+
+    def test_structural_consistency(self, evaluator, paper_document):
+        query = parse_twig("//a (//p (//k ?))")
+        for t in evaluator.binding_tuples(query):
+            assert paper_document.is_ancestor(t["q1"], t["q2"])
+            if t["q3"] is not None:
+                assert paper_document.is_ancestor(t["q2"], t["q3"])
+
+    def test_optional_null_binding(self, evaluator):
+        query = parse_twig("//b (//k ?)")
+        tuples = list(evaluator.binding_tuples(query))
+        assert len(tuples) == 2
+        assert all(t["q2"] is None for t in tuples)
+
+    def test_optional_with_matches_not_null(self, evaluator):
+        query = parse_twig("//p (//k ?)")
+        tuples = list(evaluator.binding_tuples(query))
+        assert all(t["q2"] is not None for t in tuples)  # all papers have k
+
+    def test_empty_query_yields_nothing(self, evaluator):
+        assert list(evaluator.binding_tuples(parse_twig("//zzz"))) == []
+
+    def test_solid_unsatisfied_yields_nothing(self, evaluator):
+        assert list(evaluator.binding_tuples(parse_twig("//b (//k)"))) == []
+
+    def test_limit(self, evaluator):
+        query = parse_twig("//a (//p)")
+        assert len(list(evaluator.binding_tuples(query, limit=2))) == 2
+
+    def test_lazy_enumeration(self, evaluator):
+        query = parse_twig("//a (//p)")
+        generator = evaluator.binding_tuples(query)
+        first = next(generator)
+        assert first["q1"].label == "a"
+
+    def test_tuples_unique(self, evaluator):
+        query = parse_twig("//a (//p, //n ?)")
+        seen = set()
+        for t in evaluator.binding_tuples(query):
+            key = tuple((v, node.oid if node else None) for v, node in sorted(t.items()))
+            assert key not in seen
+            seen.add(key)
+
+    def test_deep_nested_optional_subtree_nulls(self, evaluator):
+        # Optional subtree with its own child: all vars null when empty.
+        query = parse_twig("//b (//zzz (//k) ?)")
+        tuples = list(evaluator.binding_tuples(query))
+        assert len(tuples) == 2
+        for t in tuples:
+            assert t["q2"] is None and t["q3"] is None

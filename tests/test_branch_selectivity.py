@@ -1,0 +1,79 @@
+"""Focused tests for branch-selectivity semantics (EVALEMBED refinement).
+
+Covers the label-grouping rule documented in DESIGN.md: fractional counts
+of same-label terminal clusters add up (they partition the label's
+elements) when the group totals below one; groups totalling >= 1 keep the
+paper's independence products -- preserving Example 4.1's 0.88.
+"""
+
+import pytest
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.treesketch import TreeSketch
+from repro.query.parser import parse_twig
+
+
+def sketch_with_split_children(k1, k2, label1="c", label2="c"):
+    """root -> 10 a's; a has k1 children in cluster C1, k2 in cluster C2."""
+    ts = TreeSketch()
+    ts.add_node(0, "r", 1)
+    ts.add_node(1, "a", 10)
+    ts.add_node(2, label1, 8)
+    ts.add_node(3, label2, 8)
+    for (s, d, avg) in [(0, 1, 10.0), (1, 2, k1), (1, 3, k2)]:
+        ts.add_edge(s, d, avg)
+        ts.stats[(s, d)] = (ts.count[s] * avg, ts.count[s] * avg * avg)
+    ts.root_id = 0
+    ts.doc_height = 3
+    return ts
+
+
+def selectivity_of_branch(ts, pred="/c"):
+    query = parse_twig(f"//a[{pred}]")
+    return estimate_selectivity(eval_query(ts, query)) / 10.0  # per element
+
+
+class TestLabelGrouping:
+    def test_disjoint_fractions_add(self):
+        # Two same-label clusters with fractions 0.5 / 0.3: a partition of
+        # the c-elements -> P(any c child) = 0.8.
+        ts = sketch_with_split_children(0.5, 0.3)
+        assert selectivity_of_branch(ts) == pytest.approx(0.8)
+
+    def test_group_totalling_above_one_uses_independence(self):
+        # 0.6 / 0.7 totals 1.3: overlap exists; the paper's product.
+        ts = sketch_with_split_children(0.6, 0.7)
+        assert selectivity_of_branch(ts) == pytest.approx(0.88)
+
+    def test_any_count_at_least_one_saturates(self):
+        ts = sketch_with_split_children(1.5, 0.1)
+        assert selectivity_of_branch(ts) == pytest.approx(1.0)
+
+    def test_cross_label_independence(self):
+        # Different labels: independence across groups.
+        ts = sketch_with_split_children(0.5, 0.3, label1="c", label2="d")
+        assert selectivity_of_branch(ts, pred="/c|d") == pytest.approx(
+            1 - (1 - 0.5) * (1 - 0.3)
+        )
+
+    def test_single_terminal_fraction_unchanged(self):
+        ts = sketch_with_split_children(0.4, 0.0)
+        ts.out[1].pop(3)
+        ts.stats.pop((1, 3))
+        assert selectivity_of_branch(ts) == pytest.approx(0.4)
+
+    def test_missing_branch_zero(self):
+        ts = sketch_with_split_children(0.5, 0.3)
+        assert selectivity_of_branch(ts, pred="/zzz") == 0.0
+
+    def test_refinement_consistency(self):
+        """Splitting a terminal cluster must not change the selectivity --
+        the motivating property of the grouping rule."""
+        coarse = sketch_with_split_children(0.8, 0.0)
+        coarse.out[1].pop(3)
+        coarse.stats.pop((1, 3))
+        fine = sketch_with_split_children(0.5, 0.3)
+        assert selectivity_of_branch(coarse) == pytest.approx(
+            selectivity_of_branch(fine)
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmltree.serialize import to_xml
+
+
+@pytest.fixture
+def xml_file(paper_document, tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(to_xml(paper_document))
+    return str(path)
+
+
+class TestCLI:
+    def test_stats(self, xml_file, capsys):
+        assert main(["stats", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "elements=28" in out
+        assert "stable summary" in out
+
+    def test_stable_and_build(self, xml_file, tmp_path, capsys):
+        stable_path = str(tmp_path / "stable.json")
+        sketch_path = str(tmp_path / "sketch.json")
+        assert main(["stable", xml_file, "-o", stable_path]) == 0
+        assert main(["build", stable_path, "--budget-kb", "0.125", "-o", sketch_path]) == 0
+        out = capsys.readouterr().out
+        assert "squared error" in out
+
+    def test_build_from_xml(self, xml_file, tmp_path):
+        sketch_path = str(tmp_path / "sketch.json")
+        assert main(["build", xml_file, "--budget-kb", "1", "-o", sketch_path]) == 0
+
+    def test_query_and_exact(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", sketch_path])
+        capsys.readouterr()
+        assert main(["query", sketch_path, "//a (//p)"]) == 0
+        approx = capsys.readouterr().out
+        assert "estimated binding tuples: 4.0" in approx
+        assert main(["exact", xml_file, "//a (//p)"]) == 0
+        exact = capsys.readouterr().out
+        assert "exact binding tuples: 4" in exact
+
+    def test_query_preview(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        preview_path = str(tmp_path / "preview.xml")
+        main(["build", xml_file, "--budget-kb", "64", "-o", sketch_path])
+        assert main(["query", sketch_path, "//a (//p)", "--preview", preview_path]) == 0
+        from repro.xmltree.parser import parse_xml_file
+
+        preview = parse_xml_file(preview_path)
+        assert preview.root.label == "d"
+
+    def test_compare(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", sketch_path])
+        capsys.readouterr()
+        assert main(["compare", xml_file, sketch_path, "//a (//p)"]) == 0
+        out = capsys.readouterr().out
+        assert "answer ESD" in out
+        assert "0.0" in out  # zero-error sketch at generous budget
+
+    def test_build_rejects_treesketch_json(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", sketch_path])
+        assert main(["build", sketch_path, "--budget-kb", "1", "-o", sketch_path]) == 2
+
+
+class TestGenCorpus:
+    def test_gen_corpus_writes_files(self, tmp_path, capsys):
+        assert main(["gen-corpus", str(tmp_path), "XMark-TX", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "XMark-TX" in out
+        assert (tmp_path / "xmark_tx.xml").exists()
+        assert (tmp_path / "corpus.json").exists()
+
+    def test_gen_corpus_unknown_dataset(self, tmp_path, capsys):
+        assert main(["gen-corpus", str(tmp_path), "nope"]) == 2
+
+    def test_full_cli_pipeline_from_corpus(self, tmp_path, capsys):
+        assert main(["gen-corpus", str(tmp_path), "IMDB-TX", "--scale", "0.02"]) == 0
+        xml = str(tmp_path / "imdb_tx.xml")
+        stable = str(tmp_path / "stable.json")
+        sketch = str(tmp_path / "sketch.json")
+        assert main(["stable", xml, "-o", stable]) == 0
+        assert main(["build", stable, "--budget-kb", "2", "-o", sketch]) == 0
+        capsys.readouterr()
+        assert main(["compare", xml, sketch, "//movie (/title)"]) == 0
+        out = capsys.readouterr().out
+        assert "exact tuples" in out
+        assert "answer ESD" in out

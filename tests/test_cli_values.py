@@ -1,0 +1,61 @@
+"""CLI value-annotation flow: build --values, query with value predicates."""
+
+import pytest
+
+from repro.cli import main
+
+LIBRARY = """
+<lib>
+ <book><genre>scifi</genre><copy/><copy/></book>
+ <book><genre>scifi</genre><copy/></book>
+ <book><genre>crime</genre><copy/><copy/><copy/></book>
+ <book><genre>drama</genre></book>
+</lib>
+"""
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "lib.xml"
+    path.write_text(LIBRARY)
+    return str(path)
+
+
+class TestValuesCLI:
+    def test_build_with_values_and_query(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        assert main(["build", xml_file, "--budget-kb", "64",
+                     "--values", "-o", sketch_path]) == 0
+        capsys.readouterr()
+        assert main(["query", sketch_path, '//book[/genre = "scifi"] ( /copy )']) == 0
+        out = capsys.readouterr().out
+        # stable-grade sketch + exact heavy hitters: estimate ~3
+        value = float(out.split(":")[1].strip().replace(",", ""))
+        assert value == pytest.approx(3.0, abs=1.0)
+
+    def test_value_summaries_survive_save_load(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "--values", "-o", sketch_path])
+        from repro.core.io import load_synopsis
+
+        loaded = load_synopsis(sketch_path)
+        assert loaded.values
+        genre_nodes = [nid for nid, lab in loaded.label.items() if lab == "genre"]
+        assert any(nid in loaded.values for nid in genre_nodes)
+
+    def test_exact_with_values(self, xml_file, capsys):
+        assert main(["exact", xml_file, '//book[/genre = "crime"] ( /copy )',
+                     "--values"]) == 0
+        out = capsys.readouterr().out
+        assert "exact binding tuples: 3" in out
+
+    def test_exact_without_values_flag_sees_no_values(self, xml_file, capsys):
+        assert main(["exact", xml_file, '//book[/genre = "crime"] ( /copy )']) == 0
+        out = capsys.readouterr().out
+        assert "exact binding tuples: 0" in out
+
+    def test_build_values_rejects_json_source(self, xml_file, tmp_path, capsys):
+        stable_path = str(tmp_path / "stable.json")
+        main(["stable", xml_file, "-o", stable_path])
+        assert main(["build", stable_path, "--budget-kb", "1",
+                     "--values", "-o", str(tmp_path / "x.json")]) == 2

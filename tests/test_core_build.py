@@ -1,0 +1,158 @@
+"""Unit tests for TSBUILD / CREATEPOOL (repro.core.build, repro.core.pool)."""
+
+import pytest
+
+from repro.core.build import TreeSketchBuilder, TSBuildOptions, build_treesketch, compress_to_budgets
+from repro.core.partition import MergePartition
+from repro.core.pool import create_pool
+from repro.core.stable import build_stable
+from tests.conftest import make_random_tree
+
+
+class TestCreatePool:
+    def test_empty_when_no_mergeable_labels(self, small_tree):
+        # small_tree's stable summary: r, two a-classes?, b, c...
+        s = build_stable(small_tree)
+        part = MergePartition(s)
+        pool = create_pool(part, heap_upper=100)
+        labels = [part.cluster_label[c] for c in part.members]
+        mergeable = len(labels) != len(set(labels))
+        assert bool(pool) == mergeable
+
+    def test_pool_respects_upper_bound(self, rng):
+        tree = make_random_tree(rng, 400)
+        part = MergePartition(build_stable(tree))
+        pool = create_pool(part, heap_upper=10)
+        assert len(pool) <= 10
+
+    def test_pool_entries_are_same_label(self, rng):
+        tree = make_random_tree(rng, 300)
+        part = MergePartition(build_stable(tree))
+        for _ratio, _errd, _sized, u, v in create_pool(part, heap_upper=200):
+            assert part.cluster_label[u] == part.cluster_label[v]
+            assert u != v
+
+    def test_bounded_pool_is_subset_of_exhaustive(self, rng):
+        # A small pool stops at shallow levels (the paper's bottom-up
+        # schedule), so it is a subset of the exhaustive pool -- not
+        # necessarily the globally best ratios.
+        tree = make_random_tree(rng, 300)
+        part = MergePartition(build_stable(tree))
+        full = create_pool(part, heap_upper=10_000, pair_window=None)
+        small = create_pool(part, heap_upper=5, pair_window=None)
+        assert len(small) == 5
+        pairs_full = {tuple(sorted(e[3:5])) for e in full}
+        pairs_small = {tuple(sorted(e[3:5])) for e in small}
+        assert pairs_small <= pairs_full
+
+    def test_bounded_pool_keeps_best_ratios_single_level(self):
+        # With all mergeable nodes at one depth, the bounded pool must keep
+        # exactly the best-ratio candidates.
+        from repro.xmltree.tree import XMLTree
+
+        spec = ("r", [("a", ["x"] * i) for i in range(1, 8)])
+        part = MergePartition(build_stable(XMLTree.from_nested(spec)))
+        full = create_pool(part, heap_upper=10_000, pair_window=None)
+        small = create_pool(part, heap_upper=4, pair_window=None)
+        best_full = sorted(e[0] for e in full)[:4]
+        best_small = sorted(e[0] for e in small)
+        assert best_small == pytest.approx(best_full)
+
+    def test_window_none_is_superset(self, rng):
+        tree = make_random_tree(rng, 200)
+        part = MergePartition(build_stable(tree))
+        windowed = create_pool(part, heap_upper=10_000, pair_window=4)
+        exhaustive = create_pool(part, heap_upper=10_000, pair_window=None)
+        pairs_w = {tuple(sorted(e[3:5])) for e in windowed}
+        pairs_e = {tuple(sorted(e[3:5])) for e in exhaustive}
+        assert pairs_w <= pairs_e
+
+
+class TestBuildTreesketch:
+    def test_budget_respected(self, rng):
+        tree = make_random_tree(rng, 500)
+        stable = build_stable(tree)
+        budget = stable.size_bytes() // 2
+        sketch = build_treesketch(stable, budget)
+        assert sketch.size_bytes() <= budget
+        sketch.validate()
+
+    def test_generous_budget_returns_stable_shape(self, paper_document):
+        stable = build_stable(paper_document)
+        sketch = build_treesketch(stable, stable.size_bytes() * 2)
+        assert sketch.num_nodes == stable.num_nodes
+        assert sketch.squared_error() == 0.0
+
+    def test_unreachable_budget_stops_at_label_split(self, rng):
+        tree = make_random_tree(rng, 300)
+        sketch = build_treesketch(tree, 1)  # impossible budget
+        labels = [sketch.label[nid] for nid in sketch.node_ids()]
+        # One node per label: nothing mergeable remains.
+        assert len(labels) == len(set(labels))
+
+    def test_accepts_tree_or_stable(self, paper_document):
+        stable = build_stable(paper_document)
+        a = build_treesketch(paper_document, 64)
+        b = build_treesketch(stable, 64)
+        assert a.size_bytes() == b.size_bytes()
+
+    def test_squared_error_grows_with_compression(self, rng):
+        tree = make_random_tree(rng, 600)
+        stable = build_stable(tree)
+        builder = TreeSketchBuilder(stable)
+        errors = []
+        for fraction in (0.8, 0.5, 0.3, 0.15):
+            sketch = builder.compress_to(int(stable.size_bytes() * fraction))
+            errors.append(sketch.squared_error())
+        assert errors == sorted(errors)
+
+    def test_root_preserved(self, rng):
+        tree = make_random_tree(rng, 300)
+        sketch = build_treesketch(tree, 128)
+        assert sketch.label[sketch.root_id] == "r"
+        assert sketch.count[sketch.root_id] >= 1
+
+    def test_counts_conserved(self, rng):
+        tree = make_random_tree(rng, 300)
+        sketch = build_treesketch(tree, 200)
+        assert sum(sketch.count.values()) == len(tree)
+
+    def test_small_pool_lh_interaction(self, paper_document):
+        # A pool smaller than Lh must still drain (regression guard): the
+        # builder must make progress all the way to the label-split floor.
+        stable = build_stable(paper_document)
+        options = TSBuildOptions(heap_upper=10_000, heap_lower=100)
+        sketch = build_treesketch(stable, 1, options)
+        labels = [sketch.label[nid] for nid in sketch.node_ids()]
+        assert len(labels) == len(set(labels))  # fully merged per label
+
+    def test_deterministic(self, rng):
+        tree = make_random_tree(rng, 400)
+        stable = build_stable(tree)
+        a = build_treesketch(stable, 300)
+        b = build_treesketch(build_stable(tree), 300)
+        assert a.size_bytes() == b.size_bytes()
+        assert abs(a.squared_error() - b.squared_error()) < 1e-9
+
+
+class TestCompressToBudgets:
+    def test_sweep_matches_individual_builds(self, rng):
+        tree = make_random_tree(rng, 400)
+        stable = build_stable(tree)
+        floor = build_treesketch(stable, 1).size_bytes()  # label-split graph
+        budgets = [b for b in (1200, 800, 500) if b >= floor]
+        assert budgets, "fixture tree produced an unexpectedly large floor"
+        sweep = compress_to_budgets(stable, budgets)
+        for budget in budgets:
+            assert sweep[budget].size_bytes() <= budget
+
+    def test_sweep_monotone_error(self, rng):
+        tree = make_random_tree(rng, 500)
+        budgets = [800, 500, 300, 150]
+        sweep = compress_to_budgets(build_stable(tree), budgets)
+        errors = [sweep[b].squared_error() for b in sorted(budgets, reverse=True)]
+        assert errors == sorted(errors)
+
+    def test_duplicate_budgets_deduplicated(self, paper_document):
+        sweep = compress_to_budgets(build_stable(paper_document), [100, 100, 50])
+        assert set(sweep) == {100, 50}

@@ -1,0 +1,59 @@
+"""Tests for TSBUILD option knobs (drain fraction, early stop, windows)."""
+
+import pytest
+
+from repro.core.build import TreeSketchBuilder, TSBuildOptions, build_treesketch
+from repro.core.stable import build_stable
+from repro.datagen.datasets import xmark_like
+from tests.conftest import make_random_tree
+
+
+@pytest.fixture(scope="module")
+def stable():
+    return build_stable(xmark_like(scale=0.8, seed=3))
+
+
+class TestOptionKnobs:
+    def test_early_stop_still_meets_budget(self, stable):
+        budget = stable.size_bytes() // 3
+        sketch = build_treesketch(
+            stable, budget, TSBuildOptions(stop_when_full=True)
+        )
+        assert sketch.size_bytes() <= budget
+
+    def test_scan_all_not_worse_than_early_stop(self, stable):
+        budget = stable.size_bytes() // 4
+        scan = build_treesketch(stable, budget, TSBuildOptions())
+        stop = build_treesketch(stable, budget, TSBuildOptions(stop_when_full=True))
+        assert scan.squared_error() <= stop.squared_error() * 1.1
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 0.9])
+    def test_drain_fraction_meets_budget(self, stable, fraction):
+        budget = stable.size_bytes() // 3
+        sketch = build_treesketch(
+            stable, budget, TSBuildOptions(drain_fraction=fraction)
+        )
+        assert sketch.size_bytes() <= budget
+        sketch.validate()
+
+    def test_small_window_meets_budget(self, stable):
+        budget = stable.size_bytes() // 3
+        sketch = build_treesketch(stable, budget, TSBuildOptions(pair_window=4))
+        assert sketch.size_bytes() <= budget
+
+    def test_builder_reports_progress(self, stable):
+        builder = TreeSketchBuilder(stable)
+        before = builder.size_bytes()
+        builder.compress_to(stable.size_bytes() // 2)
+        assert builder.size_bytes() < before
+        assert builder.merges_applied > 0
+        assert builder.squared_error() >= 0.0
+
+    def test_monotone_reuse_after_budget_increase(self, stable, rng):
+        # Asking a *larger* budget on a builder already below it returns
+        # the current (smaller) state via a fresh sweep in the bundle; the
+        # raw builder simply keeps its state.
+        builder = TreeSketchBuilder(stable)
+        small = builder.compress_to(stable.size_bytes() // 4)
+        again = builder.compress_to(stable.size_bytes() // 2)
+        assert again.size_bytes() == small.size_bytes()

@@ -1,0 +1,170 @@
+"""Unit tests for EVALQUERY / EVALEMBED (repro.core.evaluate)."""
+
+import pytest
+
+from repro.core.evaluate import ResultSketch, eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+
+
+def stable_sketch(tree):
+    return TreeSketch.from_stable(build_stable(tree))
+
+
+def figure9_sketch():
+    """The synopsis of the paper's Figure 9(b)."""
+    ts = TreeSketch()
+    nodes = {
+        "r": ("r", 1), "A": ("a", 10), "B": ("b", 50), "E": ("e", 2),
+        "D": ("d", 20), "F": ("f", 110), "G1": ("g", 12), "G2": ("g", 14),
+        "C": ("c", 165),
+    }
+    ids = {}
+    for i, (name, (label, count)) in enumerate(nodes.items()):
+        ids[name] = i
+        ts.add_node(i, label, count)
+    edges = [
+        ("r", "A", 10), ("A", "B", 5), ("A", "E", 0.2), ("A", "D", 2),
+        ("B", "F", 2), ("E", "F", 5), ("D", "F", 0.5), ("D", "G1", 0.6),
+        ("D", "G2", 0.7), ("F", "C", 1.5),
+    ]
+    for src, dst, avg in edges:
+        ts.add_edge(ids[src], ids[dst], avg)
+        count = nodes[src][1]
+        ts.stats[(ids[src], ids[dst])] = (count * avg, count * avg * avg)
+    ts.root_id = ids["r"]
+    ts.doc_height = 6
+    return ts, ids
+
+
+class TestEvalQueryOnStable:
+    """On count-stable synopses EVALQUERY is exact (paper Section 4.3)."""
+
+    QUERIES = [
+        "//a",
+        "//a (//p)",
+        "//a (//p, //n)",
+        "//a[//b] ( //p ( //k ? ), //n ? )",
+        "//p (//k ?)",
+        "/a/p/k",
+        "//a (/p (/k), /n ?)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_bindings_match_exact(self, paper_document, text):
+        from repro.core.estimate import estimate_selectivity
+
+        query = parse_twig(text)
+        truth = ExactEvaluator(paper_document).selectivity(query)
+        result = eval_query(stable_sketch(paper_document), query)
+        assert estimate_selectivity(result) == pytest.approx(float(truth))
+
+    def test_empty_query_marked(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//zzz"))
+        assert result.empty
+
+    def test_optional_empty_not_marked(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//zzz ?)"))
+        assert not result.empty
+
+    def test_solid_empty_child_marks_empty(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//zzz)"))
+        assert result.empty
+
+    def test_result_nodes_unique_per_pair(self, paper_document):
+        query = parse_twig("//a (//p, //p)")
+        result = eval_query(stable_sketch(paper_document), query)
+        assert len(set(result.label)) == len(result.label)
+
+
+class TestFigure9:
+    """Exact numbers of the paper's Example 4.1."""
+
+    def test_result_sketch_edges(self):
+        ts, ids = figure9_sketch()
+        query = parse_twig("//a ( b|e ( //f ( c ) ), d[/g]//f )")
+        result = eval_query(ts, query)
+        edges = {
+            (result.label[src], src[1], result.label[dst], dst[1]): round(k, 6)
+            for src, out in result.out.items()
+            for dst, k in out.items()
+        }
+        assert edges[("r", "q0", "a", "q1")] == 10
+        assert edges[("a", "q1", "b", "q2")] == 5
+        assert edges[("a", "q1", "e", "q2")] == pytest.approx(0.2)
+        assert edges[("b", "q2", "f", "q3")] == 2
+        assert edges[("e", "q2", "f", "q3")] == 5
+        assert edges[("f", "q3", "c", "q4")] == 1.5
+        # The headline number: 1 * (0.6 + 0.7 - 0.42) = 0.88.
+        assert edges[("a", "q1", "f", "q5")] == pytest.approx(0.88)
+
+    def test_branch_selectivity_saturates_at_one(self):
+        ts, ids = figure9_sketch()
+        # Boost G1 counts so the branch count >= 1 -> selectivity exactly 1.
+        ts.out[ids["D"]][ids["G1"]] = 1.2
+        query = parse_twig("//a ( d[/g]//f )")
+        result = eval_query(ts, query)
+        (edge,) = [
+            k
+            for src, out in result.out.items()
+            for dst, k in out.items()
+            if dst[1] == "q2"
+        ]
+        assert edge == pytest.approx(1.0)  # nt=1, selectivity 1
+
+    def test_unsatisfiable_branch_prunes(self):
+        ts, _ = figure9_sketch()
+        query = parse_twig("//a ( d[/zzz]//f )")
+        result = eval_query(ts, query)
+        assert result.empty
+
+
+class TestCyclicSynopsis:
+    def test_descendant_terminates_on_cycle(self):
+        ts = TreeSketch()
+        ts.add_node(0, "r", 1)
+        ts.add_node(1, "s", 4)
+        ts.add_node(2, "x", 8)
+        ts.add_edge(0, 1, 2.0)
+        ts.add_edge(1, 1, 0.5)  # self-loop: merged recursive label
+        ts.add_edge(1, 2, 2.0)
+        for (s, d) in [(0, 1), (1, 1), (1, 2)]:
+            count = ts.count[s]
+            avg = ts.out[s][d]
+            ts.stats[(s, d)] = (count * avg, count * avg * avg)
+        ts.root_id = 0
+        ts.doc_height = 4
+        result = eval_query(ts, parse_twig("//x"))
+        assert not result.empty
+        total = sum(k for out in result.out.values() for k in out.values())
+        assert total > 0
+        # Bounded propagation: geometric series truncated at doc_height.
+        assert total < 100
+
+
+class TestResultSketchStructure:
+    def test_root_binding(self, paper_document):
+        sketch = stable_sketch(paper_document)
+        result = eval_query(sketch, parse_twig("//a"))
+        assert result.root_key == (sketch.root_id, "q0")
+        assert result.bind["q0"] == [result.root_key]
+
+    def test_bind_lists_cover_all_nodes(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//p, //n ?)"))
+        bound = {key for keys in result.bind.values() for key in keys}
+        assert bound == set(result.label)
+
+    def test_counts_aggregate_multiple_embeddings(self):
+        # r -> a -> b and r -> c -> b: //b from root sums both paths.
+        from repro.xmltree.tree import XMLTree
+
+        tree = XMLTree.from_nested(("r", [("a", ["b"]), ("c", ["b", "b"])]))
+        sketch = stable_sketch(tree)
+        result = eval_query(sketch, parse_twig("//b"))
+        ks = [
+            k for out in result.out.values() for (dst, k) in out.items()
+            if dst[1] == "q1"
+        ]
+        assert sum(ks) == pytest.approx(3.0)

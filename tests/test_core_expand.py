@@ -1,0 +1,137 @@
+"""Unit tests for result-sketch expansion (repro.core.expand)."""
+
+import pytest
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import (
+    ExpansionLimitError,
+    expand_result,
+    expected_size,
+    satisfaction_fractions,
+)
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+
+
+def stable_sketch(tree):
+    return TreeSketch.from_stable(build_stable(tree))
+
+
+class TestExactOnStable:
+    QUERIES = [
+        "//a",
+        "//a (//p, //n)",
+        "//a[//b] ( //p ( //k ? ), //n ? )",
+        "//p (//k ?)",
+        "//a (//b)",      # prunes the bookless author
+        "//b (//k ?)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_expansion_equals_exact_nesting_tree(self, paper_document, text):
+        query = parse_twig(text)
+        truth = ExactEvaluator(paper_document).evaluate(query)
+        approx = expand_result(eval_query(stable_sketch(paper_document), query))
+        assert esd_nesting_trees(truth, approx) == 0.0
+        assert approx.size() == truth.size()
+        assert approx.binding_tuple_count() == truth.binding_tuple_count()
+
+
+class TestSatisfactionFractions:
+    def test_all_one_when_no_solid_children(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//p ?)"))
+        sat = satisfaction_fractions(result)
+        assert all(v == 1.0 for v in sat.values())
+
+    def test_zero_for_unsatisfied_binding(self, paper_document):
+        # //a (//b): the 2-paper author class has no b descendants.
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//b)"))
+        sat = satisfaction_fractions(result)
+        values = sorted(
+            sat[key] for key in result.bind["q1"]
+        )
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+    def test_fractional_counts_give_fractional_sat(self):
+        ts = TreeSketch()
+        ts.add_node(0, "r", 1)
+        ts.add_node(1, "a", 10)
+        ts.add_node(2, "b", 3)
+        for (s, d, avg) in [(0, 1, 10.0), (1, 2, 0.3)]:
+            ts.add_edge(s, d, avg)
+            ts.stats[(s, d)] = (ts.count[s] * avg, ts.count[s] * avg * avg)
+        ts.root_id = 0
+        ts.doc_height = 3
+        result = eval_query(ts, parse_twig("//a (/b)"))
+        sat = satisfaction_fractions(result)
+        a_key = result.bind["q1"][0]
+        assert sat[a_key] == pytest.approx(0.3)
+
+
+class TestBresenham:
+    def test_fractional_counts_distributed(self):
+        # 10 a's, avg 0.5 b's each -> exactly 5 b's materialized.
+        ts = TreeSketch()
+        ts.add_node(0, "r", 1)
+        ts.add_node(1, "a", 10)
+        ts.add_node(2, "b", 5)
+        for (s, d, avg) in [(0, 1, 10.0), (1, 2, 0.5)]:
+            ts.add_edge(s, d, avg)
+            ts.stats[(s, d)] = (ts.count[s] * avg, ts.count[s] * avg * avg)
+        ts.root_id = 0
+        ts.doc_height = 3
+        nt = expand_result(eval_query(ts, parse_twig("//a (/b ?)")))
+        a_nodes = nt.root.children
+        assert len(a_nodes) == 10
+        assert sum(len(a.children) for a in a_nodes) == 5
+
+    def test_expected_size_matches_expansion(self, paper_document):
+        query = parse_twig("//a (//p, //n ?)")
+        result = eval_query(stable_sketch(paper_document), query)
+        nt = expand_result(result)
+        assert expected_size(result) == pytest.approx(float(nt.size()), abs=1.5)
+
+
+class TestLimits:
+    def test_limit_raises(self, paper_document):
+        query = parse_twig("//a (//p, //n ?)")
+        result = eval_query(stable_sketch(paper_document), query)
+        with pytest.raises(ExpansionLimitError):
+            expand_result(result, max_nodes=3)
+
+    def test_limit_generous_enough(self, paper_document):
+        query = parse_twig("//a")
+        result = eval_query(stable_sketch(paper_document), query)
+        nt = expand_result(result, max_nodes=100)
+        assert nt.size() == 4  # root + 3 authors
+
+
+class TestEstimate:
+    def test_estimate_zero_for_empty(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//zzz"))
+        assert estimate_selectivity(result) == 0.0
+
+    def test_optional_clamped_at_one(self):
+        # a binds 10 elements with 0.3 optional b's: est = 10 * max(1, .3).
+        ts = TreeSketch()
+        ts.add_node(0, "r", 1)
+        ts.add_node(1, "a", 10)
+        ts.add_node(2, "b", 3)
+        for (s, d, avg) in [(0, 1, 10.0), (1, 2, 0.3)]:
+            ts.add_edge(s, d, avg)
+            ts.stats[(s, d)] = (ts.count[s] * avg, ts.count[s] * avg * avg)
+        ts.root_id = 0
+        ts.doc_height = 3
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        assert estimate_selectivity(result) == pytest.approx(10.0)
+
+    def test_solid_multiplies(self, paper_document):
+        query = parse_twig("//a (//p, //n)")
+        result = eval_query(stable_sketch(paper_document), query)
+        truth = ExactEvaluator(paper_document).selectivity(query)
+        assert estimate_selectivity(result) == pytest.approx(float(truth))

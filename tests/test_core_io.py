@@ -1,0 +1,70 @@
+"""Unit tests for synopsis persistence (repro.core.io)."""
+
+import json
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.io import load_synopsis, save_synopsis, synopsis_from_dict, synopsis_to_dict
+from repro.core.stable import StableSummary, build_stable, expand_stable
+from repro.core.treesketch import TreeSketch
+
+
+class TestStableRoundTrip:
+    def test_round_trip(self, paper_document, tmp_path):
+        stable = build_stable(paper_document)
+        path = tmp_path / "stable.json"
+        save_synopsis(stable, str(path))
+        loaded = load_synopsis(str(path))
+        assert isinstance(loaded, StableSummary)
+        assert loaded.num_nodes == stable.num_nodes
+        assert loaded.count == stable.count
+        assert loaded.depth == stable.depth
+        assert loaded.root_id == stable.root_id
+        assert loaded.doc_height == stable.doc_height
+
+    def test_loaded_stable_expands(self, paper_document, tmp_path):
+        stable = build_stable(paper_document)
+        path = tmp_path / "stable.json"
+        save_synopsis(stable, str(path))
+        loaded = load_synopsis(str(path))
+        assert len(expand_stable(loaded)) == len(paper_document)
+
+
+class TestTreeSketchRoundTrip:
+    def test_round_trip_preserves_error(self, paper_document, tmp_path):
+        sketch = build_treesketch(paper_document, 120)
+        path = tmp_path / "sketch.json"
+        save_synopsis(sketch, str(path))
+        loaded = load_synopsis(str(path))
+        assert isinstance(loaded, TreeSketch)
+        assert loaded.squared_error() == pytest.approx(sketch.squared_error())
+        assert loaded.size_bytes() == sketch.size_bytes()
+
+    def test_loaded_sketch_answers_queries(self, paper_document, tmp_path):
+        from repro.core.estimate import estimate_selectivity
+        from repro.core.evaluate import eval_query
+        from repro.query.parser import parse_twig
+
+        sketch = TreeSketch.from_stable(build_stable(paper_document))
+        path = tmp_path / "sketch.json"
+        save_synopsis(sketch, str(path))
+        loaded = load_synopsis(str(path))
+        query = parse_twig("//a (//p)")
+        assert estimate_selectivity(eval_query(loaded, query)) == pytest.approx(
+            estimate_selectivity(eval_query(sketch, query))
+        )
+
+
+class TestErrorHandling:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            synopsis_from_dict({"format": 1, "kind": "bogus"})
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            synopsis_from_dict({"format": 99, "kind": "stable"})
+
+    def test_dict_is_json_serializable(self, paper_document):
+        payload = synopsis_to_dict(build_stable(paper_document))
+        json.dumps(payload)

@@ -1,0 +1,139 @@
+"""Tests for incremental stable-summary maintenance."""
+
+import random
+
+import pytest
+
+from repro.core.maintain import StableMaintainer
+from repro.core.stable import build_stable, expand_stable
+from repro.xmltree.tree import XMLTree
+from tests.conftest import make_random_tree
+
+
+def summaries_equivalent(a, b) -> bool:
+    """Structural equality of two stable summaries up to class renaming.
+
+    The canonical form of a class is computed bottom-up (label + sorted
+    canonical child forms with counts), which is injective for stable
+    summaries.
+    """
+
+    def canonical(summary):
+        order = summary.topological_order()
+        form = {}
+        for nid in reversed(order):
+            children = tuple(sorted(
+                (form[c], int(k)) for c, k in summary.out.get(nid, {}).items()
+            ))
+            form[nid] = (summary.label[nid], children)
+        return sorted((form[nid], summary.count[nid]) for nid in summary.label)
+
+    return canonical(a) == canonical(b)
+
+
+def rebuild(tree: XMLTree):
+    return build_stable(XMLTree(tree.root))
+
+
+class TestBasics:
+    def test_initial_summary_matches_build_stable(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        assert summaries_equivalent(maintainer.summary(), build_stable(paper_document))
+
+    def test_insert_leaf(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        author = paper_document.root.children[0]
+        maintainer.insert_subtree(author, "n")
+        assert summaries_equivalent(maintainer.summary(), rebuild(paper_document))
+
+    def test_insert_subtree(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        author = paper_document.root.children[1]
+        maintainer.insert_subtree(author, ("p", ["y", "t", "k"]))
+        assert summaries_equivalent(maintainer.summary(), rebuild(paper_document))
+
+    def test_delete_subtree(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        victim = paper_document.root.children[0].children[0]  # a paper
+        maintainer.delete_subtree(victim)
+        assert summaries_equivalent(maintainer.summary(), rebuild(paper_document))
+
+    def test_delete_root_rejected(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        with pytest.raises(ValueError):
+            maintainer.delete_subtree(paper_document.root)
+
+    def test_reattach_deleted_subtree(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        victim = paper_document.root.children[0].children[0]
+        maintainer.delete_subtree(victim)
+        other_author = paper_document.root.children[2]
+        maintainer.insert_subtree(other_author, victim)
+        assert summaries_equivalent(maintainer.summary(), rebuild(paper_document))
+
+    def test_attached_spec_rejected(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        attached = paper_document.root.children[0]
+        with pytest.raises(ValueError):
+            maintainer.insert_subtree(paper_document.root, attached)
+
+
+class TestClassGC:
+    def test_empty_classes_collected(self):
+        tree = XMLTree.from_nested(("r", [("a", ["x"]), ("a", ["x"])]))
+        maintainer = StableMaintainer(tree)
+        before = maintainer.num_classes
+        # Make one 'a' unique, then revert: class count must return.
+        inserted = maintainer.insert_subtree(tree.root.children[0], "y")
+        grew = maintainer.num_classes
+        assert grew > before
+        maintainer.delete_subtree(inserted)
+        assert maintainer.num_classes == before
+
+    def test_counts_track_document(self, paper_document):
+        maintainer = StableMaintainer(paper_document)
+        total = sum(maintainer.summary().count.values())
+        assert total == len(list(paper_document.root.iter_preorder()))
+        maintainer.insert_subtree(paper_document.root.children[0], ("b", ["t"]))
+        total = sum(maintainer.summary().count.values())
+        assert total == len(list(paper_document.root.iter_preorder()))
+
+
+class TestRandomEditSequences:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_equivalence_after_random_edits(self, seed):
+        rng = random.Random(seed)
+        tree = make_random_tree(rng, 60)
+        maintainer = StableMaintainer(tree)
+        for step in range(40):
+            nodes = list(tree.root.iter_preorder())
+            if rng.random() < 0.55 or len(nodes) < 5:
+                parent = rng.choice(nodes)
+                depth = rng.randint(0, 2)
+                spec = _random_spec(rng, depth)
+                maintainer.insert_subtree(parent, spec)
+            else:
+                victim = rng.choice(nodes[1:])
+                maintainer.delete_subtree(victim)
+            if step % 10 == 9:
+                assert summaries_equivalent(maintainer.summary(), rebuild(tree))
+        assert summaries_equivalent(maintainer.summary(), rebuild(tree))
+
+    def test_summary_usable_downstream(self, paper_document):
+        """The exported summary feeds the normal pipeline."""
+        maintainer = StableMaintainer(paper_document)
+        maintainer.insert_subtree(paper_document.root.children[2], ("p", ["y", "t"]))
+        summary = maintainer.summary()
+        expanded = expand_stable(summary)
+        assert len(expanded) == len(list(paper_document.root.iter_preorder()))
+        from repro.core.build import build_treesketch
+
+        sketch = build_treesketch(summary, summary.size_bytes() // 2)
+        sketch.validate()
+
+
+def _random_spec(rng, depth):
+    label = rng.choice("abcdef")
+    if depth == 0:
+        return label
+    return (label, [_random_spec(rng, depth - 1) for _ in range(rng.randint(0, 3))])

@@ -1,0 +1,27 @@
+"""Unit tests for the synopsis size model."""
+
+from repro.core.size import EDGE_BYTES, NODE_BYTES, kb, synopsis_bytes
+
+
+class TestSizeModel:
+    def test_constants(self):
+        assert NODE_BYTES == 8
+        assert EDGE_BYTES == 8
+
+    def test_synopsis_bytes(self):
+        assert synopsis_bytes(0, 0) == 0
+        assert synopsis_bytes(10, 20) == 10 * NODE_BYTES + 20 * EDGE_BYTES
+
+    def test_kb(self):
+        assert kb(1024) == 1.0
+        assert kb(0) == 0.0
+        assert kb(512) == 0.5
+
+    def test_consistency_with_summaries(self, paper_document):
+        from repro.core.stable import build_stable
+        from repro.core.treesketch import TreeSketch
+
+        stable = build_stable(paper_document)
+        assert stable.size_bytes() == synopsis_bytes(stable.num_nodes, stable.num_edges)
+        sketch = TreeSketch.from_stable(stable)
+        assert sketch.size_bytes() == stable.size_bytes()

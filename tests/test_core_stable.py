@@ -1,0 +1,121 @@
+"""Unit tests for BUILD_STABLE / Expand (repro.core.stable)."""
+
+import random
+
+import pytest
+
+from repro.core.stable import build_stable, expand_stable, is_count_stable
+from repro.xmltree.tree import XMLTree
+from tests.conftest import make_random_tree
+
+
+class TestBuildStable:
+    def test_single_node(self):
+        s = build_stable(XMLTree.from_nested(("r", [])))
+        assert s.num_nodes == 1
+        assert s.num_edges == 0
+        assert s.count[s.root_id] == 1
+
+    def test_identical_leaves_share_class(self):
+        s = build_stable(XMLTree.from_nested(("r", ["a", "a", "a"])))
+        assert s.num_nodes == 2
+        (edge,) = list(s.edges())
+        assert edge[2] == 3  # r has 3 children in the a class
+
+    def test_same_label_different_structure_split(self):
+        tree = XMLTree.from_nested(("r", [("a", ["x"]), ("a", ["x", "x"])]))
+        s = build_stable(tree)
+        # Two a-classes (1 x-child vs 2 x-children).
+        assert len(s.nodes_with_label("a")) == 2
+
+    def test_figure3_documents_have_distinct_summaries(self, figure3_t1, figure3_t2):
+        """The motivating example: same twig-XSketch, different stable
+        summaries (paper Fig. 3(f))."""
+        s1 = build_stable(figure3_t1)
+        s2 = build_stable(figure3_t2)
+        # T1: both a's have one b1 and one b4 -> single a-class.
+        assert len(s1.nodes_with_label("a")) == 1
+        # T2: a1 has two b1's, a2 two b4's -> two a-classes.
+        assert len(s2.nodes_with_label("a")) == 2
+
+    def test_counts_partition_document(self, paper_document):
+        s = build_stable(paper_document)
+        assert sum(s.count.values()) == len(paper_document)
+
+    def test_respects_labels(self, paper_document):
+        s = build_stable(paper_document, keep_extents=True)
+        for nid, oids in s.extent.items():
+            labels = {paper_document.node(oid).label for oid in oids}
+            assert labels == {s.label[nid]}
+
+    def test_is_count_stable(self, paper_document):
+        s = build_stable(paper_document, keep_extents=True)
+        assert is_count_stable(paper_document, s.class_of())
+
+    def test_label_split_not_stable_in_general(self, figure3_t2):
+        # Assign purely by label: b's have different c-counts -> unstable.
+        assignment = {}
+        label_ids = {}
+        for node in figure3_t2:
+            cid = label_ids.setdefault(node.label, len(label_ids))
+            assignment[node.oid] = cid
+        assert not is_count_stable(figure3_t2, assignment)
+
+    def test_class_of_requires_extents(self, paper_document):
+        s = build_stable(paper_document)
+        with pytest.raises(ValueError):
+            s.class_of()
+
+    def test_depth_recorded(self, paper_document):
+        s = build_stable(paper_document)
+        assert s.depth[s.root_id] == paper_document.height
+        leaf_classes = [nid for nid in s.node_ids() if not s.out.get(nid)]
+        assert all(s.depth[nid] == 0 for nid in leaf_classes)
+
+    def test_doc_height_recorded(self, paper_document):
+        s = build_stable(paper_document)
+        assert s.doc_height == paper_document.height
+
+    def test_is_dag(self, paper_document):
+        assert build_stable(paper_document).is_dag()
+
+    def test_size_bytes_model(self, paper_document):
+        s = build_stable(paper_document)
+        assert s.size_bytes() == 8 * (s.num_nodes + s.num_edges)
+
+    def test_linear_runtime_smoke(self, rng):
+        # Not a timing assertion, just exercises a larger input.
+        tree = make_random_tree(rng, 5000)
+        s = build_stable(tree)
+        assert sum(s.count.values()) == len(tree)
+
+
+class TestExpand:
+    def test_expand_round_trip_paper_document(self, paper_document):
+        s = build_stable(paper_document)
+        expanded = expand_stable(s)
+        assert len(expanded) == len(paper_document)
+        # Re-summarizing the expansion yields an identical-shape summary.
+        s2 = build_stable(expanded)
+        assert s2.num_nodes == s.num_nodes
+        assert s2.num_edges == s.num_edges
+        assert sorted(s2.count.values()) == sorted(s.count.values())
+
+    def test_expand_round_trip_random(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, rng.randint(5, 200))
+            s = build_stable(tree)
+            expanded = expand_stable(s)
+            assert len(expanded) == len(tree)
+            s2 = build_stable(expanded)
+            assert s2.num_nodes == s.num_nodes
+            assert sorted(s2.count.values()) == sorted(s.count.values())
+
+    def test_expand_label_multiset_preserved(self, paper_document):
+        from collections import Counter
+
+        s = build_stable(paper_document)
+        expanded = expand_stable(s)
+        original = Counter(n.label for n in paper_document)
+        rebuilt = Counter(n.label for n in expanded)
+        assert original == rebuilt

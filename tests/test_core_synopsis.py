@@ -1,0 +1,92 @@
+"""Unit tests for the generic graph-synopsis model."""
+
+import pytest
+
+from repro.core.synopsis import GraphSynopsis
+
+
+def diamond():
+    """r -> a, b; a -> c; b -> c."""
+    g = GraphSynopsis()
+    g.add_node(0, "r", 1)
+    g.add_node(1, "a", 2)
+    g.add_node(2, "b", 3)
+    g.add_node(3, "c", 4)
+    g.add_edge(0, 1, 2.0)
+    g.add_edge(0, 2, 3.0)
+    g.add_edge(1, 3, 1.0)
+    g.add_edge(2, 3, 1.0)
+    g.root_id = 0
+    return g
+
+
+class TestBasics:
+    def test_counts(self):
+        g = diamond()
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+
+    def test_edges_iteration(self):
+        g = diamond()
+        assert sorted((s, d) for s, d, _ in g.edges()) == [
+            (0, 1), (0, 2), (1, 3), (2, 3)
+        ]
+
+    def test_children_of(self):
+        g = diamond()
+        assert g.children_of(0) == {1: 2.0, 2: 3.0}
+        assert g.children_of(3) == {}
+
+    def test_nodes_with_label(self):
+        g = diamond()
+        g.add_node(4, "a", 1)
+        assert sorted(g.nodes_with_label("a")) == [1, 4]
+
+    def test_parents_index(self):
+        parents = diamond().parents_index()
+        assert parents[3] == {1, 2}
+        assert parents[0] == set()
+
+
+class TestTopology:
+    def test_dag_topological_order(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for s, d, _ in g.edges():
+            assert pos[s] < pos[d]
+
+    def test_cycle_returns_none(self):
+        g = diamond()
+        g.add_edge(3, 0, 1.0)
+        assert g.topological_order() is None
+        assert not g.is_dag()
+
+    def test_topo_cache_invalidated_on_mutation(self):
+        g = diamond()
+        assert g.is_dag()
+        g.add_edge(3, 0, 1.0)
+        assert not g.is_dag()
+
+
+class TestValidate:
+    def test_valid_synopsis_passes(self):
+        diamond().validate()
+
+    def test_bad_root_rejected(self):
+        g = diamond()
+        g.root_id = 99
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_nonpositive_weight_rejected(self):
+        g = diamond()
+        g.add_edge(0, 3, 0.0)
+        with pytest.raises(AssertionError):
+            g.validate()
+
+    def test_nonpositive_count_rejected(self):
+        g = diamond()
+        g.count[1] = 0
+        with pytest.raises(AssertionError):
+            g.validate()

@@ -1,0 +1,100 @@
+"""Unit tests for the TreeSketch synopsis structure."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+
+
+class TestFromStable:
+    def test_zero_squared_error(self, paper_document):
+        ts = TreeSketch.from_stable(build_stable(paper_document))
+        assert ts.squared_error() == 0.0
+
+    def test_edges_equal_stable_counts(self, paper_document):
+        s = build_stable(paper_document)
+        ts = TreeSketch.from_stable(s)
+        for src, dst, k in s.edges():
+            assert ts.edge_average(src, dst) == float(k)
+
+    def test_counts_preserved(self, paper_document):
+        s = build_stable(paper_document)
+        ts = TreeSketch.from_stable(s)
+        assert ts.count == s.count
+
+    def test_validate_passes(self, paper_document):
+        TreeSketch.from_stable(build_stable(paper_document)).validate()
+
+    def test_size_matches_stable(self, paper_document):
+        s = build_stable(paper_document)
+        assert TreeSketch.from_stable(s).size_bytes() == s.size_bytes()
+
+
+class TestSquaredError:
+    def make_sketch(self):
+        """One node u (count 4) with children counts 1,1,4,4 toward v."""
+        ts = TreeSketch()
+        ts.add_node(0, "u", 4)
+        ts.add_node(1, "v", 10)
+        total = 1 + 1 + 4 + 4
+        sumsq = 1 + 1 + 16 + 16
+        ts.add_edge(0, 1, total / 4)
+        ts.stats[(0, 1)] = (total, sumsq)
+        ts.root_id = 0
+        return ts
+
+    def test_cluster_squared_error(self):
+        ts = self.make_sketch()
+        # mean 2.5; deviations (1.5,1.5,1.5,1.5) -> 4*2.25 = 9.
+        assert abs(ts.cluster_squared_error(0) - 9.0) < 1e-9
+
+    def test_total_is_sum_over_clusters(self):
+        ts = self.make_sketch()
+        assert ts.squared_error() == ts.cluster_squared_error(0)
+
+    def test_zero_for_constant_counts(self):
+        ts = TreeSketch()
+        ts.add_node(0, "u", 3)
+        ts.add_node(1, "v", 6)
+        ts.add_edge(0, 1, 2.0)
+        ts.stats[(0, 1)] = (6.0, 12.0)
+        ts.root_id = 0
+        assert ts.squared_error() == 0.0
+
+    def test_validate_rejects_inconsistent_average(self):
+        ts = self.make_sketch()
+        ts.out[0][1] = 99.0
+        with pytest.raises(AssertionError):
+            ts.validate()
+
+    def test_validate_rejects_dangling_stats(self):
+        ts = self.make_sketch()
+        ts.stats[(0, 5)] = (1.0, 1.0)
+        with pytest.raises(AssertionError):
+            ts.validate()
+
+
+class TestTopology:
+    def test_stable_sketch_is_dag(self, paper_document):
+        ts = TreeSketch.from_stable(build_stable(paper_document))
+        assert ts.is_dag()
+        order = ts.topological_order()
+        position = {nid: i for i, nid in enumerate(order)}
+        for src, dst, _ in ts.edges():
+            assert position[src] < position[dst]
+
+    def test_cycle_detected(self):
+        ts = TreeSketch()
+        ts.add_node(0, "a", 2)
+        ts.add_node(1, "a", 2)
+        ts.add_edge(0, 1, 1.0)
+        ts.add_edge(1, 0, 1.0)
+        ts.root_id = 0
+        assert not ts.is_dag()
+        assert ts.topological_order() is None
+
+    def test_parents_index(self, paper_document):
+        ts = TreeSketch.from_stable(build_stable(paper_document))
+        parents = ts.parents_index()
+        for src, dst, _ in ts.edges():
+            assert src in parents[dst]

@@ -1,0 +1,52 @@
+"""Tests for corpus materialization."""
+
+import os
+
+import pytest
+
+from repro.datagen.corpus import available_datasets, read_manifest, write_corpus
+from repro.xmltree.parser import parse_xml_file
+
+
+class TestWriteCorpus:
+    def test_writes_files_and_manifest(self, tmp_path):
+        written = write_corpus(str(tmp_path), names=["XMark-TX"], scale=0.05)
+        assert set(written) == {"XMark-TX"}
+        assert os.path.exists(written["XMark-TX"])
+        manifest = read_manifest(str(tmp_path))
+        assert "XMark-TX" in manifest["documents"]
+        assert manifest["scale"] == 0.05
+
+    def test_files_parse_back(self, tmp_path):
+        written = write_corpus(str(tmp_path), names=["IMDB-TX"], scale=0.05)
+        tree = parse_xml_file(written["IMDB-TX"])
+        manifest = read_manifest(str(tmp_path))
+        assert len(tree) == manifest["documents"]["IMDB-TX"]["elements"]
+
+    def test_scale_shrinks_documents(self, tmp_path):
+        small = write_corpus(str(tmp_path / "s"), names=["SProt-TX"], scale=0.02)
+        large = write_corpus(str(tmp_path / "l"), names=["SProt-TX"], scale=0.1)
+        n_small = read_manifest(str(tmp_path / "s"))["documents"]["SProt-TX"]["elements"]
+        n_large = read_manifest(str(tmp_path / "l"))["documents"]["SProt-TX"]["elements"]
+        assert n_small < n_large
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_corpus(str(tmp_path), names=["nope"])
+
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert "XMark-TX" in names
+        assert "DBLP" in names
+        assert len(names) == 7
+
+    def test_end_to_end_with_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        written = write_corpus(str(tmp_path), names=["IMDB-TX"], scale=0.02)
+        sketch_path = str(tmp_path / "sketch.json")
+        assert main(["build", written["IMDB-TX"], "--budget-kb", "4",
+                     "-o", sketch_path]) == 0
+        capsys.readouterr()
+        assert main(["query", sketch_path, "//movie (/title)"]) == 0
+        assert "estimated binding tuples" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic data generators."""
+
+import random
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.datagen.datasets import dblp_like, imdb_like, sprot_like, xmark_like
+from repro.datagen.synthetic import (
+    Choice,
+    Fixed,
+    Geometric,
+    LabelSchema,
+    SchemaGenerator,
+    Uniform,
+    Zipf,
+    profile,
+)
+from repro.xmltree.stats import compute_stats
+
+
+class TestDistributions:
+    def test_fixed(self):
+        assert Fixed(3).sample(random.Random(0)) == 3
+        assert Fixed(3).mean() == 3.0
+
+    def test_uniform_bounds(self):
+        rng = random.Random(1)
+        samples = [Uniform(2, 5).sample(rng) for _ in range(200)]
+        assert min(samples) >= 2 and max(samples) <= 5
+        assert Uniform(2, 5).mean() == 3.5
+
+    def test_geometric_cap(self):
+        rng = random.Random(2)
+        samples = [Geometric(0.9, cap=4).sample(rng) for _ in range(200)]
+        assert max(samples) <= 4
+
+    def test_zipf_skewed_to_low(self):
+        rng = random.Random(3)
+        samples = [Zipf(1, 10, alpha=2.0).sample(rng) for _ in range(500)]
+        assert samples.count(1) > samples.count(10)
+        assert 1 <= Zipf(1, 10).mean() <= 10
+
+    def test_choice_weights(self):
+        rng = random.Random(4)
+        dist = Choice((0, 5), (0.9, 0.1))
+        samples = [dist.sample(rng) for _ in range(300)]
+        assert samples.count(0) > samples.count(5)
+        assert dist.mean() == pytest.approx(0.5)
+
+
+class TestSchemaGenerator:
+    def test_deterministic_per_seed(self):
+        t1 = imdb_like(scale=0.2, seed=9)
+        t2 = imdb_like(scale=0.2, seed=9)
+        assert [n.label for n in t1] == [n.label for n in t2]
+
+    def test_different_seeds_differ(self):
+        t1 = imdb_like(scale=0.2, seed=1)
+        t2 = imdb_like(scale=0.2, seed=2)
+        assert [n.label for n in t1] != [n.label for n in t2]
+
+    def test_scale_controls_size(self):
+        small = imdb_like(scale=0.2, seed=0)
+        large = imdb_like(scale=1.0, seed=0)
+        assert len(large) > len(small) * 2
+
+    def test_recursion_terminates(self):
+        schema = {
+            "r": LabelSchema((profile(1.0, ("s", Fixed(3))),)),
+            "s": LabelSchema((profile(1.0, ("s", Uniform(0, 2))),)),
+        }
+        gen = SchemaGenerator("r", schema, recursion_decay=0.4, max_depth=10)
+        tree = gen.generate(seed=0)
+        assert tree.height <= 10
+
+    def test_max_depth_hard_cap(self):
+        schema = {"r": LabelSchema((profile(1.0, ("r", Fixed(1))),))}
+        gen = SchemaGenerator("r", schema, recursion_decay=1.0, max_depth=5)
+        assert gen.generate(0).height <= 5
+
+    def test_recursive_label_detection(self):
+        schema = {
+            "a": LabelSchema((profile(1.0, ("b", Fixed(1))),)),
+            "b": LabelSchema((profile(1.0, ("a", Fixed(1)), ("c", Fixed(1))),)),
+        }
+        gen = SchemaGenerator("a", schema, max_depth=8)
+        assert gen._recursive_labels == {"a", "b"}
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "generator,root",
+        [(imdb_like, "imdb"), (xmark_like, "site"), (sprot_like, "sprot"), (dblp_like, "dblp")],
+    )
+    def test_root_labels(self, generator, root):
+        tree = generator(scale=0.1, seed=0)
+        assert tree.root.label == root
+
+    def test_xmark_has_recursion(self):
+        tree = xmark_like(scale=1.0, seed=0)
+        # Some parlist nested under a listitem (under a parlist).
+        nested = [
+            n for n in tree.nodes_with_label("parlist")
+            if n.parent is not None and n.parent.label == "listitem"
+        ]
+        assert nested
+
+    def test_stable_summary_is_much_smaller_than_document(self):
+        for generator in (imdb_like, xmark_like, sprot_like, dblp_like):
+            tree = generator(scale=1.0, seed=0)
+            stable = build_stable(tree)
+            assert stable.num_nodes < len(tree) * 0.35
+
+    def test_dblp_most_regular(self):
+        """DBLP's stable summary is the smallest relative to its size, as
+        in the paper's Table 1."""
+        ratios = {}
+        for name, generator in [
+            ("imdb", imdb_like), ("xmark", xmark_like), ("dblp", dblp_like)
+        ]:
+            tree = generator(scale=1.0, seed=0)
+            ratios[name] = build_stable(tree).num_nodes / len(tree)
+        assert ratios["dblp"] < ratios["imdb"]
+        assert ratios["dblp"] < ratios["xmark"]
+
+    def test_imdb_bimodal_cast(self):
+        tree = imdb_like(scale=1.0, seed=0)
+        sizes = [len(c.children) for c in tree.nodes_with_label("cast")]
+        small = sum(1 for s in sizes if s <= 5)
+        large = sum(1 for s in sizes if s >= 6)
+        assert small > 0 and large > 0
+
+    def test_stats_smoke(self):
+        stats = compute_stats(sprot_like(scale=0.3, seed=1))
+        assert stats.num_elements > 100
+        assert stats.height >= 3

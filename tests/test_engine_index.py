@@ -1,0 +1,65 @@
+"""Unit tests for the document index (repro.engine.index)."""
+
+import pytest
+
+from repro.engine.index import DocumentIndex
+from repro.xmltree.tree import XMLTree
+from tests.conftest import make_random_tree
+
+
+class TestChildren:
+    def test_children_with_label(self, paper_document):
+        index = DocumentIndex(paper_document)
+        root = paper_document.root
+        assert len(index.children_with_label(root, "a")) == 3
+        assert index.children_with_label(root, "p") == []
+
+    def test_children_wildcard(self, paper_document):
+        index = DocumentIndex(paper_document)
+        assert len(index.children_with_label(paper_document.root, "*")) == 3
+
+
+class TestDescendants:
+    def test_descendants_with_label(self, paper_document):
+        index = DocumentIndex(paper_document)
+        assert len(index.descendants_with_label(paper_document.root, "k")) == 5
+
+    def test_descendants_scoped_to_subtree(self, paper_document):
+        index = DocumentIndex(paper_document)
+        first_author = paper_document.root.children[0]
+        ks = index.descendants_with_label(first_author, "k")
+        assert len(ks) == 3
+        for k in ks:
+            assert paper_document.is_ancestor(first_author, k)
+
+    def test_descendants_exclude_self(self):
+        tree = XMLTree.from_nested(("a", [("a", [])]))
+        index = DocumentIndex(tree)
+        assert len(index.descendants_with_label(tree.root, "a")) == 1
+
+    def test_descendants_wildcard(self, paper_document):
+        index = DocumentIndex(paper_document)
+        assert (
+            len(index.descendants_with_label(paper_document.root, "*"))
+            == len(paper_document) - 1
+        )
+
+    def test_unknown_label(self, paper_document):
+        index = DocumentIndex(paper_document)
+        assert index.descendants_with_label(paper_document.root, "zzz") == []
+
+    def test_count_matches_list(self, rng):
+        tree = make_random_tree(rng, 300)
+        index = DocumentIndex(tree)
+        for node in list(tree)[::17]:
+            for label in "abc":
+                assert index.count_descendants_with_label(node, label) == len(
+                    index.descendants_with_label(node, label)
+                )
+
+    def test_document_order(self, rng):
+        tree = make_random_tree(rng, 200)
+        index = DocumentIndex(tree)
+        targets = index.descendants_with_label(tree.root, "a")
+        oids = [t.oid for t in targets]
+        assert oids == sorted(oids)

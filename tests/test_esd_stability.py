@@ -1,0 +1,47 @@
+"""Stability properties of ESD: symmetry and interning-order independence."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.esd import ESDCalculator, esd
+from repro.testing import make_random_tree
+
+
+@st.composite
+def tree_pairs(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    t1 = make_random_tree(rng, rng.randint(1, 35), labels="abc")
+    t2 = make_random_tree(rng, rng.randint(1, 35), labels="abc")
+    return t1, t2
+
+
+@given(tree_pairs())
+@settings(max_examples=60, deadline=None)
+def test_symmetry(pair):
+    t1, t2 = pair
+    assert abs(esd(t1, t2) - esd(t2, t1)) < 1e-9
+
+
+@given(tree_pairs())
+@settings(max_examples=40, deadline=None)
+def test_interning_order_independence(pair):
+    """The distance must not depend on which tree a calculator saw first."""
+    t1, t2 = pair
+    first = ESDCalculator()
+    first.classify_order_marker = first.distance(t1, t2)
+    second = ESDCalculator()
+    # Prime the second calculator with t2 first, then compare.
+    second._classes.classify(t2.root)
+    assert abs(second.distance(t1, t2) - first.classify_order_marker) < 1e-9
+
+
+@given(tree_pairs())
+@settings(max_examples=40, deadline=None)
+def test_shared_calculator_matches_fresh(pair):
+    t1, t2 = pair
+    shared = ESDCalculator()
+    # Unrelated prior comparisons must not change later distances.
+    shared.distance(t2, t2.copy())
+    assert abs(shared.distance(t1, t2) - esd(t1, t2)) < 1e-9

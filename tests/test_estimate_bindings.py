@@ -1,0 +1,50 @@
+"""Tests for per-variable binding estimates."""
+
+import pytest
+
+from repro.core.estimate import estimate_bindings
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.query.parser import parse_twig
+
+
+def stable_sketch(tree):
+    return TreeSketch.from_stable(build_stable(tree))
+
+
+class TestEstimateBindings:
+    def test_root_is_one(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a"))
+        assert estimate_bindings(result)["q0"] == 1.0
+
+    def test_exact_on_stable(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//a (//p)"))
+        bindings = estimate_bindings(result)
+        assert bindings["q1"] == pytest.approx(3.0)  # 3 authors
+        assert bindings["q2"] == pytest.approx(4.0)  # 4 papers
+
+    def test_descendant_counts(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//k"))
+        assert estimate_bindings(result)["q1"] == pytest.approx(5.0)
+
+    def test_empty_result(self, paper_document):
+        result = eval_query(stable_sketch(paper_document), parse_twig("//zzz"))
+        bindings = estimate_bindings(result)
+        assert bindings["q0"] == 1.0
+        assert bindings["q1"] == 0.0
+
+    def test_optional_variable_counted(self, paper_document):
+        result = eval_query(
+            stable_sketch(paper_document), parse_twig("//p (//k ?)")
+        )
+        bindings = estimate_bindings(result)
+        assert bindings["q2"] == pytest.approx(5.0)
+
+    def test_all_variables_present(self, paper_document):
+        result = eval_query(
+            stable_sketch(paper_document), parse_twig("//a (//p (//zzz ?), //n ?)")
+        )
+        bindings = estimate_bindings(result)
+        assert set(bindings) == {"q0", "q1", "q2", "q3", "q4"}
+        assert bindings["q3"] == 0.0

@@ -1,0 +1,90 @@
+"""Additional EVALQUERY coverage: wildcards, optional binds, deep paths."""
+
+import pytest
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+from repro.xmltree.tree import XMLTree
+
+
+def sketch_of(tree):
+    return TreeSketch.from_stable(build_stable(tree))
+
+
+class TestWildcards:
+    def test_wildcard_child_counts_everything(self, paper_document):
+        q = parse_twig("/*")
+        truth = ExactEvaluator(paper_document).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(paper_document), q))
+        assert est == pytest.approx(float(truth))
+
+    def test_wildcard_descendant(self, paper_document):
+        q = parse_twig("//*")
+        truth = ExactEvaluator(paper_document).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(paper_document), q))
+        assert est == pytest.approx(float(truth))
+
+    def test_wildcard_mid_path(self, paper_document):
+        q = parse_twig("/a/*/k")
+        truth = ExactEvaluator(paper_document).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(paper_document), q))
+        assert est == pytest.approx(float(truth))
+
+
+class TestOptionalBindings:
+    def test_optional_children_still_bound(self, paper_document):
+        result = eval_query(sketch_of(paper_document), parse_twig("//a (//p ?)"))
+        assert result.bind.get("q2")
+
+    def test_empty_optional_bind_missing(self, paper_document):
+        result = eval_query(sketch_of(paper_document), parse_twig("//a (//zzz ?)"))
+        assert not result.bind.get("q2")
+        assert not result.empty
+
+    def test_alternating_solid_optional(self, paper_document):
+        q = parse_twig("//a (//p, //zzz ?, //n)")
+        result = eval_query(sketch_of(paper_document), q)
+        assert not result.empty
+        truth = ExactEvaluator(paper_document).selectivity(q)
+        assert estimate_selectivity(result) == pytest.approx(float(truth))
+
+
+class TestDeepPaths:
+    def test_long_child_chain(self):
+        tree = XMLTree.from_nested(
+            ("r", [("a", [("b", [("c", [("d", ["e"])])])])] * 3)
+        )
+        q = parse_twig("/a/b/c/d/e")
+        truth = ExactEvaluator(tree).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(tree), q))
+        assert est == pytest.approx(float(truth))
+
+    def test_descendant_through_depth(self):
+        tree = XMLTree.from_nested(
+            ("r", [("a", [("x", [("x", [("k", [])])])]), ("a", [("k", [])])])
+        )
+        q = parse_twig("//a (//k)")
+        truth = ExactEvaluator(tree).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(tree), q))
+        assert est == pytest.approx(float(truth))
+
+    def test_query_with_repeated_variable_labels(self, paper_document):
+        # Same label bound to two different variables.
+        q = parse_twig("//p (//t), //b (//t)")
+        truth = ExactEvaluator(paper_document).selectivity(q)
+        est = estimate_selectivity(eval_query(sketch_of(paper_document), q))
+        assert est == pytest.approx(float(truth))
+
+
+class TestSketchReuse:
+    def test_sequential_queries_independent(self, paper_document):
+        sketch = sketch_of(paper_document)
+        ev = ExactEvaluator(paper_document)
+        for text in ["//a", "//p (//k ?)", "//a[//b]", "//zzz"]:
+            q = parse_twig(text)
+            est = estimate_selectivity(eval_query(sketch, q))
+            assert est == pytest.approx(float(ev.selectivity(q)))

@@ -1,0 +1,36 @@
+"""Smoke test: the quickstart example must keep running end to end.
+
+The heavier examples (minutes of generation + evaluation) are exercised
+manually / in benchmarks; quickstart is cheap enough to guard in CI.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+
+def load_example(name):
+    path = pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "document: 28 elements" in out
+        assert "count-stable summary" in out
+        assert "approximate" in out
+        assert "exact" in out
+        assert "ESD" in out
+
+    def test_quickstart_numbers(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        # The exact side of the quickstart is deterministic.
+        assert "2 binding tuples" in out

@@ -1,0 +1,74 @@
+"""Determinism and distribution properties of result-sketch expansion."""
+
+import pytest
+
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+
+
+def two_level_sketch(num_parents, avg_children):
+    ts = TreeSketch()
+    ts.add_node(0, "r", 1)
+    ts.add_node(1, "a", num_parents)
+    ts.add_node(2, "b", max(1, int(num_parents * avg_children)))
+    for (s, d, avg) in [(0, 1, float(num_parents)), (1, 2, avg_children)]:
+        ts.add_edge(s, d, avg)
+        ts.stats[(s, d)] = (ts.count[s] * avg, ts.count[s] * avg * avg)
+    ts.root_id = 0
+    ts.doc_height = 3
+    return ts
+
+
+class TestDeterminism:
+    def test_repeated_expansion_identical(self, paper_document):
+        sketch = TreeSketch.from_stable(build_stable(paper_document))
+        query = parse_twig("//a (//p, //n ?)")
+        a = expand_result(eval_query(sketch, query))
+        b = expand_result(eval_query(sketch, query))
+        assert esd_nesting_trees(a, b) == 0.0
+
+
+class TestApportioning:
+    @pytest.mark.parametrize("avg", [0.25, 0.5, 1.5, 2.75])
+    def test_totals_preserved(self, avg):
+        n = 40
+        ts = two_level_sketch(n, avg)
+        nt = expand_result(eval_query(ts, parse_twig("//a (/b ?)")))
+        total_children = sum(len(a.children) for a in nt.root.children)
+        assert total_children == pytest.approx(n * avg, abs=1.0)
+
+    @pytest.mark.parametrize("avg", [0.5, 1.5])
+    def test_children_spread_evenly(self, avg):
+        n = 40
+        ts = two_level_sketch(n, avg)
+        nt = expand_result(eval_query(ts, parse_twig("//a (/b ?)")))
+        counts = [len(a.children) for a in nt.root.children]
+        # Bresenham: per-occurrence counts differ by at most 1.
+        assert max(counts) - min(counts) <= 1
+
+    def test_phases_decorrelate_sibling_edges(self):
+        # One parent class with 4 child classes at avg 0.5 each: without
+        # phase staggering every occurrence would get all-or-nothing.
+        ts = TreeSketch()
+        ts.add_node(0, "r", 1)
+        ts.add_node(1, "a", 20)
+        for i in range(4):
+            ts.add_node(2 + i, f"b{i}", 10)
+        ts.add_edge(0, 1, 20.0)
+        ts.stats[(0, 1)] = (20.0, 400.0)
+        for i in range(4):
+            ts.add_edge(1, 2 + i, 0.5)
+            ts.stats[(1, 2 + i)] = (10.0, 10.0)
+        ts.root_id = 0
+        ts.doc_height = 3
+        query = parse_twig("//a (/b0 ?, /b1 ?, /b2 ?, /b3 ?)")
+        nt = expand_result(eval_query(ts, query))
+        counts = sorted(len(a.children) for a in nt.root.children)
+        # Each occurrence should get about 2 of the 4 half-count children,
+        # never all 4 in one and 0 in the next.
+        assert counts[0] >= 1
+        assert counts[-1] <= 3

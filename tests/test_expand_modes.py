@@ -1,0 +1,89 @@
+"""Tests for expansion modes: deterministic, variance-aware, stochastic."""
+
+import pytest
+
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+
+
+def bimodal_sketch():
+    """One a-cluster whose b-counts were {1,1,4,4} before merging."""
+    ts = TreeSketch()
+    ts.add_node(0, "r", 1)
+    ts.add_node(1, "a", 4)
+    ts.add_node(2, "b", 10)
+    ts.add_edge(0, 1, 4.0)
+    ts.stats[(0, 1)] = (4.0, 16.0)
+    ts.add_edge(1, 2, 2.5)
+    ts.stats[(1, 2)] = (10.0, 34.0)  # counts 1,1,4,4
+    ts.root_id = 0
+    ts.doc_height = 3
+    return ts
+
+
+class TestVarianceAware:
+    def test_two_point_reconstruction(self):
+        ts = bimodal_sketch()
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        nt = expand_result(result, sketch=ts)
+        counts = sorted(len(a.children) for a in nt.root.children)
+        # {1,1,4,4} reconstructed exactly from mean 2.5 / var 2.25.
+        assert counts == [1, 1, 4, 4]
+
+    def test_mean_mode_flattens(self):
+        ts = bimodal_sketch()
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        nt = expand_result(result)  # no sketch: mean expansion
+        counts = sorted(len(a.children) for a in nt.root.children)
+        assert counts in ([2, 2, 3, 3], [2, 3, 2, 3], [2, 3, 3, 2])
+        assert sum(counts) == 10
+
+    def test_exact_on_stable(self, paper_document):
+        stable = build_stable(paper_document)
+        ts = TreeSketch.from_stable(stable)
+        from repro.engine.exact import ExactEvaluator
+
+        q = parse_twig("//a (//p, //n ?)")
+        truth = ExactEvaluator(paper_document).evaluate(q)
+        nt = expand_result(eval_query(ts, q), sketch=ts)
+        assert esd_nesting_trees(truth, nt) == 0.0
+
+    def test_descendant_edges_not_affected(self, paper_document):
+        # Descendant edges cannot map to one synopsis edge; both modes
+        # must agree there.
+        ts = TreeSketch.from_stable(build_stable(paper_document))
+        q = parse_twig("//a (//k ?)")
+        a = expand_result(eval_query(ts, q))
+        b = expand_result(eval_query(ts, q), sketch=ts)
+        assert esd_nesting_trees(a, b) == 0.0
+
+
+class TestStochasticMode:
+    def test_deterministic_per_seed(self):
+        ts = bimodal_sketch()
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        a = expand_result(result, sketch=ts, seed=7)
+        b = expand_result(result, sketch=ts, seed=7)
+        assert esd_nesting_trees(a, b) == 0.0
+
+    def test_mean_preserved_in_expectation(self):
+        ts = bimodal_sketch()
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        totals = []
+        for seed in range(30):
+            nt = expand_result(result, sketch=ts, seed=seed)
+            totals.append(sum(len(a.children) for a in nt.root.children))
+        avg = sum(totals) / len(totals)
+        assert avg == pytest.approx(10.0, rel=0.2)
+
+    def test_samples_come_from_support(self):
+        ts = bimodal_sketch()
+        result = eval_query(ts, parse_twig("//a (/b ?)"))
+        for seed in range(10):
+            nt = expand_result(result, sketch=ts, seed=seed)
+            for a in nt.root.children:
+                assert len(a.children) in (1, 4)

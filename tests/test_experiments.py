@@ -1,0 +1,90 @@
+"""Smoke tests for the experiment harness (fast, tiny configurations)."""
+
+import os
+
+import pytest
+
+from repro.experiments.ablations import (
+    build_treesketch_topdown,
+    pool_window_ablation,
+    spearman_rank_correlation,
+    sq_error_vs_esd,
+)
+from repro.experiments.harness import Bundle, budgets_kb, load_bundle, workload_size
+from repro.experiments.reporting import format_table
+from repro.core.stable import build_stable
+from repro.datagen.datasets import imdb_like
+from repro.workload.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    tree = imdb_like(scale=0.5, seed=8)
+    stable = build_stable(tree)
+    wl = make_workload(tree, num_queries=12, seed=1, stable=stable)
+    return Bundle(name="tiny", tree=tree, stable=stable, workload=wl)
+
+
+class TestHarness:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOAD_SIZE", raising=False)
+        monkeypatch.delenv("REPRO_BUDGETS_KB", raising=False)
+        assert workload_size() == 120
+        assert budgets_kb() == [10, 20, 30, 40, 50]
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_SIZE", "7")
+        monkeypatch.setenv("REPRO_BUDGETS_KB", "5,15")
+        assert workload_size() == 7
+        assert budgets_kb() == [5, 15]
+
+    def test_bundle_treesketch_sweep(self, small_bundle):
+        budgets = [4096, 2048]
+        sweep = small_bundle.treesketch_sweep(budgets)
+        assert set(sweep) == set(budgets)
+        for budget, sketch in sweep.items():
+            floor = len(set(sketch.label.values()))
+            assert sketch.size_bytes() <= budget or sketch.num_nodes == floor
+
+    def test_bundle_caches_sketches(self, small_bundle):
+        a = small_bundle.treesketch(2048)
+        b = small_bundle.treesketch(2048)
+        assert a is b
+
+    def test_load_bundle_cached(self):
+        a = load_bundle("IMDB-TX", num_queries=5)
+        b = load_bundle("IMDB-TX", num_queries=5)
+        assert a is b
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2.5], [30, 4000.0]])
+        assert "Title" in text
+        assert "bb" in text
+        assert "4,000" in text
+
+    def test_format_empty(self):
+        text = format_table("T", ["x"], [])
+        assert "T" in text
+
+
+class TestAblations:
+    def test_topdown_builder(self, small_bundle):
+        sketch = build_treesketch_topdown(small_bundle.stable, 3000)
+        sketch.validate()
+        assert sketch.num_nodes >= len(set(sketch.label.values()))
+
+    def test_pool_window_rows(self, small_bundle):
+        rows = pool_window_ablation(small_bundle, budget_kb=2, windows=(4, None))
+        assert len(rows) == 2
+        assert rows[0][0] == 4
+        assert rows[1][0] == "exhaustive"
+
+    def test_sq_error_vs_esd_rows(self, small_bundle):
+        rows = sq_error_vs_esd(small_bundle, budgets_kb=[4, 2], esd_queries=4)
+        assert len(rows) == 2
+
+    def test_spearman(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)

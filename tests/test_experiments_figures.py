@@ -1,0 +1,84 @@
+"""Unit-level runs of the table/figure harness on a tiny data set.
+
+The benchmarks exercise these paths at full scale; this module keeps them
+covered inside the fast unit suite using a miniature registered data set.
+"""
+
+import pytest
+
+import repro.experiments.harness as harness
+from repro.datagen.datasets import imdb_like
+from repro.experiments.figures import fig11_series, fig12_series, fig13_series
+from repro.experiments.sensitivity import workload_sensitivity
+from repro.experiments.tables import table1_rows, table2_rows
+from repro.xsketch.build import XSketchBuildOptions
+
+TINY = "TINY-UNIT"
+
+
+@pytest.fixture(autouse=True)
+def tiny_dataset(monkeypatch):
+    monkeypatch.setitem(harness._ALL_GENERATORS, TINY, lambda: imdb_like(scale=0.35, seed=3))
+    monkeypatch.setenv("REPRO_WORKLOAD_SIZE", "12")
+    monkeypatch.setenv("REPRO_ESD_QUERIES", "4")
+    # Fresh bundle cache so env changes take effect.
+    harness._BUNDLES.clear()
+    yield
+    harness._BUNDLES.clear()
+
+
+class TestTablesHarness:
+    def test_table1(self):
+        rows = table1_rows(names=[TINY])
+        (row,) = rows
+        assert row[0] == TINY
+        assert row[1] > 100  # elements
+        assert row[3] > 0    # stable KB
+
+    def test_table2(self):
+        rows = table2_rows(names=[TINY])
+        (row,) = rows
+        assert row[1] >= 1.0
+
+
+class TestFiguresHarness:
+    def test_fig12_series(self):
+        rows = fig12_series(
+            TINY,
+            budgets=[2, 4],
+            xsketch_options=XSketchBuildOptions(sample_size=4, candidate_clusters=2),
+        )
+        assert [row[0] for row in rows] == [2, 4]
+        for _kb, ts_err, xs_err in rows:
+            assert 0.0 <= ts_err < 200.0
+            assert 0.0 <= xs_err < 200.0
+
+    def test_fig11_series(self):
+        rows = fig11_series(
+            TINY,
+            budgets=[3],
+            esd_queries=3,
+            xsketch_options=XSketchBuildOptions(sample_size=4, candidate_clusters=2),
+        )
+        (row,) = rows
+        assert row[0] == 3
+        assert row[1] >= 0.0 and row[2] >= 0.0
+
+    def test_fig13_series(self):
+        series = fig13_series(names=[TINY], budgets=[2, 4])
+        rows = series[TINY]
+        assert len(rows) == 2
+        # More budget can't make TreeSketch (much) worse.
+        assert rows[1][1] <= rows[0][1] + 1.0
+
+
+class TestSensitivityHarness:
+    def test_two_variations(self):
+        bundle = harness.load_bundle(TINY)
+        rows = workload_sensitivity(
+            bundle, budget_kb=3, num_queries=8,
+            variations={"default": {}, "child only": {"descendant_prob": 0.0}},
+        )
+        assert len(rows) == 2
+        for _name, avg_err, max_err in rows:
+            assert 0.0 <= avg_err <= max_err

@@ -1,0 +1,22 @@
+"""Unit tests for the report generator's formatting helpers."""
+
+from repro.experiments.report import _markdown_table
+
+
+class TestMarkdownTable:
+    def test_header_and_separator(self):
+        lines = _markdown_table(["a", "b"], [[1, 2.5]])
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+
+    def test_number_formatting(self):
+        lines = _markdown_table(["x"], [[1234567], [3.14159]])
+        assert "| 1,234,567 |" in lines
+        assert "| 3.14 |" in lines
+
+    def test_strings_passthrough(self):
+        lines = _markdown_table(["x"], [["hello"]])
+        assert "| hello |" in lines
+
+    def test_trailing_blank_line(self):
+        assert _markdown_table(["x"], [])[-1] == ""

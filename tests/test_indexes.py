@@ -1,0 +1,111 @@
+"""Unit tests for the 1-index / A(k)-index partitions."""
+
+import pytest
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.engine.exact import ExactEvaluator
+from repro.indexes.ak import (
+    ak_index_partition,
+    ak_sketch,
+    one_index_partition,
+    partition_sketch,
+)
+from repro.query.parser import parse_twig
+from repro.xmltree.tree import XMLTree
+from tests.conftest import make_random_tree
+
+
+class TestPartitions:
+    def test_a0_is_label_split(self, paper_document):
+        assignment = ak_index_partition(paper_document, 0)
+        by_class = {}
+        for node in paper_document:
+            by_class.setdefault(assignment[node.oid], set()).add(node.label)
+        # one label per class and one class per label
+        assert all(len(labels) == 1 for labels in by_class.values())
+        assert len(by_class) == len(paper_document.labels)
+
+    def test_one_index_groups_by_root_path(self, paper_document):
+        assignment = one_index_partition(paper_document)
+        paths = {}
+        for node in paper_document:
+            path = tuple(node.path_from_root())
+            cid = assignment[node.oid]
+            assert paths.setdefault(cid, path) == path
+
+    def test_refinement_chain(self, rng):
+        tree = make_random_tree(rng, 300)
+        sizes = [
+            len(set(ak_index_partition(tree, k).values()))
+            for k in range(0, tree.height + 1)
+        ]
+        assert sizes == sorted(sizes)  # finer with growing k
+        assert sizes[-1] == len(set(one_index_partition(tree).values()))
+
+    def test_large_k_equals_one_index(self, paper_document):
+        a = ak_index_partition(paper_document, 50)
+        b = one_index_partition(paper_document)
+        # same partition up to renaming
+        mapping = {}
+        for oid in a:
+            assert mapping.setdefault(a[oid], b[oid]) == b[oid]
+
+    def test_negative_k_rejected(self, paper_document):
+        with pytest.raises(ValueError):
+            ak_index_partition(paper_document, -1)
+
+    def test_distinguishes_context(self):
+        # n under a vs n under b: distinct classes for k >= 1.
+        tree = XMLTree.from_nested(("r", [("a", ["n"]), ("b", ["n"])]))
+        a1 = ak_index_partition(tree, 1)
+        ns = tree.nodes_with_label("n")
+        assert a1[ns[0].oid] != a1[ns[1].oid]
+        a0 = ak_index_partition(tree, 0)
+        assert a0[ns[0].oid] == a0[ns[1].oid]
+
+
+class TestPartitionSketch:
+    def test_counts_partition_document(self, paper_document):
+        sketch = ak_sketch(paper_document, 1)
+        assert sum(sketch.count.values()) == len(paper_document)
+        sketch.validate()
+
+    def test_rejects_label_mixing(self, paper_document):
+        assignment = {node.oid: 0 for node in paper_document}
+        with pytest.raises(ValueError):
+            partition_sketch(paper_document, assignment)
+
+    def test_one_index_single_path_counts_exact(self):
+        # A pure chain: every partition is count-stable, so estimates are
+        # exact.
+        tree = XMLTree.from_nested(("r", [("a", [("b", ["c"])])]))
+        sketch = ak_sketch(tree, 0)
+        ev = ExactEvaluator(tree)
+        q = parse_twig("//a (/b (/c))")
+        assert estimate_selectivity(eval_query(sketch, q)) == pytest.approx(
+            float(ev.selectivity(q))
+        )
+
+    def test_estimates_improve_with_k(self, rng):
+        """Finer backward context should not hurt (on average) -- sanity
+        check that the family behaves like a refinement hierarchy."""
+        from repro.metrics.error import average_error
+
+        tree = make_random_tree(rng, 500, labels="abc")
+        ev = ExactEvaluator(tree)
+        queries = [parse_twig(t) for t in ["//a (/b)", "//b (/c ?)", "//a (/b, /c ?)"]]
+        errors = {}
+        for k in (0, 2):
+            sketch = ak_sketch(tree, k)
+            pairs = [
+                (float(ev.selectivity(q)), estimate_selectivity(eval_query(sketch, q)))
+                for q in queries
+            ]
+            errors[k] = average_error(pairs)
+        assert errors[2] <= errors[0] + 0.25
+
+    def test_evaluator_compatibility(self, paper_document):
+        sketch = ak_sketch(paper_document, 2)
+        result = eval_query(sketch, parse_twig("//a[//b] ( //p ( //k ? ), //n ? )"))
+        assert estimate_selectivity(result) >= 0.0

@@ -1,0 +1,69 @@
+"""Property-based tests for incremental maintenance (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.maintain import StableMaintainer
+from repro.core.stable import build_stable
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def canonical(summary):
+    order = summary.topological_order()
+    form = {}
+    for nid in reversed(order):
+        children = tuple(sorted(
+            (form[c], int(k)) for c, k in summary.out.get(nid, {}).items()
+        ))
+        form[nid] = (summary.label[nid], children)
+    return sorted((form[nid], summary.count[nid]) for nid in summary.label)
+
+
+@st.composite
+def edit_scripts(draw):
+    """A random starting tree plus a random edit script."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    size = draw(st.integers(min_value=1, max_value=40))
+    num_edits = draw(st.integers(min_value=1, max_value=25))
+    return seed, size, num_edits
+
+
+@given(edit_scripts())
+@settings(max_examples=30, deadline=None)
+def test_maintenance_equals_rebuild(script):
+    seed, size, num_edits = script
+    rng = random.Random(seed)
+    root = XMLNode("r")
+    nodes = [root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        nodes.append(parent.new_child(rng.choice("abc")))
+    tree = XMLTree(root)
+    maintainer = StableMaintainer(tree)
+
+    for _ in range(num_edits):
+        current = list(tree.root.iter_preorder())
+        if rng.random() < 0.6 or len(current) < 3:
+            parent = rng.choice(current)
+            depth = rng.randint(0, 2)
+            maintainer.insert_subtree(parent, _spec(rng, depth))
+        else:
+            maintainer.delete_subtree(rng.choice(current[1:]))
+
+    fresh = build_stable(XMLTree(tree.root))
+    assert canonical(maintainer.summary()) == canonical(fresh)
+    # Counts cover the whole document.
+    assert sum(maintainer.summary().count.values()) == sum(
+        1 for _ in tree.root.iter_preorder()
+    )
+
+
+def _spec(rng, depth):
+    label = rng.choice("abc")
+    if depth == 0:
+        return label
+    return (label, [_spec(rng, depth - 1) for _ in range(rng.randint(0, 2))])

@@ -1,0 +1,48 @@
+"""Unit tests for the EMD-style set distance."""
+
+import pytest
+
+from repro.metrics.emd import emd_distance
+
+
+def flat(a, b):
+    return abs(a - b)
+
+
+def unit(_v):
+    return 1.0
+
+
+class TestEMD:
+    def test_identity(self):
+        u = [(1, 2), (3, 1)]
+        assert emd_distance(u, u, flat, unit) == 0.0
+
+    def test_symmetry(self):
+        u, v = [(1, 3)], [(2, 1), (4, 1)]
+        assert emd_distance(u, v, flat, unit) == emd_distance(v, u, flat, unit)
+
+    def test_transport_cost(self):
+        # move one unit from 1 to 2: cost 1.
+        assert emd_distance([(1, 1)], [(2, 1)], flat, unit) == 1.0
+
+    def test_mass_mismatch_linear(self):
+        # 3 surplus copies charged magnitude each (linear, unlike MAC).
+        assert emd_distance([(1, 4)], [(1, 1)], flat, unit) == 3.0
+
+    def test_empty_side(self):
+        assert emd_distance([(1, 2)], [], flat, lambda v: 5.0) == 10.0
+
+    def test_both_empty(self):
+        assert emd_distance([], [], flat, unit) == 0.0
+
+    def test_linear_residual_cannot_discriminate_fig10(self):
+        """The reason MAC (superlinear) is the default: EMD's linear
+        residual ties the Fig. 10 comparison when sub-tree sizes match."""
+        eq = lambda a, b: 0.0 if a == b else 1.0
+        concentrated = emd_distance([("x", 4)], [("x", 1)], eq, unit)
+        spread = (
+            emd_distance([("x", 3)], [("x", 1)], eq, unit)
+            + emd_distance([("y", 2)], [("y", 1)], eq, unit)
+        )
+        assert concentrated == spread == 3.0

@@ -1,0 +1,65 @@
+"""Unit tests for the sanity-bounded relative error."""
+
+import pytest
+
+from repro.metrics.error import (
+    absolute_relative_error,
+    average_error,
+    sanity_bound,
+    workload_errors,
+)
+
+
+class TestSanityBound:
+    def test_percentile_of_sorted_counts(self):
+        counts = list(range(1, 101))  # 1..100
+        assert sanity_bound(counts, percentile=10.0) == pytest.approx(10.9)
+
+    def test_floor_of_one(self):
+        assert sanity_bound([0, 0, 0, 0]) == 1.0
+
+    def test_single_value(self):
+        assert sanity_bound([42]) == 42.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sanity_bound([])
+
+
+class TestAbsoluteRelativeError:
+    def test_exact_estimate(self):
+        assert absolute_relative_error(100, 100) == 0.0
+
+    def test_relative_to_truth(self):
+        assert absolute_relative_error(100, 50) == 0.5
+
+    def test_sanity_bound_caps_small_counts(self):
+        # true=1, est=11: without bound error=10; with s=20 error=0.5.
+        assert absolute_relative_error(1, 11, sanity=20) == 0.5
+
+    def test_estimate_denominator_mode(self):
+        assert absolute_relative_error(100, 50, denominator="estimate") == 1.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_relative_error(1, 1, denominator="bogus")
+
+    def test_overestimate_counted(self):
+        assert absolute_relative_error(100, 200) == 1.0
+
+
+class TestWorkloadErrors:
+    def test_per_query_errors(self):
+        pairs = [(100, 100), (100, 50), (100, 150)]
+        errors = workload_errors(pairs)
+        assert errors == [0.0, 0.5, 0.5]
+
+    def test_average(self):
+        pairs = [(100, 100), (100, 50)]
+        assert average_error(pairs) == 0.25
+
+    def test_sanity_bound_applied_across_workload(self):
+        # Low-count query error is tempered by the workload's percentile.
+        pairs = [(1, 3)] + [(1000, 1000)] * 9
+        errors = workload_errors(pairs, percentile=50.0)
+        assert errors[0] < 2.0

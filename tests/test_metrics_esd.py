@@ -1,0 +1,126 @@
+"""Unit tests for the Element Simulation Distance."""
+
+import pytest
+
+from repro.metrics.esd import ESDCalculator, esd, esd_nesting_trees, nesting_tree_to_xmltree
+from repro.metrics.tree_edit import tree_edit_distance
+from repro.xmltree.tree import XMLTree
+
+
+def doc(c1, d1, c2, d2, sc=("c", ["x"]), sd=("d", ["y", "z"])):
+    """The Fig. 10 family: r with two a's carrying Sc/Sd multiplicities."""
+    return XMLTree.from_nested(
+        ("r", [("a", [sc] * c1 + [sd] * d1), ("a", [sc] * c2 + [sd] * d2)])
+    )
+
+
+class TestBasics:
+    def test_self_distance_zero(self, paper_document):
+        assert esd(paper_document, paper_document) == 0.0
+
+    def test_isomorphic_zero(self, paper_document):
+        assert esd(paper_document, paper_document.copy()) == 0.0
+
+    def test_sibling_order_irrelevant(self):
+        t1 = XMLTree.from_nested(("r", ["a", "b"]))
+        t2 = XMLTree.from_nested(("r", ["b", "a"]))
+        assert esd(t1, t2) == 0.0
+
+    def test_symmetry(self):
+        t1, t2 = doc(4, 1, 1, 4), doc(1, 1, 4, 4)
+        assert esd(t1, t2) == esd(t2, t1)
+
+    def test_positive_for_different_trees(self):
+        assert esd(doc(4, 1, 1, 4), doc(1, 1, 4, 4)) > 0
+
+    def test_different_root_labels(self):
+        t1 = XMLTree.from_nested(("r", ["a"]))
+        t2 = XMLTree.from_nested(("q", ["a"]))
+        # Full delete + insert of both trees.
+        assert esd(t1, t2) == 4.0
+
+    def test_missing_subtree_charged_by_size(self):
+        base = XMLTree.from_nested(("r", []))
+        small = XMLTree.from_nested(("r", [("a", [])]))
+        large = XMLTree.from_nested(("r", [("a", ["x", "y", "z"])]))
+        assert esd(base, large) > esd(base, small)
+
+
+class TestFigure10:
+    """The paper's Fig. 10 / Example 5.1 argument."""
+
+    def test_esd_prefers_correlation_preserving_answer(self):
+        truth, t1, t2 = doc(4, 1, 1, 4), doc(1, 1, 4, 4), doc(6, 2, 2, 6)
+        assert esd(truth, t2) < esd(truth, t1)
+
+    def test_esd_prefers_t2_even_with_equal_subtree_sizes(self):
+        kwargs = dict(sc=("c", ["x"]), sd=("d", ["y"]))
+        truth = doc(4, 1, 1, 4, **kwargs)
+        t1 = doc(1, 1, 4, 4, **kwargs)
+        t2 = doc(6, 2, 2, 6, **kwargs)
+        assert esd(truth, t2) < esd(truth, t1)
+
+    def test_tree_edit_distance_cannot_discriminate(self):
+        """Tree-edit rates T1 at least as close as T2 -- the metric the
+        paper rejects: its per-node edit cost favours the decorrelated
+        answer whose total node count is closer."""
+        truth, t1, t2 = doc(4, 1, 1, 4), doc(1, 1, 4, 4), doc(6, 2, 2, 6)
+        assert tree_edit_distance(truth, t1) <= tree_edit_distance(truth, t2)
+
+
+class TestCalculatorReuse:
+    def test_shared_calculator_consistent(self, paper_document):
+        calc = ESDCalculator()
+        t2 = paper_document.copy()
+        assert calc.distance(paper_document, t2) == 0.0
+        other = XMLTree.from_nested(("d", [("a", ["n"])]))
+        d1 = calc.distance(paper_document, other)
+        d2 = esd(paper_document, other)
+        assert d1 == pytest.approx(d2)
+
+    def test_emd_variant_runs(self):
+        assert esd(doc(4, 1, 1, 4), doc(1, 1, 4, 4), set_distance="emd") > 0
+
+    def test_unknown_set_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ESDCalculator(set_distance="hamming")
+
+
+class TestNestingTreeConversion:
+    def test_by_variable_labels(self, paper_document):
+        from repro.engine.exact import ExactEvaluator
+        from repro.query.parser import parse_twig
+
+        nt = ExactEvaluator(paper_document).evaluate(parse_twig("//a (//p)"))
+        tree = nesting_tree_to_xmltree(nt, by_variable=True)
+        labels = {n.label for n in tree}
+        assert "a@q1" in labels
+        assert "p@q2" in labels
+
+    def test_plain_labels(self, paper_document):
+        from repro.engine.exact import ExactEvaluator
+        from repro.query.parser import parse_twig
+
+        nt = ExactEvaluator(paper_document).evaluate(parse_twig("//a (//p)"))
+        tree = nesting_tree_to_xmltree(nt, by_variable=False)
+        assert {n.label for n in tree} == {"d", "a", "p"}
+
+    def test_esd_nesting_trees_zero_for_same(self, paper_document):
+        from repro.engine.exact import ExactEvaluator
+        from repro.query.parser import parse_twig
+
+        ev = ExactEvaluator(paper_document)
+        nt1 = ev.evaluate(parse_twig("//a (//p)"))
+        nt2 = ev.evaluate(parse_twig("//a (//p)"))
+        assert esd_nesting_trees(nt1, nt2) == 0.0
+
+    def test_variable_qualification_separates_bindings(self, paper_document):
+        """With by_variable, the same element bound to different variables
+        is not confused across answers."""
+        from repro.engine.exact import ExactEvaluator
+        from repro.query.parser import parse_twig
+
+        ev = ExactEvaluator(paper_document)
+        nt1 = ev.evaluate(parse_twig("//p (//k ?)"))
+        nt2 = ev.evaluate(parse_twig("//p (//t ?)"))
+        assert esd_nesting_trees(nt1, nt2) > 0

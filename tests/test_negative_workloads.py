@@ -1,0 +1,67 @@
+"""Negative workloads: TreeSketches answer them with empty results.
+
+The paper (Section 6.1): "Our experiments with negative workloads have
+shown that TREESKETCHes consistently produce empty answers as
+approximations".  Label-pair-absent negatives stay recognizably empty even
+after merging, because merges never invent label pairs that do not occur
+in the document.
+"""
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.datagen.datasets import imdb_like
+from repro.engine.exact import ExactEvaluator
+from repro.query.generator import generate_negative_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = imdb_like(scale=0.6, seed=3)
+    stable = build_stable(tree)
+    negatives = generate_negative_workload(stable, num_queries=30, seed=5)
+    return tree, stable, negatives
+
+
+class TestNegativeWorkloads:
+    def test_exactly_empty_on_document(self, setup):
+        tree, _stable, negatives = setup
+        evaluator = ExactEvaluator(tree)
+        for query in negatives:
+            assert evaluator.selectivity(query) == 0, str(query)
+
+    def test_stable_sketch_answers_empty(self, setup):
+        _tree, stable, negatives = setup
+        sketch = TreeSketch.from_stable(stable)
+        for query in negatives:
+            result = eval_query(sketch, query)
+            assert result.empty, str(query)
+            assert estimate_selectivity(result) == 0.0
+
+    def test_compressed_sketch_answers_empty(self, setup):
+        """The paper's claim, on a heavily compressed sketch."""
+        _tree, stable, negatives = setup
+        sketch = build_treesketch(stable, stable.size_bytes() // 8)
+        empty = sum(
+            1 for query in negatives if eval_query(sketch, query).empty
+        )
+        assert empty == len(negatives)
+
+    def test_generator_deterministic(self, setup):
+        _tree, stable, _ = setup
+        a = generate_negative_workload(stable, num_queries=10, seed=9)
+        b = generate_negative_workload(stable, num_queries=10, seed=9)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_generator_rejects_saturated_documents(self):
+        from repro.xmltree.tree import XMLTree
+
+        # Single-label recursive chain realizes its only label pair.
+        tree = XMLTree.from_nested(("x", [("x", [("x", [])])]))
+        stable = build_stable(tree)
+        with pytest.raises(ValueError):
+            generate_negative_workload(stable, num_queries=1)

@@ -1,0 +1,175 @@
+"""End-to-end checks of the paper's worked examples.
+
+* Figure 1 / Figure 2: the bibliography document, its example twig query,
+  and the nesting tree with exactly two binding tuples.
+* Figure 3: documents T1/T2 that are indistinguishable to selectivity-
+  oriented summaries but have different count-stable summaries and very
+  different answer structure.
+* Figure 9 / Example 4.1: EVALQUERY's exact output numbers, including the
+  0.88 inclusion-exclusion branch selectivity.
+* Figure 10 / Example 5.1: ESD prefers the correlation-preserving
+  approximation; tree-edit distance does not.
+"""
+
+import pytest
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.stable import build_stable, expand_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.metrics.esd import esd, esd_nesting_trees
+from repro.metrics.tree_edit import tree_edit_distance
+from repro.query.parser import parse_twig
+from repro.xmltree.tree import XMLTree
+
+
+class TestFigure1And2:
+    QUERY = "//a[//b] ( //p ( //k ? ), //n ? )"
+
+    def test_document_statistics(self, paper_document):
+        assert len(paper_document) == 28
+        assert len(paper_document.nodes_with_label("a")) == 3
+        assert len(paper_document.nodes_with_label("p")) == 4
+        assert len(paper_document.nodes_with_label("b")) == 2
+
+    def test_nesting_tree_matches_figure_2c(self, paper_document):
+        nt = ExactEvaluator(paper_document).evaluate(parse_twig(self.QUERY))
+        # Fig. 2(c): root with a2 and a3, each carrying one p (with k) + n.
+        assert len(nt.root.children) == 2
+        for a in nt.root.children:
+            kinds = sorted(c.label for c in a.children)
+            assert kinds == ["n", "p"]
+            (p,) = [c for c in a.children if c.label == "p"]
+            assert [c.label for c in p.children] == ["k"]
+
+    def test_two_binding_tuples(self, paper_document):
+        ev = ExactEvaluator(paper_document)
+        assert ev.selectivity(parse_twig(self.QUERY)) == 2
+
+    def test_stable_synopsis_answers_exactly(self, paper_document):
+        sketch = TreeSketch.from_stable(build_stable(paper_document))
+        query = parse_twig(self.QUERY)
+        result = eval_query(sketch, query)
+        assert estimate_selectivity(result) == pytest.approx(2.0)
+        truth = ExactEvaluator(paper_document).evaluate(query)
+        assert esd_nesting_trees(truth, expand_result(result)) == 0.0
+
+
+class TestFigure3:
+    """Selectivity-equal documents with different structure."""
+
+    def test_all_twigs_have_equal_selectivity(self, figure3_t1, figure3_t2):
+        ev1 = ExactEvaluator(figure3_t1)
+        ev2 = ExactEvaluator(figure3_t2)
+        for text in ["//a", "//a/b", "//a/b/c", "//a[/b]", "//a (/b (/c))",
+                     "//b (/c)", "//a (/b, /b)"]:
+            q1, q2 = parse_twig(text), parse_twig(text)
+            assert ev1.selectivity(q1) == ev2.selectivity(q2), text
+
+    def test_query_q_selectivity_is_10(self, figure3_t1, figure3_t2):
+        # The paper's query Q: //a/b/c has selectivity 10 on both.
+        for tree in (figure3_t1, figure3_t2):
+            assert ExactEvaluator(tree).selectivity(parse_twig("//a (/b (/c))")) == 10
+
+    def test_count_stable_summaries_differ(self, figure3_t1, figure3_t2):
+        s1, s2 = build_stable(figure3_t1), build_stable(figure3_t2)
+        # Fig. 3(f): T1 has one a-class, T2 has two.
+        assert len(s1.nodes_with_label("a")) == 1
+        assert len(s2.nodes_with_label("a")) == 2
+
+    def test_answer_structure_differs(self, figure3_t1, figure3_t2):
+        q = parse_twig("//a (/b (/c))")
+        nt1 = ExactEvaluator(figure3_t1).evaluate(q)
+        nt2 = ExactEvaluator(figure3_t2).evaluate(q)
+        assert esd_nesting_trees(nt1, nt2) > 0
+
+    def test_treesketch_distinguishes_the_documents(self, figure3_t1, figure3_t2):
+        """Zero-error TreeSketches reproduce each document's answer
+        exactly -- the capability twig-XSketches lack by design."""
+        q = parse_twig("//a (/b (/c))")
+        for tree in (figure3_t1, figure3_t2):
+            sketch = TreeSketch.from_stable(build_stable(tree))
+            truth = ExactEvaluator(tree).evaluate(q)
+            approx = expand_result(eval_query(sketch, q))
+            assert esd_nesting_trees(truth, approx) == 0.0
+
+    def test_lemma31_expand(self, figure3_t1, figure3_t2):
+        for tree in (figure3_t1, figure3_t2):
+            summary = build_stable(tree)
+            rebuilt = expand_stable(summary)
+            assert len(rebuilt) == len(tree)
+            again = build_stable(rebuilt)
+            assert again.num_nodes == summary.num_nodes
+
+
+class TestExample41:
+    """Figure 9: the worked EVALQUERY run."""
+
+    def make_sketch(self):
+        ts = TreeSketch()
+        spec = {
+            "r": ("r", 1), "A": ("a", 10), "B": ("b", 50), "E": ("e", 2),
+            "D": ("d", 20), "F": ("f", 110), "G1": ("g", 12),
+            "G2": ("g", 14), "C": ("c", 165),
+        }
+        ids = {}
+        for i, (name, (label, count)) in enumerate(spec.items()):
+            ids[name] = i
+            ts.add_node(i, label, count)
+        for src, dst, avg in [
+            ("r", "A", 10), ("A", "B", 5), ("A", "E", 0.2), ("A", "D", 2),
+            ("B", "F", 2), ("E", "F", 5), ("D", "F", 0.5), ("D", "G1", 0.6),
+            ("D", "G2", 0.7), ("F", "C", 1.5),
+        ]:
+            ts.add_edge(ids[src], ids[dst], avg)
+            count = spec[src][1]
+            ts.stats[(ids[src], ids[dst])] = (count * avg, count * avg * avg)
+        ts.root_id = ids["r"]
+        ts.doc_height = 6
+        return ts
+
+    def test_result_matches_figure_9c(self):
+        result = eval_query(
+            self.make_sketch(), parse_twig("//a ( b|e ( //f ( c ) ), d[/g]//f )")
+        )
+        edges = {
+            (result.label[s], s[1], result.label[d], d[1]): k
+            for s, out in result.out.items()
+            for d, k in out.items()
+        }
+        assert edges[("r", "q0", "a", "q1")] == pytest.approx(10)
+        assert edges[("a", "q1", "b", "q2")] == pytest.approx(5)
+        assert edges[("a", "q1", "e", "q2")] == pytest.approx(0.2)
+        assert edges[("b", "q2", "f", "q3")] == pytest.approx(2)
+        assert edges[("e", "q2", "f", "q3")] == pytest.approx(5)
+        assert edges[("f", "q3", "c", "q4")] == pytest.approx(1.5)
+        assert edges[("a", "q1", "f", "q5")] == pytest.approx(0.88)
+
+    def test_branch_selectivity_inclusion_exclusion(self):
+        # 0.6 + 0.7 - 0.6*0.7 = 0.88, the paper's arithmetic.
+        assert 0.6 + 0.7 - 0.6 * 0.7 == pytest.approx(0.88)
+
+
+class TestExample51:
+    """Figure 10: ESD vs tree-edit distance."""
+
+    @staticmethod
+    def doc(c1, d1, c2, d2):
+        sc, sd = ("c", ["x"]), ("d", ["y", "z"])
+        return XMLTree.from_nested(
+            ("r", [("a", [sc] * c1 + [sd] * d1), ("a", [sc] * c2 + [sd] * d2)])
+        )
+
+    def test_esd_orders_the_approximations(self):
+        truth = self.doc(4, 1, 1, 4)
+        t1 = self.doc(1, 1, 4, 4)
+        t2 = self.doc(6, 2, 2, 6)
+        assert esd(truth, t2) < esd(truth, t1)
+
+    def test_tree_edit_fails_to_order(self):
+        truth = self.doc(4, 1, 1, 4)
+        t1 = self.doc(1, 1, 4, 4)
+        t2 = self.doc(6, 2, 2, 6)
+        assert tree_edit_distance(truth, t1) <= tree_edit_distance(truth, t2)

@@ -1,0 +1,48 @@
+"""Fuzz tests: the parsers must never crash, only raise QuerySyntaxError."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.parser import QuerySyntaxError, parse_path, parse_twig
+
+# Characters the grammar uses, plus noise.
+ALPHABET = string.ascii_letters + "/[]()?,*|= \"'" + string.digits + ".-_"
+
+
+@given(st.text(alphabet=ALPHABET, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_parse_path_total(text):
+    try:
+        path = parse_path(text)
+    except QuerySyntaxError:
+        return
+    # A successful parse must round-trip through its own rendering.
+    assert parse_path(str(path)) == path
+
+
+@given(st.text(alphabet=ALPHABET, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_parse_twig_total(text):
+    try:
+        query = parse_twig(text)
+    except QuerySyntaxError:
+        return
+    rendered = str(query)
+    again = parse_twig(rendered)
+    assert str(again) == rendered
+
+
+@given(
+    st.lists(
+        st.sampled_from(["/a", "//b", "/c[/d]", "//e[//f]", '/g[/h = "v"]']),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_concatenated_valid_fragments(fragments):
+    text = "".join(fragments)
+    path = parse_path(text)
+    assert len(path) >= 1
+    assert parse_path(str(path)) == path

@@ -1,0 +1,84 @@
+"""Tests for synopsis-guided twig planning."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.datagen.datasets import imdb_like
+from repro.engine.exact import ExactEvaluator
+from repro.engine.planner import branch_survival, reorder_query
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+
+
+@pytest.fixture(scope="module")
+def world():
+    tree = imdb_like(scale=0.8, seed=4)
+    stable = build_stable(tree)
+    return tree, TreeSketch.from_stable(stable)
+
+
+class TestBranchSurvival:
+    def test_always_satisfied_branch_scores_one(self, world):
+        tree, sketch = world
+        q = parse_twig("//movie (/title)")
+        survival = branch_survival(q, sketch)
+        assert survival["q1"] == pytest.approx(1.0)
+
+    def test_impossible_branch_scores_zero(self, world):
+        _tree, sketch = world
+        q = parse_twig("//movie (/zzz)")
+        survival = branch_survival(q, sketch)
+        assert survival["q1"] == 0.0
+
+    def test_selective_branch_scores_lower(self, world):
+        _tree, sketch = world
+        q = parse_twig("//movie (/title, /award)")
+        survival = branch_survival(q, sketch)
+        title_var = next(
+            n.var for n in q.nodes if n.path is not None and str(n.path) == "/title"
+        )
+        award_var = next(
+            n.var for n in q.nodes if n.path is not None and str(n.path) == "/award"
+        )
+        assert survival[award_var] < survival[title_var]
+
+
+class TestReorder:
+    def test_semantics_preserved(self, world):
+        tree, sketch = world
+        ev = ExactEvaluator(tree)
+        for text in [
+            "//movie (/title, /award, /genre)",
+            "//movie (/cast (/actor, /extra ?), /award)",
+            "//movie (/review ?, /award, /title)",
+        ]:
+            original = parse_twig(text)
+            planned = reorder_query(original, sketch)
+            assert ev.selectivity(original) == ev.selectivity(planned), text
+            nt_a = ev.evaluate(original)
+            nt_b = ev.evaluate(planned)
+            assert nt_a.size() == nt_b.size()
+
+    def test_selective_branch_moved_first(self, world):
+        _tree, sketch = world
+        q = parse_twig("//movie (/title, /award)")
+        planned = reorder_query(q, sketch)
+        first_solid = planned.root.children[0].children[0]
+        assert str(first_solid.path) == "/award"
+
+    def test_optional_branches_last(self, world):
+        _tree, sketch = world
+        q = parse_twig("//movie (/genre ?, /award, /title)")
+        planned = reorder_query(q, sketch)
+        children = planned.root.children[0].children
+        assert not children[0].optional
+        assert children[-1].optional
+
+    def test_reorder_idempotent_semantics(self, world):
+        tree, sketch = world
+        ev = ExactEvaluator(tree)
+        q = parse_twig("//movie (/cast (/actor), /award)")
+        once = reorder_query(q, sketch)
+        twice = reorder_query(once, sketch)
+        assert ev.selectivity(once) == ev.selectivity(twice)

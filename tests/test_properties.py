@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's formal claims:
+
+* Lemma 3.1 -- the count-stable summary is lossless (Expand round-trips)
+  and the induced partition is count-stable.
+* Definition 3.2 / Section 3.2 -- the squared error of the stable sketch
+  is zero; merge bookkeeping predicts applied error changes exactly.
+* Section 4.3 -- EVALQUERY over a count-stable synopsis is exact, both
+  for selectivities and for expanded nesting trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.expand import expand_result
+from repro.core.partition import MergePartition
+from repro.core.stable import build_stable, expand_stable, is_count_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.metrics.esd import esd, esd_nesting_trees
+from repro.metrics.mac import mac_distance
+from repro.query.generator import WorkloadGenerator, WorkloadOptions
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_trees(draw, max_size=60, labels="abcd"):
+    """Random attachment trees; sizes small enough for exhaustive checks."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    root = XMLNode("r")
+    nodes = [root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        nodes.append(parent.new_child(rng.choice(labels)))
+    return XMLTree(root)
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.1
+# ----------------------------------------------------------------------
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_stable_partition_is_count_stable(tree):
+    summary = build_stable(tree, keep_extents=True)
+    assert is_count_stable(tree, summary.class_of())
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_expand_round_trip(tree):
+    summary = build_stable(tree)
+    rebuilt = expand_stable(summary)
+    assert len(rebuilt) == len(tree)
+    again = build_stable(rebuilt)
+    assert again.num_nodes == summary.num_nodes
+    assert again.num_edges == summary.num_edges
+    assert sorted(again.count.values()) == sorted(summary.count.values())
+
+
+@given(random_trees())
+@settings(max_examples=30, deadline=None)
+def test_expand_preserves_esd_zero(tree):
+    rebuilt = expand_stable(build_stable(tree))
+    assert esd(tree, rebuilt) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Squared error and merge bookkeeping
+# ----------------------------------------------------------------------
+
+@given(random_trees())
+@settings(max_examples=30, deadline=None)
+def test_stable_sketch_zero_error(tree):
+    assert TreeSketch.from_stable(build_stable(tree)).squared_error() == 0.0
+
+
+@given(random_trees(max_size=40), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_merge_bookkeeping_consistent(tree, seed):
+    rng = random.Random(seed)
+    part = MergePartition(build_stable(tree))
+    for _ in range(10):
+        by_label = {}
+        for cid, lab in part.cluster_label.items():
+            by_label.setdefault(lab, []).append(cid)
+        groups = [g for g in by_label.values() if len(g) >= 2]
+        if not groups:
+            break
+        u, v = rng.sample(rng.choice(groups), 2)
+        predicted = part.evaluate_merge(u, v)
+        before_sq = part.total_sq
+        before_size = part.size_bytes()
+        part.apply_merge(u, v)
+        assert abs((part.total_sq - before_sq) - predicted.errd) < 1e-6
+        assert before_size - part.size_bytes() == predicted.sized
+    part.check_invariants()
+    exported = part.to_treesketch()
+    exported.validate()
+    assert abs(exported.squared_error() - max(0.0, part.total_sq)) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Exactness of EVALQUERY on stable synopses
+# ----------------------------------------------------------------------
+
+@given(random_trees(max_size=50), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_evalquery_exact_on_stable(tree, seed):
+    stable = build_stable(tree)
+    generator = WorkloadGenerator(
+        stable, WorkloadOptions(num_queries=3, seed=seed)
+    )
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(12):
+        query = generator.sample_query(rng)
+        if query is not None:
+            queries.append(query)
+        if len(queries) == 3:
+            break
+    evaluator = ExactEvaluator(tree)
+    sketch = TreeSketch.from_stable(stable)
+    for query in queries:
+        truth = evaluator.selectivity(query)
+        result = eval_query(sketch, query)
+        estimate = estimate_selectivity(result)
+        assert abs(estimate - truth) <= 1e-6 * max(1.0, truth), str(query)
+        nt_truth = evaluator.evaluate(query)
+        nt_approx = expand_result(result, max_nodes=500_000)
+        assert esd_nesting_trees(nt_truth, nt_approx) == 0.0, str(query)
+
+
+# ----------------------------------------------------------------------
+# Metric properties
+# ----------------------------------------------------------------------
+
+@given(random_trees(max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_esd_identity(tree):
+    assert esd(tree, tree.copy()) == 0.0
+
+
+@given(random_trees(max_size=20), random_trees(max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_esd_symmetric_nonnegative(t1, t2):
+    d12 = esd(t1, t2)
+    d21 = esd(t2, t1)
+    assert d12 >= 0.0
+    assert abs(d12 - d21) < 1e-9
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(1, 4)), max_size=5),
+    st.lists(st.tuples(st.integers(0, 5), st.integers(1, 4)), max_size=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_mac_symmetric_nonnegative(u, v):
+    dist = lambda a, b: abs(a - b)
+    mag = lambda a: 1.0
+    assert mac_distance(u, v, dist, mag) >= 0.0
+    assert abs(mac_distance(u, v, dist, mag) - mac_distance(v, u, dist, mag)) < 1e-9
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(1, 4)), max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_mac_identity(u):
+    dist = lambda a, b: abs(a - b)
+    assert mac_distance(u, u, dist, lambda a: 1.0) == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for workload generation from stable summaries."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.query.generator import WorkloadGenerator, WorkloadOptions, generate_workload
+from repro.datagen.datasets import imdb_like
+from tests.conftest import make_random_tree
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    tree = imdb_like(scale=0.5, seed=2)
+    return tree, build_stable(tree)
+
+
+class TestGeneration:
+    def test_requested_count(self, corpus):
+        _tree, stable = corpus
+        wl = generate_workload(stable, WorkloadOptions(num_queries=25, seed=0))
+        assert len(wl) == 25
+
+    def test_deterministic(self, corpus):
+        _tree, stable = corpus
+        a = generate_workload(stable, WorkloadOptions(num_queries=10, seed=4))
+        b = generate_workload(stable, WorkloadOptions(num_queries=10, seed=4))
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_seeds_vary(self, corpus):
+        _tree, stable = corpus
+        a = generate_workload(stable, WorkloadOptions(num_queries=10, seed=1))
+        b = generate_workload(stable, WorkloadOptions(num_queries=10, seed=2))
+        assert [str(q) for q in a] != [str(q) for q in b]
+
+    def test_all_queries_positive(self, corpus):
+        """Count stability guarantees positivity (Section 6.1)."""
+        tree, stable = corpus
+        ev = ExactEvaluator(tree)
+        wl = generate_workload(stable, WorkloadOptions(num_queries=50, seed=7))
+        for q in wl:
+            assert ev.selectivity(q) > 0, str(q)
+
+    def test_positive_on_random_trees(self, rng):
+        for _ in range(3):
+            tree = make_random_tree(rng, 300)
+            stable = build_stable(tree)
+            ev = ExactEvaluator(tree)
+            wl = generate_workload(stable, WorkloadOptions(num_queries=15, seed=1))
+            for q in wl:
+                assert ev.selectivity(q) > 0, str(q)
+
+    def test_query_depth_bounded(self, corpus):
+        _tree, stable = corpus
+        opts = WorkloadOptions(num_queries=30, seed=0, max_query_depth=2)
+        for q in generate_workload(stable, opts):
+            assert q.depth() <= 2
+
+    def test_variables_canonical(self, corpus):
+        _tree, stable = corpus
+        for q in generate_workload(stable, WorkloadOptions(num_queries=10, seed=0)):
+            assert q.variables == [f"q{i}" for i in range(q.size())]
+
+    def test_optional_edges_present_with_high_prob(self, corpus):
+        _tree, stable = corpus
+        opts = WorkloadOptions(
+            num_queries=40, seed=0, optional_prob=1.0, branch_prob=1.0
+        )
+        wl = generate_workload(stable, opts)
+        assert any(
+            node.optional for q in wl for node in q.nodes if node.path is not None
+        )
+
+    def test_zero_optional_prob(self, corpus):
+        _tree, stable = corpus
+        opts = WorkloadOptions(num_queries=20, seed=0, optional_prob=0.0)
+        for q in generate_workload(stable, opts):
+            assert not any(n.optional for n in q.nodes)
+
+    def test_predicates_generated(self, corpus):
+        _tree, stable = corpus
+        opts = WorkloadOptions(num_queries=40, seed=0, predicate_prob=1.0)
+        wl = generate_workload(stable, opts)
+        assert any(
+            step.predicates
+            for q in wl
+            for n in q.nodes
+            if n.path is not None
+            for step in n.path.steps
+        )
+
+    def test_single_node_document(self):
+        from repro.xmltree.tree import XMLTree
+
+        stable = build_stable(XMLTree.from_nested(("r", [])))
+        gen = WorkloadGenerator(stable, WorkloadOptions(num_queries=1, seed=0))
+        with pytest.raises(RuntimeError):
+            gen.generate()  # a leaf-only document has no sampleable paths

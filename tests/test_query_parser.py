@@ -1,0 +1,123 @@
+"""Unit tests for the path/twig text syntax."""
+
+import pytest
+
+from repro.query.parser import QuerySyntaxError, parse_path, parse_twig
+from repro.query.path import Axis
+
+
+class TestParsePath:
+    def test_single_child_step(self):
+        p = parse_path("/a")
+        assert len(p) == 1
+        assert p.steps[0].axis is Axis.CHILD
+        assert p.steps[0].label == "a"
+
+    def test_single_descendant_step(self):
+        p = parse_path("//a")
+        assert p.steps[0].axis is Axis.DESCENDANT
+
+    def test_relative_first_step_defaults_to_child(self):
+        p = parse_path("a/b")
+        assert p.steps[0].axis is Axis.CHILD
+        assert len(p) == 2
+
+    def test_mixed_axes(self):
+        p = parse_path("//a/b//c")
+        assert [s.axis for s in p] == [Axis.DESCENDANT, Axis.CHILD, Axis.DESCENDANT]
+        assert p.labels() == ["a", "b", "c"]
+
+    def test_predicate(self):
+        p = parse_path("//a[//b]")
+        (pred,) = p.steps[0].predicates
+        assert pred.steps[0].axis is Axis.DESCENDANT
+        assert pred.steps[0].label == "b"
+
+    def test_multiple_predicates_on_one_step(self):
+        p = parse_path("/a[/b][/c]")
+        assert len(p.steps[0].predicates) == 2
+
+    def test_nested_predicates(self):
+        p = parse_path("/a[/b[/c]]")
+        outer = p.steps[0].predicates[0]
+        inner = outer.steps[0].predicates[0]
+        assert inner.steps[0].label == "c"
+
+    def test_predicate_with_multi_step_path(self):
+        p = parse_path("/a[b/c//d]")
+        (pred,) = p.steps[0].predicates
+        assert pred.labels() == ["b", "c", "d"]
+
+    def test_alternation(self):
+        p = parse_path("/b|e")
+        assert p.steps[0].label == "b|e"
+
+    def test_wildcard(self):
+        p = parse_path("//*")
+        assert p.steps[0].label == "*"
+
+    def test_labels_with_punctuation(self):
+        p = parse_path("/ns.tag-name/x_y")
+        assert p.labels() == ["ns.tag-name", "x_y"]
+
+    @pytest.mark.parametrize("bad", ["", "/", "//", "/a[", "/a]", "/a[/b", "/a bc"])
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_path(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_path("  //a [ /b ] / c ") == parse_path("//a[/b]/c")
+
+
+class TestParseTwig:
+    def test_single_edge(self):
+        q = parse_twig("//a")
+        assert q.size() == 2
+        assert q.variables == ["q0", "q1"]
+
+    def test_children_in_parentheses(self):
+        q = parse_twig("//a ( /b, /c )")
+        assert q.size() == 4
+        root_child = q.root.children[0]
+        assert len(root_child.children) == 2
+
+    def test_optional_marker(self):
+        q = parse_twig("//a ( /b ?, /c )")
+        first, second = q.root.children[0].children
+        assert first.optional
+        assert not second.optional
+
+    def test_optional_on_subtree(self):
+        q = parse_twig("//a ( /b ( /c ) ? )")
+        (b,) = q.root.children[0].children
+        assert b.optional
+        assert len(b.children) == 1
+
+    def test_multiple_top_level_branches(self):
+        q = parse_twig("//a, //b")
+        assert len(q.root.children) == 2
+
+    def test_paper_figure2_query(self):
+        q = parse_twig("//a[//b] ( //p ( //k ? ), //n ? )")
+        assert q.size() == 5
+        q1 = q.root.children[0]
+        assert str(q1.path) == "//a[//b]"
+        p_node, n_node = q1.children
+        assert not p_node.optional
+        assert n_node.optional
+        assert p_node.children[0].optional
+
+    def test_variables_preorder(self):
+        q = parse_twig("//a ( /b ( /c ), /d )")
+        varnames = {str(n.path): n.var for n in q.nodes if n.path}
+        assert varnames == {"//a": "q1", "/b": "q2", "/c": "q3", "/d": "q4"}
+
+    @pytest.mark.parametrize("bad", ["", "//a (", "//a ( /b", "//a ) ", "//a ,"])
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_twig(bad)
+
+    def test_str_round_trip(self):
+        text = "//a[//b] (//p (//k ?), //n ?)"
+        q = parse_twig(text)
+        assert str(parse_twig(str(q))) == str(q)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.query.path."""
+
+import pytest
+
+from repro.query.path import Axis, Path, PathStep, child, descendant, path
+
+
+class TestPathStep:
+    def test_axis_str(self):
+        assert str(Axis.CHILD) == "/"
+        assert str(Axis.DESCENDANT) == "//"
+
+    def test_matches_exact_label(self):
+        step = child("a")
+        assert step.matches_label("a")
+        assert not step.matches_label("b")
+
+    def test_matches_wildcard(self):
+        step = descendant("*")
+        assert step.matches_label("anything")
+        assert step.matches_label("")
+
+    def test_matches_alternation(self):
+        step = child("b|e")
+        assert step.matches_label("b")
+        assert step.matches_label("e")
+        assert not step.matches_label("c")
+        assert not step.matches_label("b|e")
+
+    def test_str_rendering(self):
+        pred = path(child("g"))
+        step = PathStep(Axis.CHILD, "d", (pred,))
+        assert str(step) == "/d[/g]"
+
+    def test_strip_predicates(self):
+        pred = path(child("g"))
+        step = PathStep(Axis.DESCENDANT, "d", (pred,))
+        stripped = step.strip_predicates()
+        assert stripped.predicates == ()
+        assert stripped.label == "d"
+        assert stripped.axis is Axis.DESCENDANT
+
+    def test_frozen(self):
+        step = child("a")
+        with pytest.raises(AttributeError):
+            step.label = "b"
+
+
+class TestPath:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path(())
+
+    def test_len_and_iter(self):
+        p = path(descendant("a"), child("b"))
+        assert len(p) == 2
+        assert [s.label for s in p] == ["a", "b"]
+
+    def test_main_path_strips_all_predicates(self):
+        p = path(
+            PathStep(Axis.DESCENDANT, "a", (path(child("x")),)),
+            PathStep(Axis.CHILD, "b", (path(child("y")),)),
+        )
+        main = p.main_path()
+        assert not main.has_predicates()
+        assert main.labels() == ["a", "b"]
+
+    def test_has_predicates(self):
+        assert not path(child("a")).has_predicates()
+        assert path(PathStep(Axis.CHILD, "a", (path(child("b")),))).has_predicates()
+
+    def test_str_round_trips_through_parser(self):
+        from repro.query.parser import parse_path
+
+        p = path(
+            PathStep(Axis.DESCENDANT, "a", (path(descendant("b")),)),
+            child("c"),
+        )
+        assert parse_path(str(p)) == p
+
+    def test_labels(self):
+        assert path(descendant("a"), child("b")).labels() == ["a", "b"]

@@ -1,0 +1,49 @@
+"""Unit tests for repro.query.twig."""
+
+from repro.query.parser import parse_path, parse_twig
+from repro.query.twig import TwigQuery
+
+
+class TestTwigQuery:
+    def test_programmatic_construction(self):
+        q = TwigQuery()
+        q1 = q.root.add_child(parse_path("//a"))
+        q1.add_child(parse_path("/b"), optional=True)
+        q.finalize()
+        assert q.variables == ["q0", "q1", "q2"]
+        assert q.node_by_var("q2").optional
+
+    def test_finalize_returns_self(self):
+        q = TwigQuery()
+        q.root.add_child(parse_path("/x"))
+        assert q.finalize() is q
+
+    def test_size_counts_root(self):
+        assert parse_twig("//a").size() == 2
+
+    def test_depth(self):
+        assert parse_twig("//a").depth() == 1
+        assert parse_twig("//a ( /b ( /c ) )").depth() == 3
+        assert parse_twig("//a ( /b, /c )").depth() == 2
+
+    def test_node_by_var_missing(self):
+        q = parse_twig("//a")
+        try:
+            q.node_by_var("q9")
+            assert False, "expected KeyError"
+        except KeyError:
+            pass
+
+    def test_iter_preorder_root_first(self):
+        q = parse_twig("//a ( /b, /c )")
+        assert [n.var for n in q.root.iter_preorder()] == ["q0", "q1", "q2", "q3"]
+
+    def test_iter_postorder_root_last(self):
+        q = parse_twig("//a ( /b, /c )")
+        order = [n.var for n in q.root.iter_postorder()]
+        assert order[-1] == "q0"
+        assert set(order) == {"q0", "q1", "q2", "q3"}
+
+    def test_str_rendering_marks_optional(self):
+        q = parse_twig("//a ( /b ? )")
+        assert "?" in str(q)

@@ -1,0 +1,84 @@
+"""Tests for ASCII / dot rendering."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.render import render_nesting_tree, render_tree, synopsis_to_dot
+from repro.xmltree.tree import XMLTree
+
+
+class TestRenderTree:
+    def test_single_node(self):
+        assert render_tree(XMLTree.from_nested(("r", []))) == "r"
+
+    def test_structure_markers(self, small_tree):
+        text = render_tree(small_tree)
+        assert text.splitlines()[0] == "r"
+        assert "|--" in text
+        assert "`--" in text
+
+    def test_every_node_rendered(self, paper_document):
+        text = render_tree(paper_document)
+        assert len(text.splitlines()) == 28
+
+    def test_truncation(self, paper_document):
+        text = render_tree(paper_document, max_nodes=5)
+        assert "truncated" in text
+        assert len(text.splitlines()) == 6
+
+    def test_values_rendered_on_request(self):
+        tree = parse_xml("<a><b>v</b></a>", keep_values=True)
+        assert '"v"' in render_tree(tree, show_values=True)
+        assert '"v"' not in render_tree(tree)
+
+
+class TestRenderNestingTree:
+    def test_variables_annotated(self, paper_document):
+        nt = ExactEvaluator(paper_document).evaluate(parse_twig("//a (//p)"))
+        text = render_nesting_tree(nt)
+        assert "[q0]" in text
+        assert "[q1]" in text
+        assert "[q2]" in text
+
+    def test_truncation(self, paper_document):
+        nt = ExactEvaluator(paper_document).evaluate(parse_twig("//a (//p, //n ?)"))
+        text = render_nesting_tree(nt, max_nodes=3)
+        assert "truncated" in text
+
+
+class TestSynopsisToDot:
+    def test_valid_dot_skeleton(self, paper_document):
+        dot = synopsis_to_dot(build_stable(paper_document), title="paper")
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        assert 'label="paper"' in dot
+        assert "->" in dot
+
+    def test_counts_in_labels(self, paper_document):
+        stable = build_stable(paper_document)
+        dot = synopsis_to_dot(stable)
+        assert f"a ({stable.count[stable.nodes_with_label('a')[0]]})" in dot
+
+    def test_root_double_bordered(self, paper_document):
+        dot = synopsis_to_dot(build_stable(paper_document))
+        assert "peripheries=2" in dot
+
+    def test_truncation_marker(self, paper_document):
+        dot = synopsis_to_dot(build_stable(paper_document), max_nodes=3)
+        assert "more nodes" in dot
+
+    def test_treesketch_fractional_edges(self, paper_document):
+        from repro.core.build import build_treesketch
+
+        sketch = build_treesketch(paper_document, 120)
+        dot = synopsis_to_dot(sketch)
+        assert "digraph" in dot
+
+    def test_escaping(self):
+        tree = XMLTree.from_nested(('weird"label', []))
+        dot = synopsis_to_dot(build_stable(tree))
+        assert '\\"' in dot

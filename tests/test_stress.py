@@ -1,0 +1,101 @@
+"""Stress and robustness tests: deep chains, wide nodes, unicode labels."""
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable, expand_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+class TestDeepDocuments:
+    def make_chain(self, depth, label="x"):
+        root = XMLNode("r")
+        node = root
+        for _ in range(depth):
+            node = node.new_child(label)
+        return XMLTree(root)
+
+    def test_deep_chain_stable(self):
+        tree = self.make_chain(3000)
+        stable = build_stable(tree)
+        # A uniform chain of one label has one class per depth.
+        assert stable.num_nodes == 3001
+        assert stable.doc_height == 3000
+
+    def test_deep_chain_expand(self):
+        tree = self.make_chain(2000)
+        assert len(expand_stable(build_stable(tree))) == len(tree)
+
+    def test_deep_chain_compression_and_query(self):
+        tree = self.make_chain(800)
+        sketch = build_treesketch(tree, 256)
+        assert sketch.size_bytes() <= 256
+        # The compressed synopsis is cyclic (recursive label merged);
+        # evaluation must terminate.
+        result = eval_query(sketch, parse_twig("//x"))
+        assert estimate_selectivity(result) > 0
+
+    def test_deep_exact_evaluation(self):
+        tree = self.make_chain(1500)
+        assert ExactEvaluator(tree).selectivity(parse_twig("//x")) == 1500
+
+
+class TestWideDocuments:
+    def test_wide_root(self):
+        root = XMLNode("r")
+        for i in range(20000):
+            root.new_child("a" if i % 2 else "b")
+        tree = XMLTree(root)
+        stable = build_stable(tree)
+        assert stable.num_nodes == 3
+        ev = ExactEvaluator(tree)
+        assert ev.selectivity(parse_twig("//a")) == 10000
+
+    def test_wide_synopsis_evaluation(self):
+        root = XMLNode("r")
+        for i in range(5000):
+            child = root.new_child(f"t{i % 50}")
+            child.new_child("leaf")
+        tree = XMLTree(root)
+        sketch = TreeSketch.from_stable(build_stable(tree))
+        result = eval_query(sketch, parse_twig("//t7 (/leaf)"))
+        assert estimate_selectivity(result) == pytest.approx(100.0)
+
+
+class TestUnicodeLabels:
+    def test_unicode_pipeline(self):
+        tree = XMLTree.from_nested(
+            ("wörter", [("bücher", ["straße", "straße"]), ("bücher", ["straße"])])
+        )
+        stable = build_stable(tree)
+        assert len(stable.nodes_with_label("bücher")) == 2
+        expanded = expand_stable(stable)
+        assert len(expanded) == len(tree)
+
+    def test_unicode_serialization(self):
+        from repro.xmltree.parser import parse_xml
+        from repro.xmltree.serialize import to_xml
+
+        tree = XMLTree.from_nested(("根", ["枝", "枝"]))
+        again = parse_xml(to_xml(tree))
+        assert [n.label for n in again] == ["根", "枝", "枝"]
+
+    def test_exact_engine_with_unicode(self):
+        tree = XMLTree.from_nested(("r", [("ä", ["ö"]), ("ä", [])]))
+        ev = ExactEvaluator(tree)
+        # Note: the twig *parser* restricts labels to NCName-ish ASCII;
+        # programmatic construction supports any string label.
+        from repro.query.path import Axis, Path, PathStep
+        from repro.query.twig import TwigQuery
+
+        query = TwigQuery()
+        q1 = query.root.add_child(Path((PathStep(Axis.DESCENDANT, "ä"),)))
+        q1.add_child(Path((PathStep(Axis.CHILD, "ö"),)))
+        query.finalize()
+        assert ev.selectivity(query) == 1

@@ -1,0 +1,76 @@
+"""Tests for the public repro.testing helpers."""
+
+import random
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable, expand_stable
+from repro.testing import (
+    assert_valid_synopsis,
+    canonical_form,
+    make_random_tree,
+    summaries_equivalent,
+    trees_isomorphic,
+)
+from repro.xmltree.tree import XMLTree
+
+
+class TestTreesIsomorphic:
+    def test_identical(self, paper_document):
+        assert trees_isomorphic(paper_document, paper_document.copy())
+
+    def test_sibling_order_ignored(self):
+        t1 = XMLTree.from_nested(("r", ["a", ("b", ["c"])]))
+        t2 = XMLTree.from_nested(("r", [("b", ["c"]), "a"]))
+        assert trees_isomorphic(t1, t2)
+
+    def test_different_structure(self):
+        t1 = XMLTree.from_nested(("r", [("a", ["b"])]))
+        t2 = XMLTree.from_nested(("r", ["a", "b"]))
+        assert not trees_isomorphic(t1, t2)
+
+    def test_size_shortcut(self):
+        t1 = XMLTree.from_nested(("r", ["a"]))
+        t2 = XMLTree.from_nested(("r", ["a", "a"]))
+        assert not trees_isomorphic(t1, t2)
+
+    def test_expand_stable_isomorphism(self, rng):
+        """Lemma 3.1, now checkable as true isomorphism (not just summary
+        equality): Expand(BUILD_STABLE(T)) ~ T."""
+        for _ in range(5):
+            tree = make_random_tree(rng, rng.randint(5, 120))
+            assert trees_isomorphic(tree, expand_stable(build_stable(tree)))
+
+
+class TestSummariesEquivalent:
+    def test_same_document_two_builds(self, paper_document):
+        a = build_stable(paper_document)
+        b = build_stable(paper_document.copy())
+        assert summaries_equivalent(a, b)
+
+    def test_different_documents(self, figure3_t1, figure3_t2):
+        assert not summaries_equivalent(
+            build_stable(figure3_t1), build_stable(figure3_t2)
+        )
+
+
+class TestAssertValidSynopsis:
+    def test_passes_on_good_synopsis(self, paper_document):
+        stable = build_stable(paper_document)
+        assert_valid_synopsis(stable, expect_elements=len(paper_document))
+
+    def test_detects_wrong_element_total(self, paper_document):
+        stable = build_stable(paper_document)
+        with pytest.raises(AssertionError):
+            assert_valid_synopsis(stable, expect_elements=len(paper_document) + 1)
+
+    def test_works_on_compressed_sketch(self, paper_document):
+        sketch = build_treesketch(paper_document, 120)
+        assert_valid_synopsis(sketch, expect_elements=len(paper_document))
+
+
+class TestCanonicalForm:
+    def test_deterministic(self):
+        t = XMLTree.from_nested(("r", ["b", "a"]))
+        assert canonical_form(t.root) == canonical_form(t.copy().root)

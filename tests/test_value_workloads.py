@@ -1,0 +1,113 @@
+"""Tests for value-predicate workload generation."""
+
+import random
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.query.generator import WorkloadGenerator, WorkloadOptions
+from repro.query.path import ValueTest
+from repro.values import annotate_stable_values
+from repro.xmltree.parser import parse_xml
+
+LIBRARY = """
+<lib>
+ <shelf><book><genre>scifi</genre><copy/></book>
+        <book><genre>crime</genre><copy/><copy/></book></shelf>
+ <shelf><book><genre>scifi</genre></book>
+        <book><genre>drama</genre><copy/></book></shelf>
+</lib>
+"""
+
+
+def value_tests_in(query):
+    return [
+        pred
+        for node in query.nodes
+        if node.path is not None
+        for step in node.path.steps
+        for pred in step.predicates
+        if isinstance(pred, ValueTest)
+    ]
+
+
+@pytest.fixture
+def annotated():
+    tree = parse_xml(LIBRARY, keep_values=True)
+    stable = build_stable(tree, keep_extents=True)
+    annotate_stable_values(stable, tree)
+    return tree, stable
+
+
+class TestValueWorkloads:
+    def test_value_tests_generated(self, annotated):
+        _tree, stable = annotated
+        generator = WorkloadGenerator(
+            stable,
+            WorkloadOptions(
+                num_queries=40, seed=1, predicate_prob=1.0, value_predicate_prob=1.0
+            ),
+        )
+        queries = generator.generate()
+        with_tests = [q for q in queries if value_tests_in(q)]
+        assert with_tests
+
+    def test_at_most_one_value_test_per_query(self, annotated):
+        _tree, stable = annotated
+        generator = WorkloadGenerator(
+            stable,
+            WorkloadOptions(
+                num_queries=60, seed=2, predicate_prob=1.0, value_predicate_prob=1.0,
+                branch_prob=1.0, max_branches=3,
+            ),
+        )
+        for query in generator.generate():
+            assert len(value_tests_in(query)) <= 1
+
+    def test_values_come_from_heavy_hitters(self, annotated):
+        _tree, stable = annotated
+        known = set()
+        for summary in stable.values.values():
+            known.update(summary.top)
+        generator = WorkloadGenerator(
+            stable,
+            WorkloadOptions(
+                num_queries=40, seed=3, predicate_prob=1.0, value_predicate_prob=1.0
+            ),
+        )
+        for query in generator.generate():
+            for test in value_tests_in(query):
+                assert test.value in known
+
+    def test_positivity_preserved(self, annotated):
+        tree, stable = annotated
+        evaluator = ExactEvaluator(tree)
+        generator = WorkloadGenerator(
+            stable,
+            WorkloadOptions(
+                num_queries=50, seed=4, predicate_prob=0.8, value_predicate_prob=0.8
+            ),
+        )
+        for query in generator.generate():
+            assert evaluator.selectivity(query) > 0, str(query)
+
+    def test_disabled_by_default(self, annotated):
+        _tree, stable = annotated
+        generator = WorkloadGenerator(
+            stable, WorkloadOptions(num_queries=30, seed=5, predicate_prob=1.0)
+        )
+        for query in generator.generate():
+            assert not value_tests_in(query)
+
+    def test_no_value_summaries_no_tests(self):
+        tree = parse_xml(LIBRARY, keep_values=True)
+        stable = build_stable(tree)  # not annotated
+        generator = WorkloadGenerator(
+            stable,
+            WorkloadOptions(
+                num_queries=20, seed=6, predicate_prob=1.0, value_predicate_prob=1.0
+            ),
+        )
+        for query in generator.generate():
+            assert not value_tests_in(query)

@@ -1,0 +1,216 @@
+"""Tests for the values extension (repro.values + value predicates)."""
+
+import pytest
+
+from repro.core.build import TreeSketchBuilder
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_path, parse_twig
+from repro.query.path import ValueTest
+from repro.values import ValueSummary, annotate_sketch_values, annotate_stable_values
+from repro.xmltree.parser import parse_xml
+
+LIBRARY = """
+<lib>
+ <book><genre>scifi</genre><copy/><copy/></book>
+ <book><genre>scifi</genre><copy/></book>
+ <book><genre>crime</genre><copy/><copy/><copy/></book>
+ <book><genre>drama</genre></book>
+ <magazine><genre>crime</genre></magazine>
+</lib>
+"""
+
+
+@pytest.fixture
+def library():
+    tree = parse_xml(LIBRARY, keep_values=True)
+    stable = build_stable(tree, keep_extents=True)
+    summaries = annotate_stable_values(stable, tree)
+    return tree, stable, summaries
+
+
+class TestValueParsing:
+    def test_keep_values_parses_leaf_text(self):
+        tree = parse_xml("<a><b>hello</b><c/></a>", keep_values=True)
+        b, c = tree.root.children
+        assert b.value == "hello"
+        assert c.value is None
+
+    def test_values_dropped_by_default(self):
+        tree = parse_xml("<a><b>hello</b></a>")
+        assert tree.root.children[0].value is None
+
+    def test_internal_text_ignored(self):
+        tree = parse_xml("<a>text<b>leaf</b></a>", keep_values=True)
+        assert tree.root.value is None
+        assert tree.root.children[0].value == "leaf"
+
+    def test_serialization_round_trip(self):
+        from repro.xmltree.serialize import to_xml
+
+        tree = parse_xml("<a><b>x</b></a>", keep_values=True)
+        again = parse_xml(to_xml(tree), keep_values=True)
+        assert again.root.children[0].value == "x"
+
+
+class TestValueTestSyntax:
+    def test_parse_value_predicate(self):
+        path = parse_path('//book[/genre = "scifi"]')
+        (pred,) = path.steps[0].predicates
+        assert isinstance(pred, ValueTest)
+        assert pred.value == "scifi"
+        assert str(pred.path) == "/genre"
+
+    def test_single_quotes(self):
+        path = parse_path("//book[/genre = 'x y z']")
+        (pred,) = path.steps[0].predicates
+        assert pred.value == "x y z"
+
+    def test_mixed_predicates(self):
+        path = parse_path('//book[/copy][/genre = "scifi"]')
+        structural, value = path.steps[0].predicates
+        assert not isinstance(structural, ValueTest)
+        assert isinstance(value, ValueTest)
+
+    def test_round_trip_through_str(self):
+        path = parse_path('//book[/genre = "scifi"]/copy')
+        assert parse_path(str(path)) == path
+
+    def test_unterminated_literal(self):
+        from repro.query.parser import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            parse_path('//book[/genre = "oops]')
+
+
+class TestExactValuePredicates:
+    def test_selectivity_with_value_filter(self, library):
+        tree, _stable, _sv = library
+        ev = ExactEvaluator(tree)
+        assert ev.selectivity(parse_twig('//book[/genre = "scifi"] ( /copy )')) == 3
+        assert ev.selectivity(parse_twig('//book[/genre = "crime"] ( /copy )')) == 3
+        assert ev.selectivity(parse_twig('//book[/genre = "drama"] ( /copy )')) == 0
+
+    def test_value_on_missing_path(self, library):
+        tree, _stable, _sv = library
+        ev = ExactEvaluator(tree)
+        assert ev.selectivity(parse_twig('//book[/zzz = "x"]')) == 0
+
+    def test_nesting_tree_filters(self, library):
+        tree, _stable, _sv = library
+        nt = ExactEvaluator(tree).evaluate(parse_twig('//book[/genre = "scifi"]'))
+        assert len(nt.root.children) == 2
+
+
+class TestValueSummary:
+    def test_from_values(self):
+        s = ValueSummary.from_values(["a", "a", "b", None], top_k=8)
+        assert s.top == {"a": 2, "b": 1}
+        assert s.null_count == 1
+        assert s.total == 4
+
+    def test_probability_exact_for_top(self):
+        s = ValueSummary.from_values(["a", "a", "b", "c"], top_k=2)
+        assert s.probability("a") == pytest.approx(0.5)
+
+    def test_probability_uniform_tail(self):
+        s = ValueSummary.from_values(["a", "a", "b", "c"], top_k=1)
+        # tail: 2 occurrences over 2 distinct -> 1/4 each.
+        assert s.probability("zzz") == pytest.approx(0.25)
+
+    def test_probability_no_tail_zero(self):
+        s = ValueSummary.from_values(["a"], top_k=8)
+        assert s.probability("zzz") == 0.0
+
+    def test_empty(self):
+        s = ValueSummary.from_values([], top_k=4)
+        assert s.total == 0
+        assert s.probability("x") == 0.0
+
+    def test_merge_preserves_totals(self):
+        a = ValueSummary.from_values(["x", "x", "y"], top_k=8)
+        b = ValueSummary.from_values(["x", "z", None], top_k=8)
+        merged = a.merge(b, top_k=8)
+        assert merged.total == 6
+        assert merged.top["x"] == 3
+
+    def test_merge_reapplies_cap(self):
+        a = ValueSummary.from_values(["a"] * 3 + ["b"] * 2, top_k=2)
+        b = ValueSummary.from_values(["c"] * 4, top_k=2)
+        merged = a.merge(b, top_k=2)
+        assert len(merged.top) == 2
+        assert merged.total == 9
+
+    def test_size_bytes(self):
+        s = ValueSummary.from_values(["a", "b"], top_k=8)
+        assert s.size_bytes() == 8 * 2 + 12
+
+
+class TestAnnotation:
+    def test_stable_annotation_requires_extents(self, library):
+        tree, _stable, _sv = library
+        bare = build_stable(tree)
+        with pytest.raises(ValueError):
+            annotate_stable_values(bare, tree)
+
+    def test_only_valued_classes_annotated(self, library):
+        _tree, stable, summaries = library
+        for nid in summaries:
+            assert stable.label[nid] == "genre"
+
+    def test_sketch_annotation_from_stable(self, library):
+        _tree, stable, summaries = library
+        sketch = TreeSketch.from_stable(stable)
+        annotated = annotate_sketch_values(sketch, summaries)
+        assert annotated
+        genre_ids = [nid for nid, lab in sketch.label.items() if lab == "genre"]
+        total = sum(sketch.values[nid].total for nid in genre_ids if nid in sketch.values)
+        assert total == 5  # all genre elements covered
+
+    def test_sketch_annotation_requires_members(self, library):
+        _tree, _stable, summaries = library
+        with pytest.raises(ValueError):
+            annotate_sketch_values(TreeSketch(), summaries)
+
+    def test_merged_cluster_probabilities(self, library):
+        _tree, stable, summaries = library
+        builder = TreeSketchBuilder(stable)
+        sketch = builder.compress_to(stable.size_bytes() // 2)
+        annotated = annotate_sketch_values(sketch, summaries)
+        for summary in annotated.values():
+            for value, count in summary.top.items():
+                assert 0 < summary.probability(value) <= 1
+
+
+class TestApproximateValueSelectivity:
+    @pytest.mark.parametrize("genre,expected", [("scifi", 3), ("crime", 3)])
+    def test_annotated_estimates_close(self, library, genre, expected):
+        tree, stable, summaries = library
+        sketch = TreeSketch.from_stable(stable)
+        annotate_sketch_values(sketch, summaries)
+        query = parse_twig(f'//book[/genre = "{genre}"] ( /copy )')
+        estimate = estimate_selectivity(eval_query(sketch, query))
+        # Value/structure independence makes this approximate; it must be
+        # in the right ballpark and far below the structural bound (6).
+        assert 0 < estimate <= 6
+        assert abs(estimate - expected) <= 2.0
+
+    def test_unannotated_is_structural_upper_bound(self, library):
+        tree, stable, _sv = library
+        sketch = TreeSketch.from_stable(stable)
+        query = parse_twig('//book[/genre = "scifi"] ( /copy )')
+        structural = parse_twig("//book[/genre] ( /copy )")
+        assert estimate_selectivity(eval_query(sketch, query)) == pytest.approx(
+            estimate_selectivity(eval_query(sketch, structural))
+        )
+
+    def test_unknown_value_low_selectivity(self, library):
+        _tree, stable, summaries = library
+        sketch = TreeSketch.from_stable(stable)
+        annotate_sketch_values(sketch, summaries)
+        query = parse_twig('//book[/genre = "unknown-genre"] ( /copy )')
+        estimate = estimate_selectivity(eval_query(sketch, query))
+        assert estimate <= 1.0

@@ -1,0 +1,61 @@
+"""Property-based tests for the values extension."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.values.summary import ValueSummary
+
+values_lists = st.lists(
+    st.one_of(st.none(), st.sampled_from(["a", "b", "c", "d", "e", "f"])),
+    max_size=40,
+)
+
+
+@given(values_lists, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_total_matches_input(values, top_k):
+    summary = ValueSummary.from_values(values, top_k)
+    assert summary.total == len(values)
+    assert summary.null_count == sum(1 for v in values if v is None)
+
+
+@given(values_lists, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_probabilities_bounded(values, top_k):
+    summary = ValueSummary.from_values(values, top_k)
+    for value in "abcdefzzz":
+        p = summary.probability(value)
+        assert 0.0 <= p <= 1.0
+
+
+@given(values_lists)
+@settings(max_examples=60, deadline=None)
+def test_uncapped_probabilities_exact(values):
+    summary = ValueSummary.from_values(values, top_k=100)
+    n = len(values)
+    for value in "abcdef":
+        expected = (values.count(value) / n) if n else 0.0
+        assert abs(summary.probability(value) - expected) < 1e-12
+
+
+@given(values_lists, values_lists, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_merge_total_additive(u, v, top_k):
+    a = ValueSummary.from_values(u, top_k)
+    b = ValueSummary.from_values(v, top_k)
+    merged = a.merge(b, top_k)
+    assert merged.total == len(u) + len(v)
+    assert merged.null_count == a.null_count + b.null_count
+    assert len(merged.top) <= top_k
+
+
+@given(values_lists, values_lists)
+@settings(max_examples=60, deadline=None)
+def test_uncapped_merge_equals_joint_summary(u, v):
+    merged = ValueSummary.from_values(u, 100).merge(
+        ValueSummary.from_values(v, 100), 100
+    )
+    joint = ValueSummary.from_values(u + v, 100)
+    assert merged.top == joint.top
+    assert merged.null_count == joint.null_count

@@ -1,0 +1,82 @@
+"""Unit tests for the workload container and runners."""
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.datagen.datasets import imdb_like
+from repro.workload.runner import run_answer_quality, run_selectivity
+from repro.workload.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tree = imdb_like(scale=0.4, seed=6)
+    return make_workload(tree, num_queries=15, seed=2)
+
+
+class TestWorkload:
+    def test_length(self, workload):
+        assert len(workload) == 15
+
+    def test_truths_positive(self, workload):
+        assert all(t > 0 for t in workload.truths)
+
+    def test_truths_cached(self, workload):
+        assert workload.truths is workload.truths
+
+    def test_avg_binding_tuples(self, workload):
+        assert workload.avg_binding_tuples() == pytest.approx(
+            sum(workload.truths) / len(workload)
+        )
+
+    def test_nesting_trees_match_truths(self, workload):
+        for nt, truth in zip(workload.nesting_trees[:5], workload.truths[:5]):
+            assert nt.binding_tuple_count() == truth
+
+
+class TestRunners:
+    def test_selectivity_zero_error_on_stable(self, workload):
+        sketch = TreeSketch.from_stable(workload.stable)
+        quality = run_selectivity(sketch, workload)
+        assert quality.avg_error == pytest.approx(0.0, abs=1e-9)
+        assert len(quality.per_query) == len(workload)
+
+    def test_answer_quality_zero_on_stable(self, workload):
+        sketch = TreeSketch.from_stable(workload.stable)
+        quality = run_answer_quality(sketch, workload, queries=range(5))
+        assert quality.avg_esd == pytest.approx(0.0)
+        assert quality.failures == 0
+
+    def test_compressed_sketch_degrades(self, workload):
+        stable_err = run_selectivity(
+            TreeSketch.from_stable(workload.stable), workload
+        ).avg_error
+        tiny = build_treesketch(workload.stable, 512)
+        tiny_err = run_selectivity(tiny, workload).avg_error
+        assert tiny_err >= stable_err
+
+    def test_query_slice(self, workload):
+        sketch = TreeSketch.from_stable(workload.stable)
+        quality = run_selectivity(sketch, workload, queries=[0, 3, 4])
+        assert len(quality.per_query) == 3
+
+    def test_xsketch_supported(self, workload):
+        from repro.xsketch.atoms import build_atom_graph
+        from repro.xsketch.synopsis import TwigXSketch
+
+        atoms = build_atom_graph(workload.stable)
+        labels = sorted(set(atoms.label))
+        cid = {lab: i for i, lab in enumerate(labels)}
+        xs = TwigXSketch.from_partition(
+            atoms, [cid[lab] for lab in atoms.label], bucket_budget=8
+        )
+        quality = run_selectivity(xs, workload)
+        assert quality.avg_error >= 0.0
+        answers = run_answer_quality(xs, workload, queries=range(3))
+        assert answers.avg_esd >= 0.0
+
+    def test_unsupported_synopsis_rejected(self, workload):
+        with pytest.raises(TypeError):
+            run_selectivity(object(), workload)

@@ -1,0 +1,69 @@
+"""Tests for workload persistence."""
+
+import pytest
+
+from repro.datagen.datasets import imdb_like
+from repro.workload.cache import document_fingerprint, load_workload, save_workload
+from repro.workload.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    tree = imdb_like(scale=0.3, seed=2)
+    workload = make_workload(tree, num_queries=10, seed=4)
+    return tree, workload
+
+
+class TestWorkloadCache:
+    def test_round_trip(self, setting, tmp_path):
+        tree, workload = setting
+        path = str(tmp_path / "wl.json")
+        save_workload(workload, path)
+        loaded = load_workload(path, tree, stable=workload.stable)
+        assert [str(q) for q in loaded.queries] == [str(q) for q in workload.queries]
+        assert loaded.truths == workload.truths
+
+    def test_truths_not_recomputed(self, setting, tmp_path):
+        tree, workload = setting
+        path = str(tmp_path / "wl.json")
+        save_workload(workload, path)
+        loaded = load_workload(path, tree, stable=workload.stable)
+        # _truths pre-populated: accessing .truths does no exact evaluation.
+        assert loaded._truths is not None
+
+    def test_loaded_queries_reusable(self, setting, tmp_path):
+        tree, workload = setting
+        path = str(tmp_path / "wl.json")
+        save_workload(workload, path)
+        loaded = load_workload(path, tree, stable=workload.stable)
+        # Spot-check one truth against a fresh evaluation.
+        assert loaded.evaluator.selectivity(loaded.queries[0]) == loaded.truths[0]
+
+    def test_fingerprint_mismatch_rejected(self, setting, tmp_path):
+        tree, workload = setting
+        path = str(tmp_path / "wl.json")
+        save_workload(workload, path)
+        other = imdb_like(scale=0.3, seed=99)
+        with pytest.raises(ValueError):
+            load_workload(path, other)
+
+    def test_fingerprint_override(self, setting, tmp_path):
+        tree, workload = setting
+        path = str(tmp_path / "wl.json")
+        save_workload(workload, path)
+        other = imdb_like(scale=0.3, seed=99)
+        loaded = load_workload(path, other, verify_fingerprint=False)
+        assert len(loaded.queries) == len(workload.queries)
+
+    def test_fingerprint_stability(self, setting):
+        tree, _ = setting
+        assert document_fingerprint(tree) == document_fingerprint(tree.copy())
+
+    def test_unknown_format_rejected(self, setting, tmp_path):
+        import json
+
+        tree, _ = setting
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            load_workload(str(path), tree)

@@ -1,0 +1,82 @@
+"""Edge-case tests for the workload runners and harness helpers."""
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.datagen.datasets import xmark_like
+from repro.experiments.harness import Bundle
+from repro.workload.runner import run_answer_quality, run_selectivity
+from repro.workload.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    tree = xmark_like(scale=0.6, seed=12)
+    stable = build_stable(tree)
+    wl = make_workload(tree, num_queries=12, seed=1, stable=stable)
+    return Bundle(name="t", tree=tree, stable=stable, workload=wl)
+
+
+class TestAnswerQualityFailures:
+    def test_expansion_failures_counted(self, bundle):
+        sketch = TreeSketch.from_stable(bundle.stable)
+        quality = run_answer_quality(
+            sketch, bundle.workload, queries=range(4), max_nodes=2
+        )
+        assert quality.failures == 4
+        assert quality.avg_esd != quality.avg_esd  # NaN: no scored queries
+
+    def test_partial_failures(self, bundle):
+        sketch = TreeSketch.from_stable(bundle.stable)
+        sizes = [
+            bundle.workload.evaluator.evaluate(bundle.workload.queries[i]).size()
+            for i in range(6)
+        ]
+        threshold = sorted(sizes)[2] + 1
+        quality = run_answer_quality(
+            sketch, bundle.workload, queries=range(6), max_nodes=threshold
+        )
+        assert 0 < quality.failures < 6
+        assert quality.avg_esd == 0.0  # survivors are exact on stable
+
+
+class TestEsdQueryIds:
+    def test_bounded_sizes(self, bundle):
+        ids = bundle.esd_query_ids(5, max_nt_size=500)
+        for i in ids:
+            nt = bundle.workload.evaluator.evaluate(bundle.workload.queries[i])
+            assert nt.size() <= 500
+
+    def test_cached(self, bundle):
+        assert bundle.esd_query_ids(5, max_nt_size=500) is bundle.esd_query_ids(
+            5, max_nt_size=500
+        )
+
+    def test_count_respected(self, bundle):
+        ids = bundle.esd_query_ids(3, max_nt_size=10**9)
+        assert len(ids) == 3
+
+
+class TestTrainingWorkload:
+    def test_disjoint_seed(self, bundle):
+        training = bundle.training_workload()
+        eval_texts = {str(q) for q in bundle.workload.queries}
+        train_texts = [str(q) for q in training.queries]
+        overlap = sum(1 for t in train_texts if t in eval_texts)
+        # Different seeds: overlap should be rare (identical short queries
+        # can coincide by chance).
+        assert overlap <= len(train_texts) // 3
+
+    def test_cached(self, bundle):
+        assert bundle.training_workload() is bundle.training_workload()
+
+
+class TestTimingFields:
+    def test_runner_reports_time(self, bundle):
+        sketch = build_treesketch(bundle.stable, 4096)
+        sel = run_selectivity(sketch, bundle.workload, queries=range(5))
+        assert sel.seconds >= 0.0
+        ans = run_answer_quality(sketch, bundle.workload, queries=range(2))
+        assert ans.seconds >= 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for repro.xmltree.node."""
+
+import pytest
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+
+
+def chain(*labels):
+    root = XMLNode(labels[0])
+    node = root
+    for label in labels[1:]:
+        node = node.new_child(label)
+    return root
+
+
+class TestBasics:
+    def test_new_node_is_leaf_and_root(self):
+        node = XMLNode("a")
+        assert node.is_leaf
+        assert node.is_root
+        assert node.label == "a"
+
+    def test_add_child_sets_parent(self):
+        parent = XMLNode("a")
+        child = XMLNode("b")
+        returned = parent.add_child(child)
+        assert returned is child
+        assert child.parent is parent
+        assert parent.children == [child]
+        assert not parent.is_leaf
+        assert not child.is_root
+
+    def test_new_child_creates_labeled_node(self):
+        parent = XMLNode("a")
+        child = parent.new_child("b")
+        assert child.label == "b"
+        assert child.parent is parent
+
+
+class TestTraversal:
+    def test_preorder_order(self):
+        root = XMLNode("r")
+        a = root.new_child("a")
+        b = root.new_child("b")
+        a1 = a.new_child("a1")
+        labels = [n.label for n in root.iter_preorder()]
+        assert labels == ["r", "a", "a1", "b"]
+
+    def test_postorder_order(self):
+        root = XMLNode("r")
+        a = root.new_child("a")
+        root.new_child("b")
+        a.new_child("a1")
+        labels = [n.label for n in root.iter_postorder()]
+        assert labels == ["a1", "a", "b", "r"]
+
+    def test_postorder_children_before_parents(self):
+        root = XMLNode("r")
+        for i in range(3):
+            c = root.new_child(f"c{i}")
+            c.new_child("leaf")
+        seen = set()
+        for node in root.iter_postorder():
+            for child in node.children:
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_deep_chain_does_not_recurse(self):
+        # 50k-deep chain: would overflow a recursive traversal.
+        root = chain(*["x"] * 50_000)
+        assert sum(1 for _ in root.iter_preorder()) == 50_000
+        assert sum(1 for _ in root.iter_postorder()) == 50_000
+
+
+class TestMetrics:
+    def test_subtree_size_single(self):
+        assert XMLNode("a").subtree_size() == 1
+
+    def test_subtree_size_nested(self):
+        root = chain("a", "b", "c")
+        assert root.subtree_size() == 3
+
+    def test_depth_below_leaf(self):
+        assert XMLNode("a").depth_below() == 0
+
+    def test_depth_below_chain(self):
+        assert chain("a", "b", "c").depth_below() == 2
+
+    def test_depth_below_takes_max_branch(self):
+        root = XMLNode("r")
+        root.new_child("short")
+        deep = root.new_child("deep")
+        deep.new_child("leaf")
+        assert root.depth_below() == 2
+
+    def test_path_from_root(self):
+        root = chain("a", "b", "c")
+        leaf = root.children[0].children[0]
+        assert leaf.path_from_root() == ["a", "b", "c"]
+
+    def test_path_from_root_of_root(self):
+        assert XMLNode("only").path_from_root() == ["only"]

@@ -1,0 +1,89 @@
+"""Unit tests for repro.xmltree.parser and serialize round-trips."""
+
+import pytest
+
+from repro.xmltree.parser import parse_compact, parse_xml
+from repro.xmltree.serialize import to_compact, to_xml, xml_byte_size
+
+
+class TestParseXML:
+    def test_single_element(self):
+        tree = parse_xml("<root/>")
+        assert len(tree) == 1
+        assert tree.root.label == "root"
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c/></b><b/></a>")
+        assert [n.label for n in tree] == ["a", "b", "c", "b"]
+
+    def test_text_content_discarded(self):
+        tree = parse_xml("<a>hello<b>world</b>tail</a>")
+        assert len(tree) == 2
+
+    def test_attributes_discarded(self):
+        tree = parse_xml('<a x="1"><b y="2"/></a>')
+        assert len(tree) == 2
+
+    def test_document_order_preserved(self):
+        tree = parse_xml("<r><x/><y/><z/></r>")
+        assert [c.label for c in tree.root.children] == ["x", "y", "z"]
+
+    def test_malformed_raises(self):
+        with pytest.raises(Exception):
+            parse_xml("<a><b></a>")
+
+    def test_deep_document(self):
+        text = "<x>" * 200 + "</x>" * 200
+        tree = parse_xml(text)
+        assert len(tree) == 200
+        assert tree.height == 199
+
+
+class TestXMLRoundTrip:
+    def test_round_trip(self, paper_document):
+        text = to_xml(paper_document)
+        parsed = parse_xml(text)
+        assert [n.label for n in parsed] == [n.label for n in paper_document]
+
+    def test_byte_size_positive(self, small_tree):
+        assert xml_byte_size(small_tree) == len(to_xml(small_tree).encode())
+
+
+class TestParseCompact:
+    def test_single_line(self):
+        tree = parse_compact("r")
+        assert len(tree) == 1
+
+    def test_indented_children(self):
+        tree = parse_compact("r\n a\n  b\n a")
+        assert [n.label for n in tree] == ["r", "a", "b", "a"]
+
+    def test_blank_lines_ignored(self):
+        tree = parse_compact("r\n\n a\n\n b\n")
+        assert len(tree) == 3
+
+    def test_wider_indent_steps(self):
+        tree = parse_compact("r\n    a\n        b")
+        assert tree.height == 2
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            parse_compact("   \n  ")
+
+    def test_multiple_roots_raise(self):
+        with pytest.raises(ValueError):
+            parse_compact("r\nq")
+
+    def test_indented_first_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_compact("  r\n   a")
+
+    def test_round_trip(self, paper_document):
+        text = to_compact(paper_document)
+        parsed = parse_compact(text)
+        assert [n.label for n in parsed] == [n.label for n in paper_document]
+
+    def test_round_trip_with_indent_4(self, small_tree):
+        text = to_compact(small_tree, indent=4)
+        parsed = parse_compact(text)
+        assert len(parsed) == len(small_tree)

@@ -1,0 +1,54 @@
+"""Unit tests for repro.xmltree.serialize."""
+
+from repro.xmltree.parser import parse_compact, parse_xml
+from repro.xmltree.serialize import to_compact, to_etree, to_xml, xml_byte_size
+from repro.xmltree.tree import XMLTree
+
+
+class TestToXML:
+    def test_single_node(self):
+        assert to_xml(XMLTree.from_nested(("r", []))) == "<r />"
+
+    def test_nested(self):
+        text = to_xml(XMLTree.from_nested(("a", [("b", ["c"])])))
+        assert "<a>" in text and "<c />" in text
+
+    def test_round_trip_structure(self, paper_document):
+        again = parse_xml(to_xml(paper_document))
+        assert [n.label for n in again] == [n.label for n in paper_document]
+
+    def test_values_serialized(self):
+        tree = parse_xml("<a><b>v1</b></a>", keep_values=True)
+        assert ">v1</b>" in to_xml(tree)
+
+    def test_byte_size(self, small_tree):
+        assert xml_byte_size(small_tree) > 0
+        assert xml_byte_size(small_tree) == len(to_xml(small_tree).encode("utf-8"))
+
+
+class TestToEtree:
+    def test_structure(self, small_tree):
+        root = to_etree(small_tree)
+        assert root.tag == "r"
+        assert len(list(root)) == 2
+
+    def test_sibling_order(self):
+        tree = XMLTree.from_nested(("r", ["x", "y", "z"]))
+        root = to_etree(tree)
+        assert [c.tag for c in root] == ["x", "y", "z"]
+
+
+class TestToCompact:
+    def test_round_trip(self, paper_document):
+        again = parse_compact(to_compact(paper_document))
+        assert [n.label for n in again] == [n.label for n in paper_document]
+
+    def test_indent_width(self, small_tree):
+        text = to_compact(small_tree, indent=3)
+        lines = text.splitlines()
+        assert lines[0] == "r"
+        assert lines[1].startswith("   ")
+        assert not lines[1].startswith("    ")
+
+    def test_single_node(self):
+        assert to_compact(XMLTree.from_nested(("only", []))) == "only"

@@ -1,0 +1,53 @@
+"""Unit tests for repro.xmltree.stats."""
+
+from repro.xmltree.stats import compute_stats, fanout_distribution
+from repro.xmltree.tree import XMLTree
+
+
+class TestComputeStats:
+    def test_single_node(self):
+        stats = compute_stats(XMLTree.from_nested(("r", [])))
+        assert stats.num_elements == 1
+        assert stats.num_labels == 1
+        assert stats.height == 0
+        assert stats.max_fanout == 0
+        assert stats.avg_fanout == 0.0
+
+    def test_counts(self, small_tree):
+        stats = compute_stats(small_tree)
+        assert stats.num_elements == 7
+        assert stats.num_labels == 4
+        assert stats.height == 2
+        assert stats.max_fanout == 3
+
+    def test_label_histogram(self, small_tree):
+        stats = compute_stats(small_tree)
+        assert stats.label_histogram == {"r": 1, "a": 2, "b": 2, "c": 2}
+        assert sum(stats.label_histogram.values()) == len(small_tree)
+
+    def test_level_histogram(self, small_tree):
+        stats = compute_stats(small_tree)
+        assert stats.level_histogram == {0: 1, 1: 2, 2: 4}
+
+    def test_avg_fanout_internal_nodes_only(self):
+        # r has 2 children, each a has 1 child: avg over internal = 4/3.
+        tree = XMLTree.from_nested(("r", [("a", ["x"]), ("a", ["x"])]))
+        stats = compute_stats(tree)
+        assert abs(stats.avg_fanout - 4 / 3) < 1e-12
+
+    def test_str_contains_key_numbers(self, small_tree):
+        text = str(compute_stats(small_tree))
+        assert "elements=7" in text
+
+
+class TestFanoutDistribution:
+    def test_distribution(self, figure3_t1):
+        dist = fanout_distribution(figure3_t1, "b", "c")
+        assert dist == {1: 2, 4: 2}
+
+    def test_missing_child_label(self, figure3_t1):
+        dist = fanout_distribution(figure3_t1, "b", "zzz")
+        assert dist == {0: 4}
+
+    def test_missing_parent_label(self, figure3_t1):
+        assert fanout_distribution(figure3_t1, "nope", "c") == {}

@@ -1,0 +1,115 @@
+"""Unit tests for repro.xmltree.tree."""
+
+import random
+
+import pytest
+
+from repro.xmltree.node import XMLNode
+from repro.xmltree.tree import XMLTree
+from tests.conftest import make_random_tree
+
+
+class TestConstruction:
+    def test_from_nested_leaf_strings(self):
+        tree = XMLTree.from_nested(("r", ["a", "b"]))
+        assert len(tree) == 3
+        assert [n.label for n in tree] == ["r", "a", "b"]
+
+    def test_from_nested_deep(self):
+        tree = XMLTree.from_nested(("r", [("a", [("b", ["c"])])]))
+        assert len(tree) == 4
+        assert tree.height == 3
+
+    def test_requires_root(self):
+        with pytest.raises(ValueError):
+            XMLTree(None)
+
+    def test_oids_are_preorder(self, small_tree):
+        oids = [n.oid for n in small_tree.root.iter_preorder()]
+        assert oids == list(range(len(small_tree)))
+
+    def test_node_lookup_by_oid(self, small_tree):
+        for node in small_tree:
+            assert small_tree.node(node.oid) is node
+
+
+class TestIndexes:
+    def test_labels_sorted(self, small_tree):
+        assert small_tree.labels == ["a", "b", "c", "r"]
+
+    def test_nodes_with_label(self, small_tree):
+        assert len(small_tree.nodes_with_label("a")) == 2
+        assert len(small_tree.nodes_with_label("c")) == 2
+        assert small_tree.nodes_with_label("zzz") == []
+
+    def test_oids_with_label_sorted(self, small_tree):
+        oids = small_tree.oids_with_label("c")
+        assert oids == sorted(oids)
+
+    def test_level(self, small_tree):
+        assert small_tree.level(small_tree.root) == 0
+        for child in small_tree.root.children:
+            assert small_tree.level(child) == 1
+
+    def test_height_of_leaf_only_tree(self):
+        assert XMLTree(XMLNode("x")).height == 0
+
+    def test_depth_below_matches_node_method(self, paper_document):
+        for node in paper_document:
+            assert paper_document.depth_below(node) == node.depth_below()
+
+
+class TestAncestry:
+    def test_is_ancestor_direct(self, small_tree):
+        root = small_tree.root
+        for child in root.children:
+            assert small_tree.is_ancestor(root, child)
+            assert not small_tree.is_ancestor(child, root)
+
+    def test_is_ancestor_not_self(self, small_tree):
+        assert not small_tree.is_ancestor(small_tree.root, small_tree.root)
+
+    def test_is_ancestor_transitive(self):
+        tree = XMLTree.from_nested(("r", [("a", [("b", ["c"])])]))
+        r, a = tree.node(0), tree.node(1)
+        c = tree.node(3)
+        assert tree.is_ancestor(r, c)
+        assert tree.is_ancestor(a, c)
+
+    def test_siblings_not_ancestors(self, small_tree):
+        first, second = small_tree.root.children
+        assert not small_tree.is_ancestor(first, second)
+        assert not small_tree.is_ancestor(second, first)
+
+    def test_subtree_size(self, small_tree):
+        assert small_tree.subtree_size(small_tree.root) == len(small_tree)
+        for node in small_tree:
+            assert small_tree.subtree_size(node) == node.subtree_size()
+
+    def test_subtree_size_random(self, rng):
+        tree = make_random_tree(rng, 200)
+        for node in tree:
+            assert tree.subtree_size(node) == node.subtree_size()
+
+    def test_descendant_oid_range_contiguous(self, rng):
+        tree = make_random_tree(rng, 100)
+        for node in tree:
+            expected = sorted(
+                d.oid for d in node.iter_preorder() if d is not node
+            )
+            assert list(tree.descendant_oid_range(node)) == expected
+
+
+class TestCopy:
+    def test_copy_is_structurally_equal(self, paper_document):
+        clone = paper_document.copy()
+        assert len(clone) == len(paper_document)
+        for a, b in zip(paper_document, clone):
+            assert a.label == b.label
+            assert len(a.children) == len(b.children)
+
+    def test_copy_is_independent(self, small_tree):
+        clone = small_tree.copy()
+        clone.root.new_child("extra")
+        clone.reindex()
+        assert len(clone) == len(small_tree) + 1

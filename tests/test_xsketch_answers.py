@@ -1,0 +1,62 @@
+"""Unit tests for sampling-based twig-XSketch answers."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.metrics.esd import esd_nesting_trees
+from repro.query.parser import parse_twig
+from repro.xsketch.answers import sampled_answer
+from repro.xsketch.atoms import build_atom_graph
+from repro.xsketch.synopsis import TwigXSketch
+
+
+def atom_level_sketch(tree, bucket_budget=1000):
+    stable = build_stable(tree)
+    atoms = build_atom_graph(stable)
+    return TwigXSketch.from_partition(atoms, list(range(atoms.num_atoms)), bucket_budget)
+
+
+class TestSampledAnswer:
+    def test_deterministic_per_seed(self, paper_document):
+        xs = atom_level_sketch(paper_document)
+        q = parse_twig("//a (//p, //n ?)")
+        a = sampled_answer(xs, q, seed=5)
+        b = sampled_answer(xs, q, seed=5)
+        assert esd_nesting_trees(a, b) == 0.0
+
+    def test_different_seeds_may_differ(self, paper_document):
+        xs = atom_level_sketch(paper_document)
+        q = parse_twig("//a (//p (//k ?))")
+        sizes = {sampled_answer(xs, q, seed=s).size() for s in range(5)}
+        assert sizes  # just exercises several seeds without crashing
+
+    def test_structure_close_to_truth_on_fine_sketch(self, paper_document):
+        ev = ExactEvaluator(paper_document)
+        xs = atom_level_sketch(paper_document)
+        q = parse_twig("//a (//p)")
+        truth = ev.evaluate(q)
+        approx = sampled_answer(xs, q, seed=0)
+        # Atom-level sketch is exact up to parent context; sizes match.
+        assert abs(approx.size() - truth.size()) <= truth.size() * 0.5
+
+    def test_qvars_preserved(self, paper_document):
+        xs = atom_level_sketch(paper_document)
+        q = parse_twig("//a (//p)")
+        nt = sampled_answer(xs, q, seed=0)
+        for author in nt.root.children:
+            assert author.qvar == "q1"
+            for p in author.children:
+                assert p.qvar == "q2"
+
+    def test_empty_result(self, paper_document):
+        xs = atom_level_sketch(paper_document)
+        nt = sampled_answer(xs, parse_twig("//zzz"), seed=0)
+        assert nt.size() == 1
+
+    def test_max_nodes_guard(self, paper_document):
+        from repro.core.expand import ExpansionLimitError
+
+        xs = atom_level_sketch(paper_document)
+        with pytest.raises(ExpansionLimitError):
+            sampled_answer(xs, parse_twig("//a (//p, //n ?)"), seed=0, max_nodes=2)

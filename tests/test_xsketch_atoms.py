@@ -1,0 +1,60 @@
+"""Unit tests for the twig-XSketch atom graph."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.xsketch.atoms import build_atom_graph
+from tests.conftest import make_random_tree
+
+
+class TestAtomGraph:
+    def test_root_atom(self, paper_document):
+        s = build_stable(paper_document)
+        atoms = build_atom_graph(s)
+        assert atoms.keys[atoms.root_atom] == (s.root_id, -1)
+        assert atoms.size[atoms.root_atom] == 1
+
+    def test_sizes_partition_classes(self, paper_document):
+        s = build_stable(paper_document)
+        atoms = build_atom_graph(s)
+        per_class = {}
+        for (cls, _p), size in zip(atoms.keys, atoms.size):
+            per_class[cls] = per_class.get(cls, 0) + size
+        assert per_class == dict(s.count)
+
+    def test_total_size_is_document(self, paper_document):
+        s = build_stable(paper_document)
+        atoms = build_atom_graph(s)
+        assert sum(atoms.size) == len(paper_document)
+
+    def test_atom_out_edges_follow_stable(self, paper_document):
+        s = build_stable(paper_document)
+        atoms = build_atom_graph(s)
+        for aid, (cls, _parent) in enumerate(atoms.keys):
+            expected = {
+                atoms.index[(t, cls)]: int(k)
+                for t, k in s.out.get(cls, {}).items()
+            }
+            assert dict(atoms.out[aid]) == expected
+
+    def test_labels_match_class_labels(self, paper_document):
+        s = build_stable(paper_document)
+        atoms = build_atom_graph(s)
+        for (cls, _p), label in zip(atoms.keys, atoms.label):
+            assert label == s.label[cls]
+
+    def test_refines_stable_at_least_one_atom_per_class(self, rng):
+        tree = make_random_tree(rng, 300)
+        s = build_stable(tree)
+        atoms = build_atom_graph(s)
+        assert atoms.num_atoms >= s.num_nodes
+
+    def test_shared_class_two_parents_two_atoms(self):
+        from repro.xmltree.tree import XMLTree
+
+        # A 'n' leaf class reachable from both 'a' and 'b' parents.
+        tree = XMLTree.from_nested(("r", [("a", ["n"]), ("b", ["n"])]))
+        s = build_stable(tree)
+        atoms = build_atom_graph(s)
+        n_atoms = [k for k, lab in zip(atoms.keys, atoms.label) if lab == "n"]
+        assert len(n_atoms) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for workload-driven twig-XSketch construction."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.query.generator import WorkloadOptions, generate_workload
+from repro.xsketch.atoms import build_atom_graph
+from repro.xsketch.build import XSketchBuildOptions, _Partition, _proposed_splits, build_twig_xsketch
+from repro.xsketch.synopsis import xsketch_selectivity
+from tests.conftest import make_random_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    import random
+
+    tree = make_random_tree(random.Random(5), 600)
+    stable = build_stable(tree)
+    workload = generate_workload(stable, WorkloadOptions(num_queries=25, seed=3))
+    ev = ExactEvaluator(tree)
+    truths = [ev.selectivity(q) for q in workload]
+    return tree, stable, workload, truths
+
+
+class TestPartition:
+    def test_initial_label_split(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        labels = {atoms.label[m[0]] for m in part.members.values()}
+        assert len(part.members) == len(labels)
+
+    def test_split_and_undo_restore_state(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        target = max(part.members, key=lambda c: len(part.members[c]))
+        if len(part.members[target]) < 2:
+            pytest.skip("no splittable cluster")
+        before_assign = list(part.assign)
+        before_members = {c: list(m) for c, m in part.members.items()}
+        members = part.members[target]
+        groups = [members[: len(members) // 2], members[len(members) // 2:]]
+        token = part.split(target, groups)
+        assert len(part.members) == len(before_members) + 1
+        part.undo(token)
+        assert part.assign == before_assign
+        assert {c: sorted(m) for c, m in part.members.items()} == {
+            c: sorted(m) for c, m in before_members.items()
+        }
+
+    def test_split_invalidates_parent_histograms(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        # Prime all caches.
+        for cid in list(part.members):
+            part.histogram(cid)
+        target = max(part.members, key=lambda c: len(part.members[c]))
+        members = part.members[target]
+        if len(members) < 2:
+            pytest.skip("no splittable cluster")
+        part.split(target, [members[:1], members[1:]])
+        # Fresh synopsis must be consistent (means derive from new dims).
+        xs = part.synopsis()
+        assert sum(xs.count.values()) == sum(atoms.size)
+
+    def test_cluster_spread_nonnegative(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        for cid in part.members:
+            assert part.cluster_spread(cid) >= 0.0
+
+
+class TestProposedSplits:
+    def test_no_splits_for_singleton(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        singletons = [c for c, m in part.members.items() if len(m) == 1]
+        for cid in singletons:
+            assert _proposed_splits(part, cid) == []
+
+    def test_groups_partition_members(self, setup):
+        _tree, stable, _wl, _truths = setup
+        atoms = build_atom_graph(stable)
+        part = _Partition(atoms, bucket_budget=16)
+        for cid, members in part.members.items():
+            for groups in _proposed_splits(part, cid):
+                flat = sorted(a for g in groups for a in g)
+                assert flat == sorted(members)
+                assert all(groups)
+
+
+class TestBuild:
+    def test_budget_snapshots(self, setup):
+        tree, stable, workload, truths = setup
+        budgets = [800, 1600]
+        result = build_twig_xsketch(
+            stable, max(budgets), workload, truths,
+            XSketchBuildOptions(sample_size=6, candidate_clusters=3),
+            snapshot_budgets=budgets,
+        )
+        assert set(result) == set(budgets)
+        for budget, xs in result.items():
+            assert xs.size_bytes() <= budget or xs.num_nodes == len(set(xs.label.values()))
+
+    def test_larger_budget_not_worse_on_sample(self, setup):
+        tree, stable, workload, truths = setup
+        budgets = [600, 2400]
+        result = build_twig_xsketch(
+            stable, max(budgets), workload, truths,
+            XSketchBuildOptions(sample_size=8, candidate_clusters=3),
+            snapshot_budgets=budgets,
+        )
+        from repro.metrics.error import average_error
+
+        errs = {}
+        for budget, xs in result.items():
+            pairs = [(float(t), xsketch_selectivity(xs, q)) for q, t in zip(workload, truths)]
+            errs[budget] = average_error(pairs)
+        # Refinement is greedy: allow slack, but the trend must hold.
+        assert errs[2400] <= errs[600] * 1.5 + 0.05
+
+    def test_deterministic(self, setup):
+        tree, stable, workload, truths = setup
+        opts = XSketchBuildOptions(sample_size=6, candidate_clusters=3, seed=1)
+        a = build_twig_xsketch(stable, 1000, workload, truths, opts)[1000]
+        b = build_twig_xsketch(stable, 1000, workload, truths, opts)[1000]
+        assert a.size_bytes() == b.size_bytes()
+        assert sorted(a.count.values()) == sorted(b.count.values())

@@ -1,0 +1,86 @@
+"""Unit tests for the bucket-capped joint edge histograms."""
+
+import random
+
+import pytest
+
+from repro.xsketch.histogram import EdgeHistogram
+
+
+def make_hist(weighted, budget=100, targets=(7, 9)):
+    return EdgeHistogram.from_weighted_vectors(targets, weighted, budget)
+
+
+class TestExactHistogram:
+    def test_total_weight(self):
+        h = make_hist([((1.0, 2.0), 3.0), ((0.0, 1.0), 2.0)])
+        assert h.total_weight == 5.0
+
+    def test_duplicate_vectors_accumulate(self):
+        h = make_hist([((1.0, 0.0), 2.0), ((1.0, 0.0), 3.0)])
+        assert h.num_buckets == 1
+        assert h.total_weight == 5.0
+
+    def test_mean_per_target(self):
+        h = make_hist([((2.0, 0.0), 1.0), ((4.0, 2.0), 1.0)])
+        assert h.mean(7) == pytest.approx(3.0)
+        assert h.mean(9) == pytest.approx(1.0)
+
+    def test_mean_unknown_target_zero(self):
+        h = make_hist([((1.0, 1.0), 1.0)])
+        assert h.mean(999) == 0.0
+
+    def test_prob_positive_single_dim(self):
+        h = make_hist([((0.0, 1.0), 3.0), ((2.0, 1.0), 1.0)])
+        assert h.prob_positive([0]) == pytest.approx(0.25)
+        assert h.prob_positive([1]) == 1.0
+
+    def test_prob_positive_any_dim(self):
+        h = make_hist([((0.0, 0.0), 1.0), ((1.0, 0.0), 1.0), ((0.0, 2.0), 2.0)])
+        assert h.prob_positive([0, 1]) == pytest.approx(0.75)
+
+
+class TestBucketCap:
+    def test_cap_collapses_rest(self):
+        weighted = [((float(i), 0.0), 1.0) for i in range(10)]
+        h = make_hist(weighted, budget=4)
+        assert h.num_buckets == 4  # 3 exact + 1 rest
+        assert h.total_weight == 10.0
+
+    def test_rest_centroid_preserves_mean(self):
+        rng = random.Random(3)
+        weighted = [((float(rng.randint(0, 9)), float(rng.randint(0, 4))), 1.0)
+                    for _ in range(50)]
+        exact = make_hist(weighted, budget=1000)
+        capped = make_hist(weighted, budget=4)
+        assert capped.mean(7) == pytest.approx(exact.mean(7))
+        assert capped.mean(9) == pytest.approx(exact.mean(9))
+
+    def test_heaviest_buckets_kept(self):
+        weighted = [((1.0, 1.0), 100.0)] + [((float(i + 2), 0.0), 1.0) for i in range(9)]
+        h = make_hist(weighted, budget=3)
+        assert (1.0, 1.0) in h.buckets
+
+    def test_size_bytes(self):
+        h = make_hist([((1.0, 2.0), 1.0)], budget=10)
+        assert h.size_bytes() == 1 * 4 * 3  # one bucket, dims+1 floats
+
+
+class TestSampling:
+    def test_sample_deterministic_per_seed(self):
+        weighted = [((float(i), 0.0), 1.0) for i in range(5)]
+        h = make_hist(weighted)
+        a = [h.sample_vector(random.Random(1)) for _ in range(5)]
+        b = [h.sample_vector(random.Random(1)) for _ in range(5)]
+        assert a == b
+
+    def test_sample_respects_weights(self):
+        h = make_hist([((0.0, 0.0), 99.0), ((5.0, 5.0), 1.0)])
+        rng = random.Random(2)
+        samples = [h.sample_vector(rng) for _ in range(200)]
+        zeros = sum(1 for s in samples if s == (0.0, 0.0))
+        assert zeros > 150
+
+    def test_sample_empty_histogram(self):
+        h = EdgeHistogram((1, 2), {})
+        assert h.sample_vector(random.Random(0)) == (0.0, 0.0)

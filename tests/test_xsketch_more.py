@@ -1,0 +1,118 @@
+"""Additional twig-XSketch coverage: view consistency, split mechanics."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.datagen.datasets import sprot_like
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_twig
+from repro.xsketch.atoms import build_atom_graph
+from repro.xsketch.build import _Partition, _proposed_splits
+from repro.xsketch.synopsis import TwigXSketch, xsketch_selectivity
+
+
+@pytest.fixture(scope="module")
+def world():
+    tree = sprot_like(scale=0.4, seed=9)
+    stable = build_stable(tree)
+    atoms = build_atom_graph(stable)
+    return tree, stable, atoms
+
+
+class TestBackwardSplit:
+    def test_parent_tag_split_separates_contexts(self, world):
+        _tree, _stable, atoms = world
+        part = _Partition(atoms, bucket_budget=16)
+        # 'name' appears under protein and organism: backward-splittable.
+        name_cluster = next(
+            cid for cid, members in part.members.items()
+            if atoms.label[members[0]] == "name"
+        )
+        proposals = _proposed_splits(part, name_cluster)
+        parent_split = proposals[0]
+        parent_tags = []
+        for group in parent_split:
+            tags = {
+                atoms.stable.label[atoms.keys[a][1]] if atoms.keys[a][1] >= 0 else "#root"
+                for a in group
+            }
+            assert len(tags) == 1
+            parent_tags.append(next(iter(tags)))
+        assert len(set(parent_tags)) == len(parent_tags)
+
+    def test_split_improves_or_keeps_sample_error(self, world):
+        tree, stable, atoms = world
+        ev = ExactEvaluator(tree)
+        queries = [parse_twig(t) for t in [
+            "//entry (/ref (/author))",
+            "//organism (/lineage (/taxon))",
+            "//entry (/feature (/location))",
+        ]]
+        truths = [ev.selectivity(q) for q in queries]
+
+        part = _Partition(atoms, bucket_budget=16)
+
+        def error():
+            xs = part.synopsis()
+            total = 0.0
+            for q, t in zip(queries, truths):
+                est = xsketch_selectivity(xs, q)
+                total += abs(est - t) / max(t, 1)
+            return total / len(queries)
+
+        before = error()
+        # Split the highest-spread cluster with its best proposal greedily.
+        ranked = sorted(part.members, key=lambda c: -part.cluster_spread(c))
+        for cid in ranked[:3]:
+            proposals = _proposed_splits(part, cid)
+            if proposals:
+                part.split(cid, proposals[0])
+                break
+        after = error()
+        assert after <= before + 0.05
+
+
+class TestViewConsistency:
+    def test_view_counts_match(self, world):
+        _tree, _stable, atoms = world
+        part = _Partition(atoms, bucket_budget=16)
+        xs = part.synopsis()
+        view = xs.view()
+        assert view.count == xs.count
+        assert view.root_id == xs.root_id
+
+    def test_view_stats_consistent_with_means(self, world):
+        _tree, _stable, atoms = world
+        part = _Partition(atoms, bucket_budget=16)
+        xs = part.synopsis()
+        view = xs.view()
+        view.validate()
+
+    def test_selectivity_nonnegative(self, world):
+        tree, _stable, atoms = world
+        part = _Partition(atoms, bucket_budget=16)
+        xs = part.synopsis()
+        for text in ["//entry", "//entry (/ref)", "//zzz"]:
+            assert xsketch_selectivity(xs, parse_twig(text)) >= 0.0
+
+
+class TestHistogramBudgetEffect:
+    def test_smaller_budget_smaller_size(self, world):
+        _tree, _stable, atoms = world
+        labels = sorted(set(atoms.label))
+        cid = {lab: i for i, lab in enumerate(labels)}
+        assign = [cid[lab] for lab in atoms.label]
+        small = TwigXSketch.from_partition(atoms, assign, bucket_budget=2)
+        large = TwigXSketch.from_partition(atoms, assign, bucket_budget=64)
+        assert small.size_bytes() <= large.size_bytes()
+
+    def test_means_survive_bucket_capping(self, world):
+        _tree, _stable, atoms = world
+        labels = sorted(set(atoms.label))
+        cid = {lab: i for i, lab in enumerate(labels)}
+        assign = [cid[lab] for lab in atoms.label]
+        small = TwigXSketch.from_partition(atoms, assign, bucket_budget=2)
+        large = TwigXSketch.from_partition(atoms, assign, bucket_budget=64)
+        for src, out in large.out.items():
+            for dst, mean in out.items():
+                assert small.out[src][dst] == pytest.approx(mean)

@@ -1,0 +1,112 @@
+"""Unit tests for the TwigXSketch structure and estimator."""
+
+import pytest
+
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.query.parser import parse_path, parse_twig
+from repro.xsketch.atoms import build_atom_graph
+from repro.xsketch.synopsis import TwigXSketch, xsketch_selectivity
+
+
+def label_split_sketch(tree, bucket_budget=64):
+    """Label-split twig-XSketch of a document (one cluster per label)."""
+    stable = build_stable(tree)
+    atoms = build_atom_graph(stable)
+    labels = sorted(set(atoms.label))
+    cid = {lab: i for i, lab in enumerate(labels)}
+    assign = [cid[lab] for lab in atoms.label]
+    return TwigXSketch.from_partition(atoms, assign, bucket_budget)
+
+
+def atom_level_sketch(tree, bucket_budget=64):
+    """Finest partition: one cluster per atom (exact baseline)."""
+    stable = build_stable(tree)
+    atoms = build_atom_graph(stable)
+    return TwigXSketch.from_partition(atoms, list(range(atoms.num_atoms)), bucket_budget)
+
+
+class TestFromPartition:
+    def test_counts_partition_document(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        assert sum(xs.count.values()) == len(paper_document)
+
+    def test_label_split_one_node_per_label(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        labels = sorted(xs.label.values())
+        assert labels == sorted(set(labels))
+
+    def test_means_match_document_averages(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        # 4 papers among 3 authors -> mean 4/3 along a->p.
+        assert xs.out[by_label["a"]][by_label["p"]] == pytest.approx(4 / 3)
+
+    def test_backward_stability_flags(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        # Every author has a name: stable; not every author has a book.
+        assert xs.backward_stable[(by_label["a"], by_label["n"])]
+        assert not xs.backward_stable[(by_label["a"], by_label["b"])]
+
+    def test_size_includes_histograms(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        base = 8 * (xs.num_nodes + xs.num_edges)
+        assert xs.size_bytes() > base
+
+
+class TestView:
+    def test_view_is_cached(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        assert xs.view() is xs.view()
+
+    def test_view_edge_weights_are_means(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        view = xs.view()
+        for src, out in xs.out.items():
+            for dst, mean in out.items():
+                assert view.out[src][dst] == mean
+
+
+class TestBranchProbability:
+    def test_one_step_child_predicate(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        p = xs.branch_probability(by_label["a"], parse_path("/b"))
+        assert p == pytest.approx(2 / 3)  # 2 of 3 authors have a book
+
+    def test_descendant_predicate_not_answered(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        assert xs.branch_probability(by_label["a"], parse_path("//b")) is None
+
+    def test_multi_step_not_answered(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        assert xs.branch_probability(by_label["a"], parse_path("/p/k")) is None
+
+    def test_unmatched_label_zero(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        by_label = {lab: nid for nid, lab in xs.label.items()}
+        assert xs.branch_probability(by_label["a"], parse_path("/zzz")) == 0.0
+
+
+class TestSelectivity:
+    def test_atom_level_sketch_often_exact(self, paper_document):
+        ev = ExactEvaluator(paper_document)
+        xs = atom_level_sketch(paper_document)
+        for text in ["//a", "//p", "/a/p/k"]:
+            q = parse_twig(text)
+            assert xsketch_selectivity(xs, q) == pytest.approx(float(ev.selectivity(q)))
+
+    def test_histogram_branch_beats_independence(self, figure3_t2):
+        """On Fig. 3's T2, the label-split graph with a joint histogram
+        answers the one-step branch exactly."""
+        xs = label_split_sketch(figure3_t2)
+        ev = ExactEvaluator(figure3_t2)
+        q = parse_twig("//a[/b]")
+        assert xsketch_selectivity(xs, q) == pytest.approx(float(ev.selectivity(q)))
+
+    def test_empty_query(self, paper_document):
+        xs = label_split_sketch(paper_document)
+        assert xsketch_selectivity(xs, parse_twig("//zzz")) == 0.0
