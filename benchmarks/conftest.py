@@ -26,6 +26,33 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_metrics(name: str, registry) -> dict:
+    """Persist a registry's snapshot: text table + flat JSON.
+
+    Writes ``results/<name>.txt`` (the --stats style table) and
+    ``results/<name>.json`` (dotted scalar keys, ready to merge into a
+    ``BENCH_*.json`` trajectory next to wall-clock numbers).  Returns the
+    flat dict.
+    """
+    import json
+
+    from repro.obs.report import flatten_snapshot, render_registry
+
+    emit(name, render_registry(registry, title=f"{name} (internal counters)"))
+    flat = flatten_snapshot(registry.snapshot())
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(flat, indent=2) + "\n")
+    return flat
+
+
+@pytest.fixture
+def obs_registry():
+    """Opt-in live metrics for one benchmark; restores the no-op default."""
+    from repro import obs
+
+    with obs.observed() as registry:
+        yield registry
+
+
 @pytest.fixture(scope="session")
 def budgets_kb():
     from repro.experiments.harness import budgets_kb as _budgets

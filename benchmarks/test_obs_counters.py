@@ -1,0 +1,30 @@
+"""Internal-counter trajectory for a representative build + workload run.
+
+Complements the wall-clock micro-benchmarks: the numbers recorded here
+(merge counts, heap traffic, node visits per query) explain *why* the
+timings move between commits.  Runs with observability enabled; every
+other benchmark keeps the default disabled path, so `test_micro.py`
+continues to measure the allocation-free configuration.
+"""
+
+from benchmarks.conftest import emit_metrics
+
+from repro.core.build import TreeSketchBuilder
+from repro.experiments.harness import load_bundle
+from repro.workload.runner import run_selectivity
+
+
+def test_obs_counters(obs_registry):
+    bundle = load_bundle("XMark-TX")
+    builder = TreeSketchBuilder(bundle.stable)
+    sketch = builder.compress_to(20 * 1024)
+    quality = run_selectivity(sketch, bundle.workload)
+
+    flat = emit_metrics("obs_counters", obs_registry)
+
+    assert flat["counters.tsbuild.merges_applied"] == builder.merges_applied > 0
+    assert flat["counters.eval.queries"] == len(bundle.workload)
+    assert flat["histograms.workload.selectivity.query_seconds.count"] == len(
+        bundle.workload
+    )
+    assert quality.avg_error >= 0.0

@@ -8,9 +8,14 @@ Installed as the ``treesketch`` console script::
     treesketch query    sketch.json "//a[//b] ( //p ( //k ? ), //n ? )"
     treesketch exact    data.xml   "//a[//b] ( //p ( //k ? ), //n ? )"
     treesketch compare  data.xml sketch.json "//a (//p)"
+    treesketch workload data.xml --budget-kb 10 --queries 40
 
 ``build`` accepts either raw XML or a saved stable summary, so the
 expensive parse/summarize step can be done once.
+
+Every subcommand accepts ``--stats`` (print the internal metric counters
+and span timings after the run) and ``--trace FILE`` (dump the span trace
+as JSON lines); see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -137,6 +142,31 @@ def cmd_gen_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload.runner import run_selectivity
+    from repro.workload.workload import make_workload
+
+    if args.queries < 1:
+        print("workload needs --queries >= 1", file=sys.stderr)
+        return 2
+    tree = _load_document(args.document)
+    stable = build_stable(tree)
+    sketch = build_treesketch(stable, int(args.budget_kb * 1024))
+    workload = make_workload(
+        tree, num_queries=args.queries, seed=args.seed, stable=stable
+    )
+    quality = run_selectivity(sketch, workload)
+    print(
+        f"workload: {len(workload)} queries over {args.document} "
+        f"(seed {args.seed}), sketch {sketch.size_bytes() / 1024:.1f} KB"
+    )
+    print(
+        f"avg selectivity error {quality.avg_error:.3f}, "
+        f"{quality.seconds:.3f}s total"
+    )
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     tree = _load_document(args.document)
     sketch = _load_sketch(args.sketch)
@@ -159,18 +189,35 @@ def make_parser() -> argparse.ArgumentParser:
         prog="treesketch",
         description="Approximate XML query answers via TreeSketch synopses",
     )
+    # Observability flags, shared by every subcommand (docs/OBSERVABILITY.md).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument(
+        "--stats",
+        action="store_true",
+        help="print internal counters and span timings after the run",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the span trace as JSON lines to FILE",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("stats", help="document and stable-summary statistics")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[obs_flags], **kwargs)
+
+    p = add_parser("stats", help="document and stable-summary statistics")
     p.add_argument("document")
     p.set_defaults(func=cmd_stats)
 
-    p = sub.add_parser("stable", help="build the lossless count-stable summary")
+    p = add_parser("stable", help="build the lossless count-stable summary")
     p.add_argument("document")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_stable)
 
-    p = sub.add_parser("build", help="compress to a TreeSketch under a budget")
+    p = add_parser("build", help="compress to a TreeSketch under a budget")
     p.add_argument("source", help="XML document or stable-summary JSON")
     p.add_argument("--budget-kb", type=float, required=True)
     p.add_argument("-o", "--output", required=True)
@@ -182,21 +229,21 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_build)
 
-    p = sub.add_parser("query", help="approximate a twig query over a synopsis")
+    p = add_parser("query", help="approximate a twig query over a synopsis")
     p.add_argument("sketch", help="synopsis JSON (TreeSketch or stable)")
     p.add_argument("twig", help='e.g. "//a[//b] ( //p ( //k ? ), //n ? )"')
     p.add_argument("--preview", help="write the approximate answer XML here")
     p.add_argument("--max-preview-nodes", type=int, default=2_000_000)
     p.set_defaults(func=cmd_query)
 
-    p = sub.add_parser("exact", help="evaluate a twig query exactly")
+    p = add_parser("exact", help="evaluate a twig query exactly")
     p.add_argument("document")
     p.add_argument("twig")
     p.add_argument("--values", action="store_true",
                    help="keep leaf values (for [path = 'v'] predicates)")
     p.set_defaults(func=cmd_exact)
 
-    p = sub.add_parser("gen-corpus", help="materialize benchmark data sets as XML")
+    p = add_parser("gen-corpus", help="materialize benchmark data sets as XML")
     p.add_argument("directory")
     p.add_argument("datasets", nargs="*",
                    help="data set names (default: all; see repro.datagen)")
@@ -204,19 +251,49 @@ def make_parser() -> argparse.ArgumentParser:
                    help="size multiplier relative to the benchmark documents")
     p.set_defaults(func=cmd_gen_corpus)
 
-    p = sub.add_parser("compare", help="approximate vs exact, with ESD")
+    p = add_parser("compare", help="approximate vs exact, with ESD")
     p.add_argument("document")
     p.add_argument("sketch")
     p.add_argument("twig")
     p.add_argument("--max-preview-nodes", type=int, default=2_000_000)
     p.set_defaults(func=cmd_compare)
 
+    p = add_parser("workload",
+                   help="build a sketch and run a selectivity workload over it")
+    p.add_argument("document")
+    p.add_argument("--budget-kb", type=float, default=10.0)
+    p.add_argument("--queries", type=int, default=40,
+                   help="number of generated twig queries (default 40)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_workload)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.func(args)
+    if not (getattr(args, "stats", False) or getattr(args, "trace", None)):
+        return args.func(args)
+
+    from repro import obs
+
+    try:
+        sink = obs.JsonLinesSink(args.trace) if args.trace else None
+    except OSError as exc:
+        print(f"cannot open trace file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with obs.observed(sink=sink) as registry:
+            code = args.func(args)
+            if args.stats:
+                print()
+                print(obs.report.render_registry(registry))
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.trace:
+        print(f"trace: {sink.events_written} events -> {args.trace}")
+    return code
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from repro.core.partition import MergePartition
 from repro.core.pool import create_pool
 from repro.core.stable import StableSummary, build_stable
 from repro.core.treesketch import TreeSketch
+from repro.obs import get_metrics, get_tracer
 from repro.xmltree.tree import XMLTree
 
 logger = logging.getLogger(__name__)
@@ -67,6 +68,8 @@ class TreeSketchBuilder:
         self.options = options or TSBuildOptions()
         self.partition = MergePartition(stable)
         self.merges_applied = 0
+        #: Whether the most recent ``compress_to`` call met its budget.
+        self.reached_budget = False
         # Forwarding chains for clusters absorbed by merges.
         self._merged_into: Dict[int, int] = {}
         self._tiebreak = itertools.count()
@@ -96,33 +99,52 @@ class TreeSketchBuilder:
         """
         opts = self.options
         part = self.partition
-        while part.size_bytes() > budget_bytes:
-            pool = create_pool(part, opts.heap_upper, opts.pair_window, opts.stop_when_full)
-            if not pool:
+        metrics = get_metrics()
+        pool_regens = metrics.counter("tsbuild.pool_regenerations")
+        # Register the drain-loop counters up front so a build that never
+        # merges (budget already met) still reports them at zero.
+        metrics.counter("tsbuild.merges_applied")
+        metrics.counter("tsbuild.heap_pops")
+        metrics.counter("tsbuild.stale_recomputations")
+        merges_before = self.merges_applied
+        with get_tracer().span("tsbuild.compress_to",
+                               budget_bytes=budget_bytes) as span:
+            while part.size_bytes() > budget_bytes:
+                pool = create_pool(part, opts.heap_upper, opts.pair_window,
+                                   opts.stop_when_full)
+                if not pool:
+                    logger.debug(
+                        "tsbuild: no candidates left at %d bytes (budget %d)",
+                        part.size_bytes(), budget_bytes,
+                    )
+                    break  # nothing left to merge; budget unreachable
+                pool_regens.inc()
                 logger.debug(
-                    "tsbuild: no candidates left at %d bytes (budget %d)",
-                    part.size_bytes(), budget_bytes,
+                    "tsbuild: pool of %d candidates at %d bytes (budget %d, sq %.1f)",
+                    len(pool), part.size_bytes(), budget_bytes, part.total_sq,
                 )
-                break  # nothing left to merge; budget unreachable
-            logger.debug(
-                "tsbuild: pool of %d candidates at %d bytes (budget %d, sq %.1f)",
-                len(pool), part.size_bytes(), budget_bytes, part.total_sq,
+                heap = [
+                    (ratio, next(self._tiebreak), errd, sized, u, v,
+                     part.version.get(u, 0), part.version.get(v, 0))
+                    for ratio, errd, sized, u, v in pool
+                ]
+                heapq.heapify(heap)
+                # Refresh the pool after draining (1 - drain_fraction) of it;
+                # on small inputs the whole pool fits under Lh, so fall back to
+                # draining fully rather than regenerating without progress.
+                lower = int(len(heap) * opts.drain_fraction)
+                if len(heap) > opts.heap_lower:
+                    lower = max(lower, opts.heap_lower)
+                progressed = self._drain_heap(heap, budget_bytes, lower)
+                if not progressed:
+                    break  # defensive: avoid spinning if the pool yields nothing
+            self.reached_budget = part.size_bytes() <= budget_bytes
+            span.annotate(
+                size_bytes=part.size_bytes(),
+                num_nodes=part.num_nodes,
+                merges=self.merges_applied - merges_before,
+                reached_budget=self.reached_budget,
             )
-            heap = [
-                (ratio, next(self._tiebreak), errd, sized, u, v,
-                 part.version.get(u, 0), part.version.get(v, 0))
-                for ratio, errd, sized, u, v in pool
-            ]
-            heapq.heapify(heap)
-            # Refresh the pool after draining (1 - drain_fraction) of it;
-            # on small inputs the whole pool fits under Lh, so fall back to
-            # draining fully rather than regenerating without progress.
-            lower = int(len(heap) * opts.drain_fraction)
-            if len(heap) > opts.heap_lower:
-                lower = max(lower, opts.heap_lower)
-            progressed = self._drain_heap(heap, budget_bytes, lower)
-            if not progressed:
-                break  # defensive: avoid spinning if the pool yields nothing
         logger.info(
             "tsbuild: %d bytes (budget %d), %d nodes, sq %.1f, %d merges total",
             part.size_bytes(), budget_bytes, part.num_nodes,
@@ -136,9 +158,14 @@ class TreeSketchBuilder:
         Returns True iff at least one merge was applied.
         """
         part = self.partition
+        metrics = get_metrics()
+        heap_pops = metrics.counter("tsbuild.heap_pops")
+        stale = metrics.counter("tsbuild.stale_recomputations")
+        merges = metrics.counter("tsbuild.merges_applied")
         applied = 0
         while heap and len(heap) > lower and part.size_bytes() > budget_bytes:
             ratio, _, errd, sized, u, v, ver_u, ver_v = heapq.heappop(heap)
+            heap_pops.inc()
             u, v = self._resolve(u), self._resolve(v)
             if u == v:
                 continue  # operands already merged together
@@ -146,6 +173,7 @@ class TreeSketchBuilder:
             if (ver_u, ver_v) != (cur_u, cur_v):
                 # Stale (operand rewritten or neighbourhood changed):
                 # recompute the metrics and re-queue with fresh stamps.
+                stale.inc()
                 result = part.evaluate_merge(u, v)
                 heapq.heappush(
                     heap,
@@ -156,6 +184,7 @@ class TreeSketchBuilder:
             part.apply_merge(u, v)
             self._merged_into[v] = u
             self.merges_applied += 1
+            merges.inc()
             applied += 1
         return applied > 0
 

@@ -15,16 +15,21 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.evaluate import ResultSketch, RSKey
+from repro.obs import get_metrics, get_tracer
 from repro.query.twig import QueryNode
 
 
 def estimate_selectivity(result: ResultSketch) -> float:
     """Estimated number of binding tuples summarized by ``result``."""
-    if result.empty:
-        return 0.0
-    qnode_of: Dict[str, QueryNode] = {n.var: n for n in result.query.nodes}
-    memo: Dict[RSKey, float] = {}
-    return _tuples_per_element(result, result.root_key, qnode_of, memo)
+    get_metrics().counter("estimate.calls").inc()
+    with get_tracer().span("estimate.selectivity") as span:
+        if result.empty:
+            return 0.0
+        qnode_of: Dict[str, QueryNode] = {n.var: n for n in result.query.nodes}
+        memo: Dict[RSKey, float] = {}
+        estimate = _tuples_per_element(result, result.root_key, qnode_of, memo)
+        span.annotate(estimate=estimate)
+        return estimate
 
 
 def estimate_bindings(result: ResultSketch) -> Dict[str, float]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.treesketch import TreeSketch
+from repro.obs import get_metrics, get_tracer
 from repro.query.path import Axis, Path, ValueTest
 from repro.query.twig import TwigQuery
 
@@ -93,6 +94,8 @@ class _SketchEvalContext:
         self.path_counts: Dict[Tuple[int, int], Dict[int, float]] = {}
         # (node id, id(path)) -> branch selectivity in [0, 1]
         self.selectivity: Dict[Tuple[int, int], float] = {}
+        # Synopsis nodes touched by the path DP (observability counter).
+        self.node_visits = 0
 
 
 def eval_query(sketch: TreeSketch, query: TwigQuery) -> ResultSketch:
@@ -102,6 +105,19 @@ def eval_query(sketch: TreeSketch, query: TwigQuery) -> ResultSketch:
     some solid query edge has no bindings the result is marked empty.
     """
     ctx = _SketchEvalContext(sketch)
+    metrics = get_metrics()
+    metrics.counter("eval.queries").inc()
+    with get_tracer().span("eval.query") as span:
+        result = _eval_query(ctx, sketch, query)
+        span.annotate(nodes=result.num_nodes, edges=result.num_edges,
+                      empty=result.empty)
+    metrics.counter("eval.node_visits").inc(ctx.node_visits)
+    return result
+
+
+def _eval_query(
+    ctx: _SketchEvalContext, sketch: TreeSketch, query: TwigQuery
+) -> ResultSketch:
     root_key: RSKey = (sketch.root_id, "q0")
     result = ResultSketch(query, root_key, sketch.label[sketch.root_id])
 
@@ -168,6 +184,7 @@ def _path_counts(ctx: _SketchEvalContext, start: int, path: Path) -> Dict[int, f
                 else:
                     nxt[y] *= sel
         current = nxt
+        ctx.node_visits += len(current)
         if not current:
             break
 
@@ -187,12 +204,15 @@ def _descendant_closure(
     sketch = ctx.sketch
     if ctx.topo is not None:
         g: Dict[int, float] = {}
+        visits = 0
         for x in ctx.topo:
             inbound = seeds.get(x, 0.0) + g.get(x, 0.0)
             if inbound == 0.0:
                 continue
+            visits += 1
             for y, avg in sketch.out.get(x, {}).items():
                 g[y] = g.get(y, 0.0) + inbound * avg
+        ctx.node_visits += visits
         return g
 
     # Cyclic fallback: propagate frontier values for at most `height` hops.

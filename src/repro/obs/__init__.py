@@ -1,0 +1,130 @@
+"""Observability for the TreeSketch hot paths: metrics, spans, traces.
+
+The layer is **off by default**.  Instrumented code (TSBUILD, EVALQUERY,
+the workload runner, the CLI) always talks to the *active* registry,
+tracer, and clock through the accessors below; while disabled these are
+shared no-op singletons, so the hot path pays one attribute lookup and an
+empty method call -- no allocation, no branching.
+
+Enabling installs real instruments::
+
+    from repro import obs
+
+    registry = obs.enable()                 # real clock, no trace file
+    sketch = build_treesketch(tree, 20 * 1024)
+    print(obs.report.render_registry(registry))
+    obs.disable()
+
+Tests prefer the scoped form with a fake clock, which makes every
+duration deterministic::
+
+    from repro.obs import FakeClock, ListSink
+
+    clock, sink = FakeClock(), ListSink()
+    with obs.observed(clock=clock, sink=sink) as registry:
+        with obs.get_tracer().span("work"):
+            clock.advance(1.5)
+    assert sink.events[0]["duration"] == 1.5
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue, the span
+hierarchy, and the trace-file schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import report
+from repro.obs.clock import FakeClock, MonotonicClock
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import (
+    NULL_TRACER,
+    JsonLinesSink,
+    ListSink,
+    NullSink,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    # state management
+    "enable", "disable", "enabled", "observed",
+    "get_metrics", "get_tracer", "get_clock",
+    # building blocks
+    "MetricsRegistry", "NullRegistry", "Counter", "Gauge", "Histogram",
+    "Tracer", "NullTracer", "Span",
+    "NullSink", "ListSink", "JsonLinesSink",
+    "MonotonicClock", "FakeClock",
+    "report",
+]
+
+_DEFAULT_CLOCK = MonotonicClock()
+
+_metrics = NULL_REGISTRY
+_tracer = NULL_TRACER
+_clock = _DEFAULT_CLOCK
+
+
+def get_metrics():
+    """The active metrics registry (:data:`NULL_REGISTRY` when disabled)."""
+    return _metrics
+
+
+def get_tracer():
+    """The active span tracer (:data:`NULL_TRACER` when disabled)."""
+    return _tracer
+
+
+def get_clock():
+    """The active clock; a real monotonic clock even while disabled."""
+    return _clock
+
+
+def enabled() -> bool:
+    return _metrics is not NULL_REGISTRY
+
+
+def enable(registry: Optional[MetricsRegistry] = None, *,
+           clock=None, sink=None) -> MetricsRegistry:
+    """Install a live registry (and tracer/clock) as the active ones.
+
+    Returns the registry so callers can snapshot it later.  Passing a
+    ``sink`` routes finished spans there (e.g. a :class:`JsonLinesSink`);
+    passing a ``clock`` (e.g. :class:`FakeClock`) makes every timing
+    deterministic.
+    """
+    global _metrics, _tracer, _clock
+    _metrics = registry if registry is not None else MetricsRegistry()
+    _clock = clock if clock is not None else _DEFAULT_CLOCK
+    _tracer = Tracer(clock=_clock, sink=sink, metrics=_metrics)
+    return _metrics
+
+
+def disable() -> None:
+    """Return to the no-op defaults (the initial state)."""
+    global _metrics, _tracer, _clock
+    _metrics = NULL_REGISTRY
+    _tracer = NULL_TRACER
+    _clock = _DEFAULT_CLOCK
+
+
+@contextmanager
+def observed(registry: Optional[MetricsRegistry] = None, *,
+             clock=None, sink=None) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`enable`: restores the previous state on exit."""
+    global _metrics, _tracer, _clock
+    previous = (_metrics, _tracer, _clock)
+    installed = enable(registry, clock=clock, sink=sink)
+    try:
+        yield installed
+    finally:
+        _metrics, _tracer, _clock = previous

@@ -1,0 +1,49 @@
+"""Pluggable clocks for the observability layer.
+
+Everything in :mod:`repro.obs` that measures time goes through a clock
+object with a single ``now() -> float`` method returning seconds.  The
+production clock wraps :func:`time.perf_counter` (monotonic, high
+resolution -- wall-clock ``time.time()`` can jump backwards under NTP
+adjustment and must not feed latency numbers).  Tests inject a
+:class:`FakeClock` and advance it explicitly, which makes span durations
+and latency histograms fully deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """The production clock: monotonic seconds via ``time.perf_counter``."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic tests.
+
+    ``now()`` returns the current reading without side effects; time moves
+    only through :meth:`advance` (relative) or :meth:`set` (absolute).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self._now += seconds
+
+    def set(self, seconds: float) -> None:
+        if seconds < self._now:
+            raise ValueError("clocks do not run backwards")
+        self._now = float(seconds)

@@ -1,0 +1,274 @@
+"""A lightweight, dependency-free metrics registry.
+
+Three instrument kinds, mirroring the usual server-metrics vocabulary:
+
+* :class:`Counter` -- a monotonically increasing integer (merges applied,
+  heap pops, cache hits);
+* :class:`Gauge` -- a float that can move both ways (current synopsis
+  size, heap depth);
+* :class:`Histogram` -- a streaming distribution with exact count/sum/
+  min/max and quantiles over a bounded, deterministically thinned sample
+  (per-query latencies, span durations).
+
+Instrumented code never checks an "is observability on?" flag.  It asks
+the active registry for an instrument and calls ``inc``/``set``/
+``observe``; when observability is disabled (the default) the active
+registry is the :data:`NULL_REGISTRY`, which hands back shared no-op
+singletons -- no allocation, no branching, just an empty method call on
+the hot path.
+
+The registry is intentionally not thread-safe: the reproduction's hot
+paths are single-threaded, and uncontended ``int`` bumps are the whole
+point of the design.  Wrap a registry in your own lock if you shard work
+across threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A float metric that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A streaming distribution with deterministic bounded sampling.
+
+    ``count``/``total``/``min``/``max`` are exact over every observation.
+    Quantiles come from a retained sample capped at ``sample_cap`` values:
+    when the sample fills up it is thinned to every second element and the
+    retention stride doubles, so long runs keep an evenly spaced subset.
+    The thinning depends only on the observation sequence -- identical
+    runs yield identical quantiles, which the deterministic test harness
+    relies on.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_sample", "_cap", "_stride", "_pending")
+
+    def __init__(self, name: str, sample_cap: int = 4096) -> None:
+        if sample_cap < 2:
+            raise ValueError("sample_cap must be at least 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+        self._cap = sample_cap
+        self._stride = 1
+        self._pending = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._sample.append(value)
+            if len(self._sample) >= self._cap:
+                self._sample = self._sample[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Sample quantile by nearest-rank; 0.0 on an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Names -> instruments; instruments are created on first use.
+
+    A name is bound to exactly one instrument kind for the registry's
+    lifetime; asking for the same name with a different kind raises, so a
+    typo can't silently split one logical metric in two.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain-dict view of every instrument, safe to serialize."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled-path registry: every lookup is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def names(self) -> List[str]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,68 @@
+"""Rendering metrics snapshots: text tables and flat dicts.
+
+``render_snapshot`` produces the fixed-width table the CLI prints under
+``--stats``; ``flatten_snapshot`` turns the same snapshot into a flat
+``{"counters.tsbuild.merges_applied": 412, ...}`` mapping so benchmark
+harnesses can merge internal counters into their JSON trajectories next
+to wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_HIST_COLUMNS: Tuple[str, ...] = ("count", "mean", "p50", "p90", "p99", "max")
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, object]],
+                    title: str = "observability summary") -> str:
+    """Fixed-width tables for counters, gauges, and histograms."""
+    # Deferred import: repro.experiments pulls in the instrumented core
+    # modules, which import repro.obs -- importing it at module scope
+    # would close that cycle during package initialization.
+    from repro.experiments.reporting import format_table
+
+    sections: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(format_table(
+            "counters",
+            ["name", "value"],
+            [(name, value) for name, value in sorted(counters.items())],
+        ))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append(format_table(
+            "gauges",
+            ["name", "value"],
+            [(name, value) for name, value in sorted(gauges.items())],
+        ))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, summary in sorted(histograms.items()):
+            rows.append([name] + [summary[c] for c in _HIST_COLUMNS])
+        sections.append(format_table(
+            "histograms", ["name", *_HIST_COLUMNS], rows,
+        ))
+    if not sections:
+        return f"{title}\n\n(no metrics recorded)"
+    return f"{title}\n\n" + "\n\n".join(sections)
+
+
+def render_registry(registry, title: str = "observability summary") -> str:
+    """Convenience: render a registry's current snapshot."""
+    return render_snapshot(registry.snapshot(), title=title)
+
+
+def flatten_snapshot(snapshot: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """Flatten to dotted scalar keys for inclusion in benchmark JSON."""
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[f"counters.{name}"] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[f"gauges.{name}"] = value
+    for name, summary in snapshot.get("histograms", {}).items():
+        for column, value in summary.items():
+            flat[f"histograms.{name}.{column}"] = value
+    return flat

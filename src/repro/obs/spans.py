@@ -1,0 +1,221 @@
+"""Hierarchical span timers and structured trace sinks.
+
+A *span* measures one named region of execution.  Spans nest: the tracer
+keeps a stack of active spans, and every finished span knows its slash-
+joined path (``tsbuild.compress_to/eval.query``) and depth.  Finished
+spans become trace *events* -- plain dicts -- handed to a sink:
+
+* :class:`NullSink` drops them (the default);
+* :class:`ListSink` accumulates them in memory (tests);
+* :class:`JsonLinesSink` appends one JSON object per line to a file
+  (the CLI's ``--trace FILE``).
+
+Durations come from the tracer's pluggable clock (see
+:mod:`repro.obs.clock`); each finished span is also recorded into the
+tracer's metrics registry as a ``span.<name>.seconds`` histogram, so a
+trace file is optional -- the summary table alone answers "where did the
+time go?".
+
+The disabled path uses :data:`NULL_TRACER`, whose ``span()`` returns a
+shared reentrant no-op context manager: no event dict, no clock reads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Union
+
+from repro.obs.clock import MonotonicClock
+from repro.obs.metrics import NULL_REGISTRY
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NullSink",
+    "ListSink",
+    "JsonLinesSink",
+]
+
+
+class NullSink:
+    """Discards every event."""
+
+    __slots__ = ()
+
+    def emit(self, event: Dict[str, object]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Accumulates events in memory, in emission order."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Writes one compact JSON object per line (the trace-file format)."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._handle = target
+            self._owned = False
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owned:
+            self._handle.close()
+
+
+class Span:
+    """One active region; yielded by :meth:`Tracer.span`.
+
+    ``annotate`` attaches attributes that land on the emitted event --
+    useful for values only known at exit (result sizes, merge counts).
+    """
+
+    __slots__ = ("name", "path", "depth", "start", "attrs")
+
+    def __init__(self, name: str, path: str, depth: int, start: float,
+                 attrs: Optional[Dict[str, object]]) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.start = start
+        self.attrs = attrs
+
+    def annotate(self, **attrs: object) -> None:
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+
+class _ActiveSpan:
+    """Context manager binding one Span to its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._finish(self._span, error=exc_type is not None)
+
+
+class Tracer:
+    """Measures named spans against a clock and reports them.
+
+    Every finished span (1) becomes a trace event on ``sink`` and
+    (2) observes its duration into ``metrics`` as the histogram
+    ``span.<name>.seconds``.  Spans opened while another span is active
+    nest under it; nesting is tracked per tracer (single-threaded, like
+    the rest of the layer).
+    """
+
+    def __init__(self, clock=None, sink=None, metrics=None) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._stack: List[str] = []
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        self._stack.append(name)
+        span = Span(
+            name=name,
+            path="/".join(self._stack),
+            depth=len(self._stack) - 1,
+            start=self.clock.now(),
+            attrs=attrs or None,
+        )
+        return _ActiveSpan(self, span)
+
+    def current_path(self) -> str:
+        """Slash-joined path of the active span stack ('' at top level)."""
+        return "/".join(self._stack)
+
+    def _finish(self, span: Span, error: bool) -> None:
+        duration = self.clock.now() - span.start
+        self._stack.pop()
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": span.name,
+            "path": span.path,
+            "depth": span.depth,
+            "start": span.start,
+            "duration": duration,
+        }
+        if span.attrs:
+            event["attrs"] = span.attrs
+        if error:
+            event["error"] = True
+        self.sink.emit(event)
+        self.metrics.histogram(f"span.{span.name}.seconds").observe(duration)
+
+
+class _NullActiveSpan:
+    """Shared reentrant no-op: __enter__ hands out a shared inert Span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    # Span-compatible surface, so `with tracer.span(...) as sp` code works
+    # identically whether tracing is enabled or not.
+    name = "<null>"
+    path = ""
+    depth = 0
+    start = 0.0
+    attrs: Optional[Dict[str, object]] = None
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+
+_NULL_ACTIVE_SPAN = _NullActiveSpan()
+
+
+class NullTracer:
+    """The disabled-path tracer: no clock reads, no events, no nesting."""
+
+    clock = MonotonicClock()
+    sink = NullSink()
+    metrics = NULL_REGISTRY
+
+    def span(self, name: str, **attrs: object) -> _NullActiveSpan:
+        return _NULL_ACTIVE_SPAN
+
+    def current_path(self) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()

@@ -15,6 +15,7 @@ import json
 from typing import Optional
 
 from repro.core.stable import StableSummary, build_stable
+from repro.obs import get_metrics
 from repro.query.parser import parse_twig
 from repro.workload.workload import Workload
 from repro.xmltree.tree import XMLTree
@@ -47,6 +48,7 @@ def save_workload(workload: Workload, path: str) -> None:
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
+    get_metrics().counter("workload.cache.saves").inc()
 
 
 def load_workload(
@@ -55,16 +57,25 @@ def load_workload(
     stable: Optional[StableSummary] = None,
     verify_fingerprint: bool = True,
 ) -> Workload:
-    """Restore a workload against ``tree`` without recomputing truths."""
+    """Restore a workload against ``tree`` without recomputing truths.
+
+    A successful load counts as a ``workload.cache.hits``; a format or
+    fingerprint rejection counts as a ``workload.cache.misses`` (the
+    caller falls back to recomputing ground truth from scratch).
+    """
+    metrics = get_metrics()
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("format") != _FORMAT_VERSION:
+        metrics.counter("workload.cache.misses").inc()
         raise ValueError(f"unsupported workload format {payload.get('format')!r}")
     if verify_fingerprint and payload["fingerprint"] != document_fingerprint(tree):
+        metrics.counter("workload.cache.misses").inc()
         raise ValueError(
             "workload fingerprint does not match the supplied document; "
             "pass verify_fingerprint=False to override"
         )
+    metrics.counter("workload.cache.hits").inc()
     queries = [parse_twig(text) for text in payload["queries"]]
     workload = Workload(
         tree=tree,

@@ -13,7 +13,6 @@ Both accept any synopsis with the TreeSketch evaluation interface
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -23,6 +22,7 @@ from repro.core.expand import ExpansionLimitError, expand_result
 from repro.core.treesketch import TreeSketch
 from repro.engine.nesting import NestingTree
 from repro.metrics.esd import ESDCalculator, esd_nesting_trees
+from repro.obs import get_clock, get_metrics, get_tracer
 from repro.query.twig import TwigQuery
 from repro.workload.workload import Workload
 from repro.xsketch.answers import sampled_answer
@@ -75,12 +75,20 @@ def run_selectivity(
 ) -> SelectivityQuality:
     """Average sanity-bounded relative error over (a slice of) a workload."""
     estimator = _estimator_for(synopsis)
-    indices = list(queries) if queries is not None else range(len(workload))
-    start = time.perf_counter()
-    pairs = [
-        (float(workload.truths[i]), estimator(workload.queries[i])) for i in indices
-    ]
-    seconds = time.perf_counter() - start
+    indices = list(queries) if queries is not None else list(range(len(workload)))
+    clock = get_clock()
+    latencies = get_metrics().histogram("workload.selectivity.query_seconds")
+    truths = workload.truths  # force ground truth outside the timed region
+    pairs: List[tuple] = []
+    with get_tracer().span("workload.run_selectivity", queries=len(indices)):
+        start = clock.now()
+        for i in indices:
+            q_start = clock.now()
+            estimate = estimator(workload.queries[i])
+            latencies.observe(clock.now() - q_start)
+            pairs.append((float(truths[i]), estimate))
+        seconds = clock.now() - start
+    get_metrics().counter("workload.selectivity.queries").inc(len(indices))
     from repro.metrics.error import workload_errors
 
     per_query = workload_errors(pairs)
@@ -107,18 +115,29 @@ def run_answer_quality(
     """
     answerer = _answerer_for(synopsis, seed, max_nodes)
     calc = calculator or ESDCalculator()
-    indices = list(queries) if queries is not None else range(len(workload))
-    start = time.perf_counter()
+    indices = list(queries) if queries is not None else list(range(len(workload)))
+    clock = get_clock()
+    metrics = get_metrics()
+    latencies = metrics.histogram("workload.answer_quality.query_seconds")
     esds: List[float] = []
     failures = 0
-    for i in indices:
-        truth: NestingTree = workload.evaluator.evaluate(workload.queries[i])
-        try:
-            approx = answerer(workload.queries[i])
-        except ExpansionLimitError:
-            failures += 1
-            continue
-        esds.append(esd_nesting_trees(truth, approx, calculator=calc))
-    seconds = time.perf_counter() - start
+    with get_tracer().span("workload.run_answer_quality", queries=len(indices)):
+        start = clock.now()
+        for i in indices:
+            truth: NestingTree = workload.evaluator.evaluate(workload.queries[i])
+            q_start = clock.now()
+            try:
+                approx = answerer(workload.queries[i])
+            except ExpansionLimitError:
+                failures += 1
+                latencies.observe(clock.now() - q_start)
+                continue
+            # The histogram times answer production only; ESD scoring is
+            # harness overhead, not part of the measured system.
+            latencies.observe(clock.now() - q_start)
+            esds.append(esd_nesting_trees(truth, approx, calculator=calc))
+        seconds = clock.now() - start
+    metrics.counter("workload.answer_quality.queries").inc(len(indices))
+    metrics.counter("workload.answer_quality.failures").inc(failures)
     avg = sum(esds) / len(esds) if esds else float("nan")
     return AnswerQuality(avg_esd=avg, per_query=esds, failures=failures, seconds=seconds)

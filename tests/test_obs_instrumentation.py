@@ -1,0 +1,149 @@
+"""Regression tests: the hot paths must keep emitting their metrics.
+
+These pin the metric *names* and basic count invariants for TSBUILD,
+EVALQUERY, the workload runner, and the workload cache, so a future
+refactor cannot silently drop instrumentation.  All timing goes through a
+fake clock, which makes the snapshots fully deterministic.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.build import TreeSketchBuilder
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.datagen.datasets import xmark_like
+from repro.obs import FakeClock
+from repro.workload.cache import load_workload, save_workload
+from repro.workload.runner import run_answer_quality, run_selectivity
+from repro.workload.workload import make_workload
+
+pytestmark = pytest.mark.obs
+
+TSBUILD_COUNTERS = [
+    "tsbuild.merges_applied",
+    "tsbuild.heap_pops",
+    "tsbuild.stale_recomputations",
+    "tsbuild.pool_regenerations",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    tree = xmark_like(scale=0.4, seed=3)
+    stable = build_stable(tree)
+    workload = make_workload(tree, num_queries=8, seed=5, stable=stable)
+    return tree, stable, workload
+
+
+class TestTsbuildInstrumentation:
+    def test_compress_to_emits_expected_counters(self, corpus):
+        _tree, stable, _workload = corpus
+        with obs.observed(clock=FakeClock()) as registry:
+            builder = TreeSketchBuilder(stable)
+            builder.compress_to(stable.size_bytes() // 3)
+            snap = registry.snapshot()
+
+        for name in TSBUILD_COUNTERS:
+            assert name in snap["counters"], f"lost counter {name}"
+        counters = snap["counters"]
+        assert counters["tsbuild.merges_applied"] == builder.merges_applied > 0
+        # Every merge costs at least one heap pop; stale entries only add.
+        assert counters["tsbuild.heap_pops"] >= counters["tsbuild.merges_applied"]
+        assert counters["tsbuild.pool_regenerations"] >= 1
+        assert "span.tsbuild.compress_to.seconds" in snap["histograms"]
+
+    def test_counts_are_monotonic_across_budget_sweeps(self, corpus):
+        _tree, stable, _workload = corpus
+        with obs.observed(clock=FakeClock()) as registry:
+            builder = TreeSketchBuilder(stable)
+            budget = stable.size_bytes() // 2
+            builder.compress_to(budget)
+            merges_after_first = registry.snapshot()["counters"][
+                "tsbuild.merges_applied"
+            ]
+            builder.compress_to(budget // 2)
+            merges_after_second = registry.snapshot()["counters"][
+                "tsbuild.merges_applied"
+            ]
+        assert 0 < merges_after_first <= merges_after_second
+        assert merges_after_second == builder.merges_applied
+
+    def test_no_emission_while_disabled(self, corpus):
+        _tree, stable, _workload = corpus
+        assert not obs.enabled()
+        TreeSketchBuilder(stable).compress_to(stable.size_bytes() // 3)
+        assert obs.get_metrics().snapshot()["counters"] == {}
+
+
+class TestEvalInstrumentation:
+    def test_eval_query_counts_queries_and_visits(self, corpus):
+        _tree, stable, workload = corpus
+        sketch = TreeSketch.from_stable(stable)
+        with obs.observed(clock=FakeClock()) as registry:
+            for query in workload.queries[:3]:
+                estimate_selectivity(eval_query(sketch, query))
+            snap = registry.snapshot()
+        assert snap["counters"]["eval.queries"] == 3
+        assert snap["counters"]["eval.node_visits"] > 0
+        assert snap["counters"]["estimate.calls"] == 3
+        assert snap["histograms"]["span.eval.query.seconds"]["count"] == 3
+        assert snap["histograms"]["span.estimate.selectivity.seconds"]["count"] == 3
+
+
+class TestRunnerInstrumentation:
+    def test_run_selectivity_per_query_histogram(self, corpus):
+        _tree, stable, workload = corpus
+        sketch = TreeSketch.from_stable(stable)
+        with obs.observed(clock=FakeClock()) as registry:
+            quality = run_selectivity(sketch, workload, queries=range(5))
+            snap = registry.snapshot()
+        # Fake clock never advances: the whole run reports zero seconds --
+        # deterministic, and proof the runner times through the obs clock.
+        assert quality.seconds == 0.0
+        hist = snap["histograms"]["workload.selectivity.query_seconds"]
+        assert hist["count"] == 5
+        assert hist["max"] == 0.0
+        assert snap["counters"]["workload.selectivity.queries"] == 5
+        assert snap["counters"]["eval.queries"] == 5
+
+    def test_run_answer_quality_counts_failures(self, corpus):
+        _tree, stable, workload = corpus
+        sketch = TreeSketch.from_stable(stable)
+        with obs.observed(clock=FakeClock()) as registry:
+            quality = run_answer_quality(
+                sketch, workload, queries=range(4), max_nodes=2
+            )
+            snap = registry.snapshot()
+        assert quality.failures == 4
+        assert snap["counters"]["workload.answer_quality.queries"] == 4
+        assert snap["counters"]["workload.answer_quality.failures"] == 4
+        hist = snap["histograms"]["workload.answer_quality.query_seconds"]
+        assert hist["count"] == 4
+
+    def test_runner_timing_does_not_require_obs(self, corpus):
+        # Satellite regression: the runner must use the monotonic clock
+        # abstraction (perf_counter) even while observability is disabled.
+        _tree, stable, workload = corpus
+        sketch = TreeSketch.from_stable(stable)
+        assert not obs.enabled()
+        quality = run_selectivity(sketch, workload, queries=range(2))
+        assert quality.seconds >= 0.0
+
+
+class TestCacheInstrumentation:
+    def test_cache_hit_and_miss_counters(self, corpus, tmp_path):
+        tree, _stable, workload = corpus
+        path = str(tmp_path / "wl.json")
+        with obs.observed(clock=FakeClock()) as registry:
+            save_workload(workload, path)
+            load_workload(path, tree, stable=workload.stable)
+            other = xmark_like(scale=0.4, seed=99)
+            with pytest.raises(ValueError):
+                load_workload(path, other)
+            snap = registry.snapshot()
+        assert snap["counters"]["workload.cache.saves"] == 1
+        assert snap["counters"]["workload.cache.hits"] == 1
+        assert snap["counters"]["workload.cache.misses"] == 1

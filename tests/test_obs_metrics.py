@@ -1,0 +1,155 @@
+"""Counter/gauge/histogram semantics and registry state management."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotonic(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(2.5)
+        g.inc()
+        g.dec(0.5)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_quantiles(self):
+        h = Histogram("lat")
+        for v in range(100):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(1.0) == 99.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("lat").quantile(0.9) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_bounded_sample_thinning_is_deterministic(self):
+        def run():
+            h = Histogram("lat", sample_cap=64)
+            for v in range(1000):
+                h.observe(float(v))
+            return h.count, h.total, h.quantile(0.5), len(h._sample)
+
+        first, second = run(), run()
+        assert first == second
+        count, total, p50, sample_len = first
+        assert count == 1000
+        assert total == sum(range(1000))
+        assert sample_len < 64  # thinned below the cap
+        assert 300.0 <= p50 <= 700.0  # sampled median stays representative
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert set(h.summary()) == {
+            "count", "sum", "mean", "min", "max", "p50", "p90", "p99"
+        }
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.get_metrics() is NULL_REGISTRY
+
+    def test_null_instruments_are_shared_singletons(self):
+        # No allocation on the disabled hot path: every lookup returns the
+        # same inert object, and mutations are swallowed.
+        c1 = NULL_REGISTRY.counter("a")
+        c2 = NULL_REGISTRY.counter("b")
+        assert c1 is c2
+        c1.inc(100)
+        assert c1.value == 0
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(5.0)
+        assert h.count == 0 and h.quantile(0.5) == 0.0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_enable_disable_roundtrip(self):
+        reg = obs.enable()
+        try:
+            assert obs.enabled()
+            assert obs.get_metrics() is reg
+            reg.counter("x").inc()
+            assert reg.snapshot()["counters"] == {"x": 1}
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+        assert obs.get_metrics() is NULL_REGISTRY
+
+    def test_observed_restores_previous_state(self):
+        with obs.observed() as inner:
+            assert obs.get_metrics() is inner
+            with obs.observed() as nested:
+                assert obs.get_metrics() is nested
+            assert obs.get_metrics() is inner
+        assert obs.get_metrics() is NULL_REGISTRY

@@ -1,0 +1,89 @@
+"""Property test: the merge counter agrees with the builder, always.
+
+For *any* ``TSBuildOptions``, a build must (1) emit exactly
+``merges_applied`` increments of ``tsbuild.merges_applied`` and (2) end
+at ``size_bytes() <= budget`` whenever it reports ``reached_budget``.
+Runs under hypothesis when available, else over randomized seeds.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.build import TreeSketchBuilder, TSBuildOptions
+from repro.core.stable import build_stable
+from repro.obs import FakeClock
+from tests.conftest import make_random_tree
+
+pytestmark = pytest.mark.obs
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the image bakes hypothesis in
+    HAVE_HYPOTHESIS = False
+
+
+def _check_build(tree_seed: int, budget_divisor: int, options: TSBuildOptions):
+    stable = build_stable(make_random_tree(random.Random(tree_seed), 150))
+    budget = max(256, stable.size_bytes() // budget_divisor)
+    with obs.observed(clock=FakeClock()) as registry:
+        builder = TreeSketchBuilder(stable, options)
+        sketch = builder.compress_to(budget)
+        counters = registry.snapshot()["counters"]
+
+    emitted = counters.get("tsbuild.merges_applied", 0)
+    assert emitted == builder.merges_applied, (
+        f"builder reports {builder.merges_applied} merges, "
+        f"counter saw {emitted} (options={options})"
+    )
+    assert builder.size_bytes() == sketch.size_bytes()
+    if builder.reached_budget:
+        assert sketch.size_bytes() <= budget, (
+            f"reported success but {sketch.size_bytes()} > {budget} "
+            f"(options={options})"
+        )
+    else:
+        assert sketch.size_bytes() > budget
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tree_seed=st.integers(min_value=0, max_value=2**16),
+        budget_divisor=st.integers(min_value=2, max_value=8),
+        heap_upper=st.integers(min_value=4, max_value=500),
+        heap_lower=st.integers(min_value=1, max_value=20),
+        pair_window=st.one_of(st.none(), st.integers(min_value=2, max_value=16)),
+        drain_fraction=st.floats(min_value=0.1, max_value=0.9),
+        stop_when_full=st.booleans(),
+    )
+    def test_merge_counter_matches_builder(
+        tree_seed, budget_divisor, heap_upper, heap_lower,
+        pair_window, drain_fraction, stop_when_full,
+    ):
+        options = TSBuildOptions(
+            heap_upper=heap_upper,
+            heap_lower=heap_lower,
+            pair_window=pair_window,
+            drain_fraction=drain_fraction,
+            stop_when_full=stop_when_full,
+        )
+        _check_build(tree_seed, budget_divisor, options)
+
+else:  # randomized-seed fallback, same property
+
+    @pytest.mark.parametrize("case_seed", range(25))
+    def test_merge_counter_matches_builder(case_seed):
+        rng = random.Random(case_seed)
+        options = TSBuildOptions(
+            heap_upper=rng.randint(4, 500),
+            heap_lower=rng.randint(1, 20),
+            pair_window=rng.choice([None, rng.randint(2, 16)]),
+            drain_fraction=rng.uniform(0.1, 0.9),
+            stop_when_full=rng.random() < 0.5,
+        )
+        _check_build(rng.randint(0, 2**16), rng.randint(2, 8), options)

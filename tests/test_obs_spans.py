@@ -1,0 +1,135 @@
+"""Span timers with a fake clock, trace sinks, and the no-op tracer."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import FakeClock, JsonLinesSink, ListSink, MetricsRegistry, Tracer
+from repro.obs.spans import NULL_TRACER
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def sink():
+    return ListSink()
+
+
+@pytest.fixture
+def tracer(clock, sink):
+    return Tracer(clock=clock, sink=sink)
+
+
+class TestSpans:
+    def test_duration_from_fake_clock(self, tracer, clock, sink):
+        with tracer.span("work"):
+            clock.advance(2.5)
+        (event,) = sink.events
+        assert event["name"] == "work"
+        assert event["duration"] == 2.5
+        assert event["start"] == 0.0
+        assert event["depth"] == 0
+
+    def test_nested_spans_paths_and_depths(self, tracer, clock, sink):
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.5)
+            assert tracer.current_path() == "outer"
+        assert tracer.current_path() == ""
+        inner, outer = sink.events  # children finish (and emit) first
+        assert inner["path"] == "outer/inner"
+        assert inner["depth"] == 1
+        assert inner["duration"] == 0.5
+        assert outer["path"] == "outer"
+        assert outer["duration"] == 1.5
+
+    def test_sibling_spans_share_parent_path(self, tracer, clock, sink):
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                clock.advance(1.0)
+            with tracer.span("b"):
+                clock.advance(2.0)
+        paths = [e["path"] for e in sink.events]
+        assert paths == ["parent/a", "parent/b", "parent"]
+
+    def test_annotate_lands_on_event(self, tracer, clock, sink):
+        with tracer.span("work", phase="compress") as span:
+            span.annotate(merges=7)
+        (event,) = sink.events
+        assert event["attrs"] == {"phase": "compress", "merges": 7}
+
+    def test_exception_marks_event_and_unwinds_stack(self, tracer, clock, sink):
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (event,) = sink.events
+        assert event["error"] is True
+        assert tracer.current_path() == ""
+
+    def test_durations_recorded_as_histograms(self, clock, sink):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, sink=sink, metrics=registry)
+        for seconds in (1.0, 3.0):
+            with tracer.span("work"):
+                clock.advance(seconds)
+        hist = registry.histogram("span.work.seconds")
+        assert hist.count == 2
+        assert hist.total == 4.0
+
+
+class TestJsonLinesRoundTrip:
+    def test_events_round_trip_through_file(self, tmp_path, clock):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonLinesSink(path)
+        tracer = Tracer(clock=clock, sink=sink)
+        with tracer.span("outer", budget=1024):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+        sink.close()
+        assert sink.events_written == 2
+
+        lines = [line for line in open(path, encoding="utf-8").read().splitlines()]
+        events = [json.loads(line) for line in lines]
+        assert [e["path"] for e in events] == ["outer/inner", "outer"]
+        assert events[1]["attrs"] == {"budget": 1024}
+        assert events[0]["duration"] == 0.25
+        assert all(e["type"] == "span" for e in events)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_null(self):
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_null_span_is_shared_and_inert(self):
+        cm1 = NULL_TRACER.span("a", attr=1)
+        cm2 = NULL_TRACER.span("b")
+        assert cm1 is cm2  # shared singleton: nothing allocated per span
+        with cm1 as span:
+            span.annotate(anything=True)  # swallowed
+        assert NULL_TRACER.current_path() == ""
+
+    def test_null_span_reentrant(self):
+        with NULL_TRACER.span("a"):
+            with NULL_TRACER.span("b"):
+                pass  # nesting the shared singleton must not blow up
+
+
+class TestObservedWiring:
+    def test_observed_installs_tracer_clock_and_sink(self):
+        clock, sink = FakeClock(), ListSink()
+        with obs.observed(clock=clock, sink=sink) as registry:
+            assert obs.get_clock() is clock
+            with obs.get_tracer().span("work"):
+                clock.advance(1.0)
+        assert sink.events[0]["duration"] == 1.0
+        # Span durations also land in the installed registry.
+        assert registry.snapshot()["histograms"]["span.work.seconds"]["count"] == 1
+        assert obs.get_tracer() is NULL_TRACER
