@@ -1,0 +1,185 @@
+"""The perf-trajectory feed: BENCH_build.json / BENCH_eval.json.
+
+Runs the seed ("before") and optimized ("after") implementations of the
+two hot paths back to back on the same machine, in the same process, and
+records wall-clock plus the observability counters into ``BENCH_*.json``
+at the repository root.  Future PRs append to this trajectory rather than
+re-claiming speedups in prose; docs/PERFORMANCE.md explains the knobs and
+how to reproduce these numbers.
+
+* Construction: TSBUILD on the largest bundled dataset (XMark, the
+  biggest count-stable summary of repro.datagen.DATASETS) at the paper's
+  10 KB budget.  Before = ``TSBuildOptions(reference=True)`` (the seed
+  scorer and from-scratch CREATEPOOL, verbatim); after = the optimized
+  defaults.  The two sketches are asserted identical, and the speedup is
+  asserted >= 1.5x -- the acceptance bar of the perf overhaul.
+
+* Serving: a repeated selectivity workload over the built sketch, with
+  and without the canonical-query LRU cache.
+
+``REPRO_BENCH_ROUNDS`` scales the eval-side repetition (default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+
+from benchmarks.conftest import emit
+from repro import obs
+from repro.core.build import TSBuildOptions, TreeSketchBuilder
+from repro.core.qcache import QueryCache
+from repro.core.stable import build_stable
+from repro.datagen.datasets import DATASETS
+from repro.obs import get_clock
+from repro.obs.report import flatten_snapshot
+from repro.workload.runner import run_selectivity
+from repro.workload.workload import make_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DATASET = "XMark"
+BUDGET_KB = 10
+EVAL_QUERIES = 30
+MIN_BUILD_SPEEDUP = 1.5
+
+
+def _machine() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _sketch_state(sketch):
+    return (dict(sketch.label), dict(sketch.count), dict(sketch.stats),
+            sketch.root_id)
+
+
+def _timed_build(stable, options):
+    clock = get_clock()
+    with obs.observed() as registry:
+        start = clock.now()
+        builder = TreeSketchBuilder(stable, options)
+        sketch = builder.compress_to(BUDGET_KB * 1024)
+        seconds = clock.now() - start
+    return sketch, seconds, flatten_snapshot(registry.snapshot())
+
+
+def test_bench_feed():
+    clock = get_clock()
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+    tree = DATASETS[DATASET]()
+    stable = build_stable(tree)
+
+    # ------------------------------------------------------------------
+    # Construction: seed vs optimized, same machine, same process.
+    # ------------------------------------------------------------------
+    before_sketch, before_s, before_counters = _timed_build(
+        stable, TSBuildOptions(reference=True)
+    )
+    after_sketch, after_s, after_counters = _timed_build(stable, TSBuildOptions())
+    assert _sketch_state(before_sketch) == _sketch_state(after_sketch), (
+        "optimized TSBUILD diverged from the seed implementation"
+    )
+    build_speedup = before_s / after_s
+
+    build_doc = {
+        "benchmark": "tsbuild_construction",
+        "dataset": DATASET,
+        "budget_kb": BUDGET_KB,
+        "elements": len(tree),
+        "stable_summary_kb": round(stable.size_bytes() / 1024, 1),
+        "machine": _machine(),
+        "before": {
+            "impl": "seed (TSBuildOptions(reference=True))",
+            "seconds": round(before_s, 3),
+            "counters": {k: v for k, v in before_counters.items()
+                         if k.startswith("counters.tsbuild.")},
+        },
+        "after": {
+            "impl": "optimized (memoize + incremental_pool + fast scorer)",
+            "seconds": round(after_s, 3),
+            "counters": {k: v for k, v in after_counters.items()
+                         if k.startswith("counters.tsbuild.")},
+        },
+        "speedup": round(build_speedup, 2),
+    }
+    (REPO_ROOT / "BENCH_build.json").write_text(
+        json.dumps(build_doc, indent=2) + "\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Serving: repeated workload, uncached vs QueryCache.
+    # ------------------------------------------------------------------
+    workload = make_workload(tree, num_queries=EVAL_QUERIES, seed=7,
+                             stable=stable)
+    sketch = after_sketch
+
+    with obs.observed() as registry:
+        start = clock.now()
+        for _ in range(rounds):
+            uncached = run_selectivity(sketch, workload)
+        uncached_s = clock.now() - start
+    uncached_counters = flatten_snapshot(registry.snapshot())
+
+    with obs.observed() as registry:
+        cache = QueryCache(sketch, maxsize=4 * EVAL_QUERIES)
+        start = clock.now()
+        for _ in range(rounds):
+            cached = run_selectivity(sketch, workload, cache=cache)
+        cached_s = clock.now() - start
+    cached_counters = flatten_snapshot(registry.snapshot())
+
+    assert cached.per_query == uncached.per_query, (
+        "cached selectivity run changed the workload's answers"
+    )
+    eval_speedup = uncached_s / cached_s
+
+    eval_doc = {
+        "benchmark": "workload_selectivity_serving",
+        "dataset": DATASET,
+        "budget_kb": BUDGET_KB,
+        "queries": EVAL_QUERIES,
+        "rounds": rounds,
+        "machine": _machine(),
+        "before": {
+            "impl": "uncached eval_query + estimate_selectivity",
+            "seconds": round(uncached_s, 4),
+            "counters": {k: v for k, v in uncached_counters.items()
+                         if k.startswith(("counters.eval.",
+                                          "counters.estimate."))},
+        },
+        "after": {
+            "impl": f"QueryCache(maxsize={4 * EVAL_QUERIES})",
+            "seconds": round(cached_s, 4),
+            "counters": {k: v for k, v in cached_counters.items()
+                         if k.startswith(("counters.eval.",
+                                          "counters.estimate."))},
+        },
+        "speedup": round(eval_speedup, 2),
+    }
+    (REPO_ROOT / "BENCH_eval.json").write_text(
+        json.dumps(eval_doc, indent=2) + "\n"
+    )
+
+    emit(
+        "bench_feed",
+        "\n".join([
+            "Perf feed (before -> after, same machine & process)",
+            f"  build  {DATASET}@{BUDGET_KB}KB: "
+            f"{before_s:.2f}s -> {after_s:.2f}s  ({build_speedup:.2f}x)",
+            f"  eval   {EVAL_QUERIES} queries x {rounds} rounds: "
+            f"{uncached_s:.3f}s -> {cached_s:.3f}s  ({eval_speedup:.2f}x)",
+            "  -> BENCH_build.json, BENCH_eval.json",
+        ]),
+    )
+
+    assert build_speedup >= MIN_BUILD_SPEEDUP, (
+        f"construction speedup {build_speedup:.2f}x fell below the "
+        f"{MIN_BUILD_SPEEDUP}x acceptance bar (before {before_s:.2f}s, "
+        f"after {after_s:.2f}s)"
+    )
+    assert eval_speedup > 1.0

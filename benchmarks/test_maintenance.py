@@ -10,13 +10,13 @@ and compares per-edit cost against rebuilds, asserting correctness
 """
 
 import random
-import time
 
 from benchmarks.conftest import emit
 from repro.core.maintain import StableMaintainer
 from repro.core.stable import build_stable
 from repro.datagen.datasets import sprot_like
 from repro.experiments.reporting import format_table
+from repro.obs import get_clock
 from repro.xmltree.tree import XMLTree
 
 EDITS = 200
@@ -34,6 +34,7 @@ def _canonical(summary):
 
 
 def test_incremental_maintenance_vs_rebuild(benchmark):
+    clock = get_clock()
     tree = sprot_like(scale=3.0, seed=6)
     rng = random.Random(11)
     maintainer = StableMaintainer(tree)
@@ -50,7 +51,7 @@ def test_incremental_maintenance_vs_rebuild(benchmark):
     initial_nodes = list(tree.root.iter_preorder())
     parents = [rng.choice(initial_nodes) for _ in range(EDITS)]
 
-    start = time.perf_counter()
+    start = clock.now()
     inserted = []
     for i in range(EDITS):
         if i % 3 != 2 or not inserted:
@@ -59,12 +60,12 @@ def test_incremental_maintenance_vs_rebuild(benchmark):
             )
         else:
             maintainer.delete_subtree(inserted.pop(rng.randrange(len(inserted))))
-    incremental_total = time.perf_counter() - start
+    incremental_total = clock.now() - start
     per_edit_ms = incremental_total * 1000 / EDITS
 
-    start = time.perf_counter()
+    start = clock.now()
     fresh = build_stable(XMLTree(tree.root))
-    rebuild_ms = (time.perf_counter() - start) * 1000
+    rebuild_ms = (clock.now() - start) * 1000
 
     emit(
         "maintenance",

@@ -11,29 +11,29 @@ XMark generator over document scales and reports:
   document size).
 """
 
-import time
-
 from benchmarks.conftest import emit
 from repro.core.build import TreeSketchBuilder
 from repro.core.stable import build_stable
 from repro.datagen.datasets import xmark_like
+from repro.obs import get_clock
 from repro.experiments.reporting import format_table
 
 SCALES = [2.0, 4.0, 8.0, 16.0]
 
 
 def test_scaling_construction(benchmark):
+    clock = get_clock()
     rows = []
     seconds_per_element = []
     for scale in SCALES:
         tree = xmark_like(scale=scale, seed=12)
-        start = time.perf_counter()
+        start = clock.now()
         stable = build_stable(tree)
-        stable_seconds = time.perf_counter() - start
+        stable_seconds = clock.now() - start
 
-        start = time.perf_counter()
+        start = clock.now()
         TreeSketchBuilder(stable).compress_to(10 * 1024)
-        build_seconds = time.perf_counter() - start
+        build_seconds = clock.now() - start
 
         rows.append(
             [scale, len(tree), stable.size_bytes() / 1024,

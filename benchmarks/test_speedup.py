@@ -9,33 +9,33 @@ reports the speedup.  The gap widens with document size since the synopsis
 cost is independent of it.
 """
 
-import time
-
 from benchmarks.conftest import emit
 from repro.core.estimate import estimate_selectivity
 from repro.core.evaluate import eval_query
 from repro.experiments.harness import dataset_names, load_bundle
+from repro.obs import get_clock
 from repro.experiments.reporting import format_table
 
 QUERIES_TIMED = 40
 
 
 def test_approximate_vs_exact_latency(benchmark):
+    clock = get_clock()
     rows = []
     for name in dataset_names(tx_only=True):
         bundle = load_bundle(name)
         sketch = bundle.treesketch(10 * 1024)
         queries = bundle.workload.queries[:QUERIES_TIMED]
 
-        start = time.perf_counter()
+        start = clock.now()
         for query in queries:
             bundle.workload.evaluator.selectivity(query)
-        exact_ms = (time.perf_counter() - start) * 1000 / len(queries)
+        exact_ms = (clock.now() - start) * 1000 / len(queries)
 
-        start = time.perf_counter()
+        start = clock.now()
         for query in queries:
             estimate_selectivity(eval_query(sketch, query))
-        approx_ms = (time.perf_counter() - start) * 1000 / len(queries)
+        approx_ms = (clock.now() - start) * 1000 / len(queries)
 
         rows.append([name, exact_ms, approx_ms, exact_ms / max(approx_ms, 1e-9)])
 

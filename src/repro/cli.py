@@ -9,13 +9,17 @@ Installed as the ``treesketch`` console script::
     treesketch exact    data.xml   "//a[//b] ( //p ( //k ? ), //n ? )"
     treesketch compare  data.xml sketch.json "//a (//p)"
     treesketch workload data.xml --budget-kb 10 --queries 40
+    treesketch estimate sketch.json "//a (//p)" --repeat 3
 
 ``build`` accepts either raw XML or a saved stable summary, so the
 expensive parse/summarize step can be done once.
 
 Every subcommand accepts ``--stats`` (print the internal metric counters
 and span timings after the run) and ``--trace FILE`` (dump the span trace
-as JSON lines); see docs/OBSERVABILITY.md.
+as JSON lines); see docs/OBSERVABILITY.md.  ``build``, ``workload`` and
+``estimate`` additionally accept ``--profile FILE`` (cProfile pstats dump
+of the run; inspect with ``python -m pstats FILE``) -- see
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -155,7 +159,12 @@ def cmd_workload(args: argparse.Namespace) -> int:
     workload = make_workload(
         tree, num_queries=args.queries, seed=args.seed, stable=stable
     )
-    quality = run_selectivity(sketch, workload)
+    cache = None
+    if args.eval_cache > 0:
+        from repro.core.qcache import QueryCache
+
+        cache = QueryCache(sketch, maxsize=args.eval_cache)
+    quality = run_selectivity(sketch, workload, cache=cache)
     print(
         f"workload: {len(workload)} queries over {args.document} "
         f"(seed {args.seed}), sketch {sketch.size_bytes() / 1024:.1f} KB"
@@ -163,6 +172,40 @@ def cmd_workload(args: argparse.Namespace) -> int:
     print(
         f"avg selectivity error {quality.avg_error:.3f}, "
         f"{quality.seconds:.3f}s total"
+    )
+    if cache is not None:
+        info = cache.info()
+        print(
+            f"eval cache: {info['hits']} hits, {info['misses']} misses, "
+            f"{info['evictions']} evictions ({info['size']}/{info['maxsize']} entries)"
+        )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.qcache import QueryCache
+
+    twigs = list(args.twigs)
+    if args.queries_file:
+        with open(args.queries_file, "r", encoding="utf-8") as handle:
+            twigs.extend(
+                line.strip() for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            )
+    if not twigs:
+        print("estimate needs at least one twig (argument or --queries-file)",
+              file=sys.stderr)
+        return 2
+    sketch = _load_sketch(args.sketch)
+    queries = [parse_twig(text) for text in twigs]
+    cache = QueryCache(sketch, maxsize=args.cache_size)
+    for _ in range(args.repeat):
+        for text, query in zip(twigs, queries):
+            print(f"{cache.selectivity(query):>16,.1f}  {text}")
+    info = cache.info()
+    print(
+        f"eval cache: {info['hits']} hits, {info['misses']} misses, "
+        f"{info['evictions']} evictions ({info['size']}/{info['maxsize']} entries)"
     )
     return 0
 
@@ -221,6 +264,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("source", help="XML document or stable-summary JSON")
     p.add_argument("--budget-kb", type=float, required=True)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--profile", metavar="FILE",
+                   help="dump a cProfile pstats file for the run")
     p.add_argument(
         "--values",
         action="store_true",
@@ -265,15 +310,55 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=40,
                    help="number of generated twig queries (default 40)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-cache", type=int, default=0, metavar="N",
+                   help="canonical-query LRU cache capacity (0 = off)")
+    p.add_argument("--profile", metavar="FILE",
+                   help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_workload)
 
+    p = add_parser("estimate",
+                   help="estimate twig selectivities over a synopsis, cached")
+    p.add_argument("sketch", help="synopsis JSON (TreeSketch or stable)")
+    p.add_argument("twigs", nargs="*", help="twig queries")
+    p.add_argument("--queries-file", metavar="FILE",
+                   help="file with one twig per line (# comments allowed)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="canonical-query LRU capacity (default 256)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="evaluate the query list this many times (cache demo)")
+    p.add_argument("--profile", metavar="FILE",
+                   help="dump a cProfile pstats file for the run")
+    p.set_defaults(func=cmd_estimate)
+
     return parser
+
+
+def _invoke(args: argparse.Namespace) -> int:
+    """Run the subcommand, optionally under cProfile (--profile FILE)."""
+    profile_path = getattr(args, "profile", None)
+    if not profile_path:
+        return args.func(args)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = args.func(args)
+    finally:
+        profiler.disable()
+        try:
+            profiler.dump_stats(profile_path)
+        except OSError as exc:
+            print(f"cannot write profile file: {exc}", file=sys.stderr)
+            return 2
+        print(f"profile: pstats dump -> {profile_path}", file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     if not (getattr(args, "stats", False) or getattr(args, "trace", None)):
-        return args.func(args)
+        return _invoke(args)
 
     from repro import obs
 
@@ -284,7 +369,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         with obs.observed(sink=sink) as registry:
-            code = args.func(args)
+            code = _invoke(args)
             if args.stats:
                 print()
                 print(obs.report.render_registry(registry))

@@ -8,18 +8,29 @@ operands were absorbed, and recomputes entries whose neighbourhood changed
 version stamps and lazy recomputation at pop time).  When the heap drains
 below ``Lh`` the pool is regenerated via CREATEPOOL; the loop ends when the
 synopsis fits the budget or no merges remain.
+
+Heap entries are ordered by the *canonical* tuple ``(ratio, errd, sized,
+u, v, ver_u, ver_v)`` -- no insertion-order tiebreak -- so the merge
+sequence is a function of the candidate *set* alone.  That is what lets
+the incremental and parallel pool generators (repro.core.pool), which may
+produce candidates in a different order, build byte-identical sketches;
+tests/test_build_equivalence.py holds them to it.
+
+Performance knobs (``memoize``, ``incremental_pool``, ``workers``) are
+documented in docs/PERFORMANCE.md; ``reference=True`` restores the seed
+code paths end to end and serves as the benchmark baseline.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-import itertools
 import logging
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.partition import MergePartition
-from repro.core.pool import create_pool
+from repro.core.pool import PoolState, create_pool, create_pool_reference
 from repro.core.stable import StableSummary, build_stable
 from repro.core.treesketch import TreeSketch
 from repro.obs import get_metrics, get_tracer
@@ -41,6 +52,18 @@ class TSBuildOptions:
     improves synopsis quality at negligible cost (see the pool ablation).
     ``stop_when_full`` restores Fig. 6's literal early termination of
     candidate generation.
+
+    Performance knobs (all output-preserving; docs/PERFORMANCE.md):
+
+    * ``memoize`` -- versioned memoization of merge scores, so stale-heap
+      recomputation and pool regeneration skip pairs whose neighbourhood
+      is unchanged;
+    * ``incremental_pool`` -- persist the CREATEPOOL label/depth grouping
+      and structural-key cache across regenerations;
+    * ``workers`` -- fan candidate scoring across a process pool
+      (``1`` = serial; needs a fork-capable platform, else falls back);
+    * ``reference`` -- run the seed scorer and from-scratch CREATEPOOL
+      verbatim, ignoring the three knobs above (benchmark baseline).
     """
 
     heap_upper: int = 10_000
@@ -48,6 +71,10 @@ class TSBuildOptions:
     pair_window: Optional[int] = 32
     drain_fraction: float = 0.5
     stop_when_full: bool = False
+    memoize: bool = True
+    incremental_pool: bool = True
+    workers: int = 1
+    reference: bool = False
 
 
 class TreeSketchBuilder:
@@ -72,7 +99,9 @@ class TreeSketchBuilder:
         self.reached_budget = False
         # Forwarding chains for clusters absorbed by merges.
         self._merged_into: Dict[int, int] = {}
-        self._tiebreak = itertools.count()
+        self._pool_state: Optional[PoolState] = None
+        if self.options.memoize and not self.options.reference:
+            self.partition.enable_memo()
 
     # ------------------------------------------------------------------
 
@@ -92,6 +121,39 @@ class TreeSketchBuilder:
             self._merged_into[s] = cid
         return cid
 
+    def _generate_pool(self, part: MergePartition):
+        opts = self.options
+        if opts.reference:
+            return create_pool_reference(
+                part, opts.heap_upper, opts.pair_window, opts.stop_when_full
+            )
+        state = None
+        if opts.incremental_pool:
+            if self._pool_state is None:
+                self._pool_state = PoolState(part)
+            state = self._pool_state
+        return create_pool(
+            part, opts.heap_upper, opts.pair_window, opts.stop_when_full,
+            state=state, memoize=opts.memoize, workers=opts.workers,
+        )
+
+    def _apply_merge(self, part: MergePartition, u: int, v: int) -> None:
+        """Apply one merge and keep the incremental pool state in step."""
+        state = self._pool_state
+        if state is not None:
+            label_u = part.cluster_label[u]
+            label_v = part.cluster_label[v]
+            depth_u = part.cluster_depth[u]
+            depth_v = part.cluster_depth[v]
+            part.apply_merge(u, v)
+            state.on_merge(
+                label_u, label_v, u, v, depth_u, depth_v, part.cluster_depth[u]
+            )
+        else:
+            part.apply_merge(u, v)
+        self._merged_into[v] = u
+        self.merges_applied += 1
+
     def compress_to(self, budget_bytes: int) -> TreeSketch:
         """Merge until ``size <= budget_bytes`` (or no merges remain).
 
@@ -106,12 +168,38 @@ class TreeSketchBuilder:
         metrics.counter("tsbuild.merges_applied")
         metrics.counter("tsbuild.heap_pops")
         metrics.counter("tsbuild.stale_recomputations")
+        memo_hits = metrics.counter("tsbuild.memo_hits")
+        memo_misses = metrics.counter("tsbuild.memo_misses")
+        hits_before, misses_before = part.memo_hits, part.memo_misses
+        # The merge loop allocates millions of short-lived tuples and never
+        # creates reference cycles, so cyclic GC passes are pure overhead
+        # (~15-20% on large builds); suspend collection for the duration.
+        manage_gc = not opts.reference and gc.isenabled()
+        if manage_gc:
+            gc.disable()
+        try:
+            self._compress_loop(part, budget_bytes, pool_regens)
+        finally:
+            if manage_gc:
+                gc.enable()
+        memo_hits.inc(part.memo_hits - hits_before)
+        memo_misses.inc(part.memo_misses - misses_before)
+        logger.info(
+            "tsbuild: %d bytes (budget %d), %d nodes, sq %.1f, %d merges total",
+            part.size_bytes(), budget_bytes, part.num_nodes,
+            part.total_sq, self.merges_applied,
+        )
+        return part.to_treesketch()
+
+    def _compress_loop(self, part: MergePartition, budget_bytes: int,
+                       pool_regens) -> None:
+        opts = self.options
         merges_before = self.merges_applied
+        version = part.version
         with get_tracer().span("tsbuild.compress_to",
                                budget_bytes=budget_bytes) as span:
             while part.size_bytes() > budget_bytes:
-                pool = create_pool(part, opts.heap_upper, opts.pair_window,
-                                   opts.stop_when_full)
+                pool = self._generate_pool(part)
                 if not pool:
                     logger.debug(
                         "tsbuild: no candidates left at %d bytes (budget %d)",
@@ -124,8 +212,8 @@ class TreeSketchBuilder:
                     len(pool), part.size_bytes(), budget_bytes, part.total_sq,
                 )
                 heap = [
-                    (ratio, next(self._tiebreak), errd, sized, u, v,
-                     part.version.get(u, 0), part.version.get(v, 0))
+                    (ratio, errd, sized, u, v,
+                     version.get(u, 0), version.get(v, 0))
                     for ratio, errd, sized, u, v in pool
                 ]
                 heapq.heapify(heap)
@@ -145,12 +233,6 @@ class TreeSketchBuilder:
                 merges=self.merges_applied - merges_before,
                 reached_budget=self.reached_budget,
             )
-        logger.info(
-            "tsbuild: %d bytes (budget %d), %d nodes, sq %.1f, %d merges total",
-            part.size_bytes(), budget_bytes, part.num_nodes,
-            part.total_sq, self.merges_applied,
-        )
-        return part.to_treesketch()
 
     def _drain_heap(self, heap: List, budget_bytes: int, lower: int) -> bool:
         """Apply merges from ``heap`` until budget met or heap low.
@@ -158,32 +240,37 @@ class TreeSketchBuilder:
         Returns True iff at least one merge was applied.
         """
         part = self.partition
+        reference = self.options.reference
         metrics = get_metrics()
         heap_pops = metrics.counter("tsbuild.heap_pops")
         stale = metrics.counter("tsbuild.stale_recomputations")
         merges = metrics.counter("tsbuild.merges_applied")
+        version = part.version
         applied = 0
-        while heap and len(heap) > lower and part.size_bytes() > budget_bytes:
-            ratio, _, errd, sized, u, v, ver_u, ver_v = heapq.heappop(heap)
+        # Partition size only changes when a merge is applied; track it
+        # locally instead of recomputing per pop.
+        size = part.size_bytes()
+        while heap and len(heap) > lower and size > budget_bytes:
+            ratio, errd, sized, u, v, ver_u, ver_v = heapq.heappop(heap)
             heap_pops.inc()
             u, v = self._resolve(u), self._resolve(v)
             if u == v:
                 continue  # operands already merged together
-            cur_u, cur_v = part.version.get(u, 0), part.version.get(v, 0)
+            cur_u, cur_v = version.get(u, 0), version.get(v, 0)
             if (ver_u, ver_v) != (cur_u, cur_v):
                 # Stale (operand rewritten or neighbourhood changed):
                 # recompute the metrics and re-queue with fresh stamps.
                 stale.inc()
-                result = part.evaluate_merge(u, v)
-                heapq.heappush(
-                    heap,
-                    (result.ratio, next(self._tiebreak), result.errd,
-                     result.sized, u, v, cur_u, cur_v),
-                )
+                if reference:
+                    result = part.evaluate_merge_reference(u, v)
+                    entry = (result.ratio, result.errd, result.sized,
+                             u, v, cur_u, cur_v)
+                else:
+                    entry = part.scored_merge(u, v) + (u, v, cur_u, cur_v)
+                heapq.heappush(heap, entry)
                 continue
-            part.apply_merge(u, v)
-            self._merged_into[v] = u
-            self.merges_applied += 1
+            self._apply_merge(part, u, v)
+            size = part.size_bytes()
             merges.inc()
             applied += 1
         return applied > 0

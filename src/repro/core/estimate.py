@@ -69,16 +69,28 @@ def _tuples_per_element(
     qnode = qnode_of[key[1]]
     edges = result.out.get(key, {})
     total = 1.0
-    for qc in qnode.children:
-        subtotal = 0.0
+    if edges and qnode.children:
+        # One pass over the edges, grouped by child variable; insertion
+        # order is preserved within each group, so the floating-point
+        # summation order matches the per-child filtered scan.
+        by_var: Dict[str, list] = {}
         for v_key, avg in edges.items():
-            if v_key[1] == qc.var:
+            by_var.setdefault(v_key[1], []).append((v_key, avg))
+        for qc in qnode.children:
+            subtotal = 0.0
+            for v_key, avg in by_var.get(qc.var, ()):
                 subtotal += avg * _tuples_per_element(result, v_key, qnode_of, memo)
-        if qc.optional:
-            subtotal = max(1.0, subtotal)
-        total *= subtotal
-        if total == 0.0:
-            break
+            if qc.optional:
+                subtotal = max(1.0, subtotal)
+            total *= subtotal
+            if total == 0.0:
+                break
+    else:
+        for qc in qnode.children:
+            subtotal = 1.0 if qc.optional else 0.0
+            total *= subtotal
+            if total == 0.0:
+                break
 
     memo[key] = total
     return total

@@ -156,19 +156,26 @@ def _path_counts(ctx: _SketchEvalContext, start: int, path: Path) -> Dict[int, f
         return cached
 
     sketch = ctx.sketch
+    out_get = sketch.out.get
+    label_of = sketch.label
     current: Dict[int, float] = {start: 1.0}
     for step in path.steps:
         nxt: Dict[int, float] = {}
+        nxt_get = nxt.get
+        matches = step.matches_label
         if step.axis is Axis.CHILD:
             for x, value in current.items():
-                for y, avg in sketch.out.get(x, {}).items():
-                    if step.matches_label(sketch.label[y]):
-                        nxt[y] = nxt.get(y, 0.0) + value * avg
+                edges = out_get(x)
+                if not edges:
+                    continue
+                for y, avg in edges.items():
+                    if matches(label_of[y]):
+                        nxt[y] = nxt_get(y, 0.0) + value * avg
         else:
             reach = _descendant_closure(ctx, current)
             for y, value in reach.items():
-                if step.matches_label(sketch.label[y]):
-                    nxt[y] = nxt.get(y, 0.0) + value
+                if matches(label_of[y]):
+                    nxt[y] = nxt_get(y, 0.0) + value
         if step.predicates:
             for y in list(nxt):
                 sel = 1.0
@@ -202,31 +209,42 @@ def _descendant_closure(
     by value propagation bounded by the document height.
     """
     sketch = ctx.sketch
+    out_get = sketch.out.get
     if ctx.topo is not None:
         g: Dict[int, float] = {}
+        g_get = g.get
+        seeds_get = seeds.get
         visits = 0
         for x in ctx.topo:
-            inbound = seeds.get(x, 0.0) + g.get(x, 0.0)
+            inbound = seeds_get(x, 0.0) + g_get(x, 0.0)
             if inbound == 0.0:
                 continue
             visits += 1
-            for y, avg in sketch.out.get(x, {}).items():
-                g[y] = g.get(y, 0.0) + inbound * avg
+            edges = out_get(x)
+            if not edges:
+                continue
+            for y, avg in edges.items():
+                g[y] = g_get(y, 0.0) + inbound * avg
         ctx.node_visits += visits
         return g
 
     # Cyclic fallback: propagate frontier values for at most `height` hops.
     g = {}
+    g_get = g.get
     frontier = dict(seeds)
     for _ in range(max(1, sketch.doc_height)):
         nxt: Dict[int, float] = {}
+        nxt_get = nxt.get
         for x, value in frontier.items():
             if value == 0.0:
                 continue
-            for y, avg in sketch.out.get(x, {}).items():
+            edges = out_get(x)
+            if not edges:
+                continue
+            for y, avg in edges.items():
                 contribution = value * avg
-                nxt[y] = nxt.get(y, 0.0) + contribution
-                g[y] = g.get(y, 0.0) + contribution
+                nxt[y] = nxt_get(y, 0.0) + contribution
+                g[y] = g_get(y, 0.0) + contribution
         if not nxt:
             break
         frontier = nxt

@@ -32,11 +32,14 @@ Merging clusters ``u`` and ``v`` into ``w``:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.size import EDGE_BYTES, NODE_BYTES
 from repro.core.stable import StableSummary
 from repro.core.treesketch import TreeSketch
+
+# A scored merge as consumed by CREATEPOOL / TSBUILD: (ratio, errd, sized).
+ScoredMerge = Tuple[float, float, int]
 
 
 class MergeResult:
@@ -95,10 +98,23 @@ class MergePartition:
             }
         self.cluster_sq: Dict[int, float] = {nid: 0.0 for nid in stable.node_ids()}
 
+        # Fused per-source record [gs dict, owning cluster, element count]
+        # for the scoring hot loop: one lookup instead of three.  The gs
+        # dict is shared by object identity (mutated in place); the owner
+        # slot is kept in step with ``assign`` by ``apply_merge``.
+        self.src: Dict[int, list] = {
+            nid: [self.gs[nid], nid, self.s_count[nid]]
+            for nid in stable.node_ids()
+        }
+
         self.num_edges: int = stable.num_edges
         self.total_sq: float = 0.0
         # Version stamps for lazy heap invalidation.
         self.version: Dict[int, int] = {nid: 0 for nid in stable.node_ids()}
+        # Optional versioned memo of merge scores (see enable_memo).
+        self.merge_memo: Optional[Dict[Tuple[int, int], Tuple[int, int, float, float, int]]] = None
+        self.memo_hits: int = 0
+        self.memo_misses: int = 0
 
     # ------------------------------------------------------------------
     # Size and quality
@@ -124,6 +140,106 @@ class MergePartition:
 
     def evaluate_merge(self, u: int, v: int) -> MergeResult:
         """Score merging clusters ``u`` and ``v`` without applying it."""
+        errd, sized = self._eval_raw(u, v)
+        # errd can be legitimately negative: merging nodes whose dimensions
+        # collapse (mutual edges, or a parent's two anti-correlated
+        # dimensions becoming one) may reduce the total squared error.
+        return MergeResult(errd, sized)
+
+    def _eval_raw(self, u: int, v: int) -> Tuple[float, int]:
+        """Hot-path scoring core: ``(errd, sized)`` for merging ``u, v``.
+
+        Bit-identical to :meth:`evaluate_merge_reference` — every floating-
+        point accumulation happens on the same values in the same order; the
+        rewrite only collapses the two passes over ``sources`` into one and
+        hoists attribute lookups (see tests/test_build_equivalence.py).
+        """
+        if u == v:
+            raise ValueError("cannot merge a cluster with itself")
+        count = self.count
+        out_stats = self.out_stats
+        count_w = count[u] + count[v]
+        out_u, out_v = out_stats[u], out_stats[v]
+
+        # --- out dimensions toward targets outside {u, v}: additive.
+        merged = dict(out_u)
+        merged.pop(u, None)
+        merged.pop(v, None)
+        merged_get = merged.get
+        for t, st in out_v.items():
+            if t == u or t == v:
+                continue
+            acc = merged_get(t)
+            merged[t] = (st[0] + acc[0], st[1] + acc[1]) if acc else st
+
+        # --- self dimension toward w and parent dimensions, in one pass
+        # over the union of stable sources (``assign[s] in {u, v}`` is
+        # exactly the reference's membership test against members[u/v];
+        # ``sc*k*k`` associates left, so reusing ``t = sc*k`` is exact).
+        sources = self.in_sources[u] | self.in_sources[v]
+        src_all = self.src
+        sum_w = sq_w = 0.0
+        has_self = False
+        parent_acc: Dict[int, List[float]] = {}
+        parent_get = parent_acc.get
+        for s_id in sources:
+            rec = src_all[s_id]
+            gs = rec[0]
+            k = gs.get(u, 0.0) + gs.get(v, 0.0)
+            if not k:
+                continue
+            p = rec[1]
+            t = rec[2] * k
+            if p == u or p == v:
+                sum_w += t
+                sq_w += t * k
+                has_self = True
+                continue
+            acc = parent_get(p)
+            if acc is None:
+                parent_acc[p] = [t, t * k]
+            else:
+                acc[0] += t
+                acc[1] += t * k
+
+        sq_new_w = 0.0
+        for s, sq in merged.values():
+            sq_new_w += sq - (s * s) / count_w
+        if has_self:
+            sq_new_w += sq_w - (sum_w * sum_w) / count_w
+        cluster_sq = self.cluster_sq
+        errd = sq_new_w - cluster_sq[u] - cluster_sq[v]
+
+        in_edges_removed = 0
+        for p, acc in parent_acc.items():
+            count_p = count[p]
+            old_sq = 0.0
+            old_dims = 0
+            out_p = out_stats[p]
+            stats = out_p.get(u)
+            if stats is not None:
+                old_sq += stats[1] - (stats[0] * stats[0]) / count_p
+                old_dims += 1
+            stats = out_p.get(v)
+            if stats is not None:
+                old_sq += stats[1] - (stats[0] * stats[0]) / count_p
+                old_dims += 1
+            errd += (acc[1] - (acc[0] * acc[0]) / count_p) - old_sq
+            in_edges_removed += old_dims - 1
+
+        out_edges_old = len(out_u) + len(out_v)
+        out_edges_new = len(merged) + (1 if has_self else 0)
+        edges_removed = (out_edges_old - out_edges_new) + in_edges_removed
+        return errd, NODE_BYTES + EDGE_BYTES * edges_removed
+
+    def evaluate_merge_reference(self, u: int, v: int) -> MergeResult:
+        """The seed implementation of :meth:`evaluate_merge`, verbatim.
+
+        Kept as the ground truth the optimized scorer is proven against
+        (property tests assert bitwise-equal ``errd``/``sized``) and as the
+        scoring path of the ``reference`` build mode that the benchmark
+        feed uses for its "before" measurements.
+        """
         if u == v:
             raise ValueError("cannot merge a cluster with itself")
         count_w = self.count[u] + self.count[v]
@@ -191,10 +307,49 @@ class MergePartition:
         out_edges_new = len(merged) + (1 if has_self else 0)
         edges_removed = (out_edges_old - out_edges_new) + in_edges_removed
         sized = NODE_BYTES + EDGE_BYTES * edges_removed
-        # errd can be legitimately negative: merging nodes whose dimensions
-        # collapse (mutual edges, or a parent's two anti-correlated
-        # dimensions becoming one) may reduce the total squared error.
         return MergeResult(errd, sized)
+
+    # ------------------------------------------------------------------
+    # Versioned score memoization
+    # ------------------------------------------------------------------
+
+    def enable_memo(self) -> None:
+        """Start memoizing merge scores under the version stamps.
+
+        A memo entry ``(u, v) -> (ver_u, ver_v, ratio, errd, sized)`` is
+        valid while both operands keep the versions it was computed at —
+        the exact invalidation discipline the TSBUILD heap already relies
+        on (``apply_merge`` bumps the stamp of the merged cluster, its
+        parents, and its children, which covers every input of
+        ``_eval_raw``).  Stale entries are overwritten in place, so the
+        memo is bounded by the number of distinct pairs ever scored.
+        """
+        if self.merge_memo is None:
+            self.merge_memo = {}
+
+    def scored_merge(self, u: int, v: int) -> ScoredMerge:
+        """Memo-aware scoring: ``(ratio, errd, sized)`` for merging u, v.
+
+        Falls back to plain scoring when the memo is disabled.  Hits are
+        the "skipped rescores" TSBUILD reports as ``tsbuild.memo_hits``.
+        """
+        memo = self.merge_memo
+        if memo is None:
+            errd, sized = self._eval_raw(u, v)
+            return errd / sized, errd, sized
+        version = self.version
+        ver_u = version.get(u, 0)
+        ver_v = version.get(v, 0)
+        key = (u, v)
+        entry = memo.get(key)
+        if entry is not None and entry[0] == ver_u and entry[1] == ver_v:
+            self.memo_hits += 1
+            return entry[2], entry[3], entry[4]
+        self.memo_misses += 1
+        errd, sized = self._eval_raw(u, v)
+        ratio = errd / sized
+        memo[key] = (ver_u, ver_v, ratio, errd, sized)
+        return ratio, errd, sized
 
     # ------------------------------------------------------------------
     # Applying a merge
@@ -215,8 +370,10 @@ class MergePartition:
         self.in_sources[u] = src_union
 
         # 2. Absorb v's members.
+        src = self.src
         for s_id in self.members[v]:
             self.assign[s_id] = u
+            src[s_id][1] = u
         self.members[u] |= self.members.pop(v)
         self.count[u] += self.count.pop(v)
         self.cluster_depth[u] = max(self.cluster_depth[u], self.cluster_depth.pop(v))

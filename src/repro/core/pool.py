@@ -13,13 +13,32 @@ with a locality window: group members are sorted by a cheap structural key
 (out-degree, total child count, extent size) and each node is paired only
 with its ``pair_window`` nearest neighbours.  ``pair_window=None`` restores
 the exhaustive behaviour (see DESIGN.md).
+
+Performance machinery (docs/PERFORMANCE.md):
+
+* :class:`PoolState` persists the label/depth grouping and the structural-
+  key cache across pool regenerations, so a regeneration no longer rebuilds
+  both from scratch;
+* within one call, each label's partner list (and its key-sorted variant)
+  is accumulated level by level with linear merges instead of the seed's
+  per-level re-sort;
+* ``memoize=True`` scores through the partition's versioned merge memo, so
+  pairs whose neighbourhood is unchanged since the previous regeneration
+  are not re-scored;
+* ``workers > 1`` fans the miss-scoring across a fork-based process pool,
+  one task per (label, depth) group, merging results into the same
+  deterministic bounded-best structure.
+
+All variants emit the *same candidate set* as the seed implementation
+(:func:`create_pool_reference`): candidate selection in the bounded heap is
+a top-``Uh`` under a total order, hence independent of scoring order.
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.partition import MergePartition
 
@@ -34,7 +53,12 @@ def _structural_key(partition: MergePartition, cid: int) -> Tuple[float, float, 
 
 
 class _BoundedBest:
-    """Keeps the ``limit`` entries with the smallest ratio."""
+    """Keeps the ``limit`` entries with the smallest ratio.
+
+    Selection is a top-``limit`` under the *total* order of the (negated)
+    entry tuples, so the retained set does not depend on push order — the
+    property the incremental and parallel generation paths rely on.
+    """
 
     def __init__(self, limit: int) -> None:
         self.limit = limit
@@ -57,11 +81,216 @@ class _BoundedBest:
         return [(-nratio, errd, sized, u, v) for nratio, errd, sized, u, v in self._heap]
 
 
+class PoolState:
+    """Incrementally maintained CREATEPOOL inputs.
+
+    Persists, across pool regenerations of one build:
+
+    * ``groups``: label -> depth -> set of live cluster ids (the grouping
+      the seed rebuilt from ``cluster_label`` on every call);
+    * ``max_depth``: an upper bound on live cluster depths (merges never
+      raise it past the initial maximum);
+    * a structural-key cache validated by the partition's version stamps.
+
+    The owning builder must report every applied merge via
+    :meth:`on_merge`; :meth:`rebuilt_groups` lets tests audit the
+    incremental state against a from-scratch rebuild.
+    """
+
+    __slots__ = ("groups", "max_depth", "_keys")
+
+    def __init__(self, partition: MergePartition) -> None:
+        groups: Dict[str, Dict[int, Set[int]]] = {}
+        max_depth = 0
+        depth_of = partition.cluster_depth
+        for cid, label in partition.cluster_label.items():
+            depth = depth_of[cid]
+            groups.setdefault(label, {}).setdefault(depth, set()).add(cid)
+            if depth > max_depth:
+                max_depth = depth
+        self.groups = groups
+        self.max_depth = max_depth
+        self._keys: Dict[int, Tuple[int, Tuple[float, float, int]]] = {}
+
+    def structural_key(self, partition: MergePartition, cid: int):
+        version = partition.version.get(cid, 0)
+        cached = self._keys.get(cid)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        key = _structural_key(partition, cid)
+        self._keys[cid] = (version, key)
+        return key
+
+    def on_merge(
+        self,
+        label_u: str,
+        label_v: str,
+        u: int,
+        v: int,
+        depth_u: int,
+        depth_v: int,
+        new_depth: int,
+    ) -> None:
+        """Update the grouping after ``v`` was merged into ``u``."""
+        buckets_v = self.groups.get(label_v)
+        if buckets_v is not None:
+            bucket = buckets_v.get(depth_v)
+            if bucket is not None:
+                bucket.discard(v)
+                if not bucket:
+                    del buckets_v[depth_v]
+        if new_depth != depth_u:
+            buckets_u = self.groups.get(label_u)
+            if buckets_u is not None:
+                bucket = buckets_u.get(depth_u)
+                if bucket is not None:
+                    bucket.discard(u)
+                    if not bucket:
+                        del buckets_u[depth_u]
+                buckets_u.setdefault(new_depth, set()).add(u)
+        self._keys.pop(v, None)
+
+    def rebuilt_groups(self, partition: MergePartition) -> Dict[str, Dict[int, Set[int]]]:
+        """A from-scratch grouping for consistency audits (tests only)."""
+        return PoolState(partition).groups
+
+
+class _LabelAccumulator:
+    """Per-label partner list, accumulated level by level within one call."""
+
+    __slots__ = ("plain", "keyed", "keys")
+
+    def __init__(self) -> None:
+        self.plain: List[int] = []
+        # Lazily built once the group outgrows the pair window; kept as two
+        # parallel sorted lists ((key, cid) pairs and bare keys for bisect).
+        self.keyed: Optional[List[Tuple[Tuple[float, float, int], int]]] = None
+        self.keys: Optional[List[Tuple[float, float, int]]] = None
+
+
+def _merge_keyed(older, newer):
+    """Linear merge of two (key, cid)-sorted lists; returns (keyed, keys)."""
+    merged: List[Tuple[Tuple[float, float, int], int]] = []
+    append = merged.append
+    i = j = 0
+    len_a, len_b = len(older), len(newer)
+    while i < len_a and j < len_b:
+        if older[i] <= newer[j]:
+            append(older[i])
+            i += 1
+        else:
+            append(newer[j])
+            j += 1
+    if i < len_a:
+        merged.extend(older[i:])
+    if j < len_b:
+        merged.extend(newer[j:])
+    return merged, [k for k, _ in merged]
+
+
+def _level_pairs(
+    news: List[int],
+    acc: _LabelAccumulator,
+    pair_window: Optional[int],
+    key_of,
+) -> List[Tuple[int, int]]:
+    """Pairs (a, b), a < b, joining this level's ``news`` into the group.
+
+    Mirrors the seed ``_pair_up`` semantics: every new node is paired with
+    all partners of depth <= level (exhaustive mode) or with its
+    ``pair_window`` nearest neighbours by structural key (windowed mode).
+    Updates ``acc`` with the new nodes as a side effect.
+    """
+    plain = acc.plain
+    total = len(plain) + len(news)
+    pairs: List[Tuple[int, int]] = []
+    if pair_window is None or total <= pair_window + 1:
+        for i, a in enumerate(news):
+            for b in plain:
+                pairs.append((a, b) if a < b else (b, a))
+            for b in news[i + 1:]:
+                pairs.append((a, b) if a < b else (b, a))
+        plain.extend(news)
+        return pairs
+
+    news_keyed = sorted((key_of(a), a) for a in news)
+    if acc.keyed is None:
+        acc.keyed = sorted((key_of(c), c) for c in plain)
+        acc.keys = [k for k, _ in acc.keyed]
+    acc.keyed, acc.keys = _merge_keyed(acc.keyed, news_keyed)
+    plain.extend(news)
+
+    keys, order = acc.keys, acc.keyed
+    half = max(1, pair_window // 2)
+    size = len(order)
+    seen: Set[Tuple[int, int]] = set()
+    for key, a in news_keyed:
+        pos = bisect_left(keys, key)
+        lo = 0 if pos <= half else pos - half
+        hi = min(size, pos + half + 1)
+        for _, b in order[lo:hi]:
+            if a == b:
+                continue
+            pair = (a, b) if a < b else (b, a)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            pairs.append(pair)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Parallel scoring (workers > 1): fork-based process pool
+# ----------------------------------------------------------------------
+
+_WORKER_PARTITION: Optional[MergePartition] = None
+
+
+def _worker_init(partition: MergePartition) -> None:
+    global _WORKER_PARTITION
+    _WORKER_PARTITION = partition
+
+
+def _worker_score(pairs: List[Tuple[int, int]]) -> List[PoolEntry]:
+    part = _WORKER_PARTITION
+    raw = part._eval_raw
+    out: List[PoolEntry] = []
+    append = out.append
+    for u, v in pairs:
+        errd, sized = raw(u, v)
+        append((errd / sized, errd, sized, u, v))
+    return out
+
+
+def _make_worker_pool(partition: MergePartition, workers: int):
+    """A fork-context pool whose workers share ``partition`` by COW memory.
+
+    Returns None when fork is unavailable (caller falls back to serial).
+    """
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    return ctx.Pool(processes=workers, initializer=_worker_init,
+                    initargs=(partition,))
+
+
+# ----------------------------------------------------------------------
+# Optimized CREATEPOOL
+# ----------------------------------------------------------------------
+
+
 def create_pool(
     partition: MergePartition,
     heap_upper: int,
     pair_window: Optional[int] = 32,
     stop_when_full: bool = False,
+    *,
+    state: Optional[PoolState] = None,
+    memoize: bool = False,
+    workers: int = 1,
 ) -> List[PoolEntry]:
     """Generate up to ``heap_upper`` scored merge candidates, bottom-up.
 
@@ -73,6 +302,157 @@ def create_pool(
     considers upper-level merges and leaves redundancy there (see the
     pool ablation benchmark); scanning costs the same asymptotics and
     strictly improves the candidate set.
+
+    ``state`` reuses an incrementally maintained :class:`PoolState`
+    instead of regrouping from scratch; ``memoize`` routes scoring through
+    the partition's versioned merge memo; ``workers > 1`` scores memo
+    misses on a process pool.  All combinations return the same candidate
+    set (property-tested in tests/test_build_equivalence.py).
+    """
+    best = _BoundedBest(heap_upper)
+
+    if state is not None:
+        groups: Iterable[Dict[int, Iterable[int]]] = state.groups.values()
+        max_depth = state.max_depth
+
+        def key_of(cid: int):
+            return state.structural_key(partition, cid)
+
+    else:
+        scratch: Dict[str, Dict[int, List[int]]] = {}
+        max_depth = 0
+        depth_of = partition.cluster_depth
+        for cid, label in partition.cluster_label.items():
+            depth = depth_of[cid]
+            scratch.setdefault(label, {}).setdefault(depth, []).append(cid)
+            if depth > max_depth:
+                max_depth = depth
+        groups = scratch.values()
+        key_cache: Dict[int, Tuple[float, float, int]] = {}
+
+        def key_of(cid: int):
+            key = key_cache.get(cid)
+            if key is None:
+                key = key_cache[cid] = _structural_key(partition, cid)
+            return key
+
+    # Labels where any merge is possible at all.
+    active = [
+        (buckets, _LabelAccumulator())
+        for buckets in groups
+        if sum(len(b) for b in buckets.values()) >= 2
+    ]
+
+    memo = partition.merge_memo if memoize else None
+    version = partition.version
+    raw = partition._eval_raw
+
+    # The bounded-best push, inlined for the million-candidate hot loops.
+    heap = best._heap
+    heappush, heapreplace = heapq.heappush, heapq.heapreplace
+
+    worker_pool = None
+    if workers and workers > 1:
+        worker_pool = _make_worker_pool(partition, workers)
+    try:
+        for level in range(max_depth + 1):
+            tasks: List[List[Tuple[int, int]]] = []
+            for buckets, acc in active:
+                news = buckets.get(level)
+                if not news:
+                    continue
+                pairs = _level_pairs(
+                    list(news) if not isinstance(news, list) else news,
+                    acc, pair_window, key_of,
+                )
+                if not pairs:
+                    continue
+                if memo is not None:
+                    # Serve memo hits inline; only misses need scoring.
+                    hits = 0
+                    misses: List[Tuple[int, int]] = []
+                    miss = misses.append
+                    for pair in pairs:
+                        entry = memo.get(pair)
+                        if (
+                            entry is not None
+                            and entry[0] == version[pair[0]]
+                            and entry[1] == version[pair[1]]
+                        ):
+                            hits += 1
+                            item = (-entry[2], entry[3], entry[4],
+                                    pair[0], pair[1])
+                            if len(heap) < heap_upper:
+                                heappush(heap, item)
+                            elif item > heap[0]:
+                                heapreplace(heap, item)
+                        else:
+                            miss(pair)
+                    partition.memo_hits += hits
+                    pairs = misses
+                    if not pairs:
+                        continue
+                if worker_pool is not None:
+                    tasks.append(pairs)
+                    continue
+                if memo is not None:
+                    partition.memo_misses += len(pairs)
+                    for u, v in pairs:
+                        errd, sized = raw(u, v)
+                        ratio = errd / sized
+                        memo[(u, v)] = (version[u], version[v],
+                                        ratio, errd, sized)
+                        item = (-ratio, errd, sized, u, v)
+                        if len(heap) < heap_upper:
+                            heappush(heap, item)
+                        elif item > heap[0]:
+                            heapreplace(heap, item)
+                else:
+                    for u, v in pairs:
+                        errd, sized = raw(u, v)
+                        item = (-(errd / sized), errd, sized, u, v)
+                        if len(heap) < heap_upper:
+                            heappush(heap, item)
+                        elif item > heap[0]:
+                            heapreplace(heap, item)
+            if worker_pool is not None and tasks:
+                for chunk in worker_pool.map(_worker_score, tasks):
+                    if memo is not None:
+                        partition.memo_misses += len(chunk)
+                    for ratio, errd, sized, u, v in chunk:
+                        if memo is not None:
+                            memo[(u, v)] = (version[u], version[v],
+                                            ratio, errd, sized)
+                        item = (-ratio, errd, sized, u, v)
+                        if len(heap) < heap_upper:
+                            heappush(heap, item)
+                        elif item > heap[0]:
+                            heapreplace(heap, item)
+            if stop_when_full and len(best) >= heap_upper:
+                break
+    finally:
+        if worker_pool is not None:
+            worker_pool.close()
+            worker_pool.join()
+    return best.entries()
+
+
+# ----------------------------------------------------------------------
+# Seed implementation (reference mode)
+# ----------------------------------------------------------------------
+
+
+def create_pool_reference(
+    partition: MergePartition,
+    heap_upper: int,
+    pair_window: Optional[int] = 32,
+    stop_when_full: bool = False,
+) -> List[PoolEntry]:
+    """The seed CREATEPOOL, verbatim: regroups and re-sorts on every call.
+
+    Scoring goes through :meth:`MergePartition.evaluate_merge_reference`.
+    Kept as the "before" arm of the benchmark feed and as the oracle the
+    optimized :func:`create_pool` is equivalence-tested against.
     """
     best = _BoundedBest(heap_upper)
 
@@ -153,5 +533,5 @@ def _pair_up(
 
 
 def _score(partition: MergePartition, u: int, v: int, best: _BoundedBest) -> None:
-    result = partition.evaluate_merge(u, v)
+    result = partition.evaluate_merge_reference(u, v)
     best.push((result.ratio, result.errd, result.sized, u, v))

@@ -1,0 +1,119 @@
+"""Canonical-query LRU caching for serving approximate answers.
+
+Interactive workloads repeat queries (dashboards, refinement loops), and a
+TreeSketch is frozen once built: ``eval_query`` / ``estimate_selectivity``
+are pure functions of ``(sketch, query)``.  :class:`QueryCache` therefore
+memoizes both behind the query's *canonical text form* -- ``str(query)``
+renders the twig deterministically, so structurally identical queries
+parsed from different strings share one entry.
+
+Result sketches are returned by reference: every consumer in this codebase
+(:func:`repro.core.estimate.estimate_selectivity`,
+:func:`repro.core.expand.expand_result`) treats them as read-only, so a
+cached :class:`ResultSketch` is safely shared across calls.
+
+Cache traffic is reported through the PR-1 observability registry as
+``eval.cache.hits`` / ``eval.cache.misses`` / ``eval.cache.evictions``.
+See docs/PERFORMANCE.md for sizing guidance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import ResultSketch, eval_query
+from repro.core.treesketch import TreeSketch
+from repro.obs import get_metrics
+from repro.query.twig import TwigQuery
+
+
+class QueryCache:
+    """LRU cache of query results over one frozen :class:`TreeSketch`.
+
+    ``maxsize`` bounds the number of distinct canonical queries retained
+    (least recently used evicted first); ``maxsize=None`` is unbounded.
+    The sketch must not be mutated while the cache is live -- build first,
+    then serve.
+    """
+
+    def __init__(self, sketch: TreeSketch, maxsize: Optional[int] = 256) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        self.sketch = sketch
+        self.maxsize = maxsize
+        # canonical text -> [ResultSketch, Optional[float] selectivity]
+        self._entries: "OrderedDict[str, list]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _entry(self, query: TwigQuery) -> list:
+        metrics = get_metrics()
+        key = str(query)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            metrics.counter("eval.cache.hits").inc()
+            return entry
+        self.misses += 1
+        metrics.counter("eval.cache.misses").inc()
+        entry = [eval_query(self.sketch, query), None]
+        self._entries[key] = entry
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            metrics.counter("eval.cache.evictions").inc()
+        return entry
+
+    def result(self, query: TwigQuery) -> ResultSketch:
+        """The (cached) result sketch of ``query``; treat as read-only."""
+        return self._entry(query)[0]
+
+    def selectivity(self, query: TwigQuery) -> float:
+        """The (cached) estimated binding-tuple count of ``query``."""
+        entry = self._entry(query)
+        if entry[1] is None:
+            entry[1] = estimate_selectivity(entry[0])
+        return entry[1]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> dict:
+        """Hit/miss/eviction totals and current occupancy, for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+def resolve_cache(
+    synopsis, cache: "Optional[QueryCache | int]"
+) -> Optional[QueryCache]:
+    """Normalize a ``cache`` argument: pass through, build, or disable.
+
+    Accepts an existing :class:`QueryCache`, an int size (a fresh cache of
+    that capacity), or None.  Returns None for synopses without the
+    TreeSketch evaluation interface (the XSketch baseline estimates
+    through its own code path).
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, QueryCache):
+        return cache
+    if not isinstance(synopsis, TreeSketch):
+        return None
+    return QueryCache(synopsis, maxsize=int(cache))

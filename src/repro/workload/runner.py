@@ -14,11 +14,12 @@ Both accept any synopsis with the TreeSketch evaluation interface
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.estimate import estimate_selectivity
 from repro.core.evaluate import eval_query
 from repro.core.expand import ExpansionLimitError, expand_result
+from repro.core.qcache import QueryCache, resolve_cache
 from repro.core.treesketch import TreeSketch
 from repro.engine.nesting import NestingTree
 from repro.metrics.esd import ESDCalculator, esd_nesting_trees
@@ -48,20 +49,30 @@ class AnswerQuality:
     seconds: float
 
 
-def _estimator_for(synopsis) -> Callable[[TwigQuery], float]:
+def _estimator_for(
+    synopsis, cache: Optional[QueryCache] = None
+) -> Callable[[TwigQuery], float]:
     if isinstance(synopsis, TwigXSketch):
         return lambda q: xsketch_selectivity(synopsis, q)
     if isinstance(synopsis, TreeSketch):
+        if cache is not None:
+            return cache.selectivity
         return lambda q: estimate_selectivity(eval_query(synopsis, q))
     raise TypeError(f"unsupported synopsis type {type(synopsis).__name__}")
 
 
-def _answerer_for(synopsis, seed: int, max_nodes: int):
+def _answerer_for(synopsis, seed: int, max_nodes: int,
+                  cache: Optional[QueryCache] = None):
     if isinstance(synopsis, TwigXSketch):
         return lambda q: sampled_answer(synopsis, q, seed=seed, max_nodes=max_nodes)
     if isinstance(synopsis, TreeSketch):
         # Variance-aware expansion: the synopsis' sufficient statistics
-        # shape per-occurrence counts (see repro.core.expand).
+        # shape per-occurrence counts (see repro.core.expand).  Cached
+        # result sketches are read-only inputs to the expansion.
+        if cache is not None:
+            return lambda q: expand_result(
+                cache.result(q), max_nodes=max_nodes, sketch=synopsis
+            )
         return lambda q: expand_result(
             eval_query(synopsis, q), max_nodes=max_nodes, sketch=synopsis
         )
@@ -72,9 +83,15 @@ def run_selectivity(
     synopsis,
     workload: Workload,
     queries: Optional[Sequence[int]] = None,
+    cache: Optional[Union[QueryCache, int]] = None,
 ) -> SelectivityQuality:
-    """Average sanity-bounded relative error over (a slice of) a workload."""
-    estimator = _estimator_for(synopsis)
+    """Average sanity-bounded relative error over (a slice of) a workload.
+
+    ``cache`` enables canonical-query LRU caching on TreeSketch synopses:
+    pass an int capacity for a fresh :class:`QueryCache` or an existing
+    cache to share across runs (ignored for other synopsis types).
+    """
+    estimator = _estimator_for(synopsis, resolve_cache(synopsis, cache))
     indices = list(queries) if queries is not None else list(range(len(workload)))
     clock = get_clock()
     latencies = get_metrics().histogram("workload.selectivity.query_seconds")
@@ -106,14 +123,18 @@ def run_answer_quality(
     calculator: Optional[ESDCalculator] = None,
     seed: int = 0,
     max_nodes: int = 3_000_000,
+    cache: Optional[Union[QueryCache, int]] = None,
 ) -> AnswerQuality:
     """Average ESD between true and approximate nesting trees.
 
     Queries whose approximate answer exceeds ``max_nodes`` are counted in
     ``failures`` and skipped (this parallels the practical cut-off any
-    interactive system applies to runaway previews).
+    interactive system applies to runaway previews).  ``cache`` is as in
+    :func:`run_selectivity` (result sketches cached; expansion still runs
+    per call, as it is seed-dependent).
     """
-    answerer = _answerer_for(synopsis, seed, max_nodes)
+    answerer = _answerer_for(synopsis, seed, max_nodes,
+                             resolve_cache(synopsis, cache))
     calc = calculator or ESDCalculator()
     indices = list(queries) if queries is not None else list(range(len(workload)))
     clock = get_clock()

@@ -1,0 +1,187 @@
+"""Equivalence proofs for the optimized TSBUILD paths (docs/PERFORMANCE.md).
+
+The perf overhaul (versioned score memoization, incremental CREATEPOOL
+state, parallel candidate scoring, the single-pass scorer) must be
+*output-preserving*: every optimized builder configuration has to emit a
+sketch identical to the seed implementation -- same nodes, counts, edge
+statistics, and total squared error.  These tests are the contract that
+lets future perf work touch the hot paths safely.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.build import TSBuildOptions, TreeSketchBuilder
+from repro.core.partition import MergePartition
+from repro.core.pool import PoolState, create_pool, create_pool_reference
+from repro.core.stable import build_stable
+from repro.datagen.datasets import TX_DATASETS
+from tests.conftest import make_random_tree
+
+
+def _sketch_state(sketch):
+    """Everything that defines a sketch, in comparable form."""
+    return (
+        dict(sketch.label),
+        dict(sketch.count),
+        dict(sketch.stats),
+        {k: dict(v) for k, v in sketch.out.items()},
+        sketch.root_id,
+    )
+
+
+def _assert_same_sketch(a, b):
+    assert _sketch_state(a) == _sketch_state(b)
+
+
+OPTIMIZED_VARIANTS = {
+    "default": TSBuildOptions(),
+    "memo_only": TSBuildOptions(incremental_pool=False),
+    "incremental_only": TSBuildOptions(memoize=False),
+    "plain_scorer": TSBuildOptions(memoize=False, incremental_pool=False),
+    "workers": TSBuildOptions(workers=2),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(OPTIMIZED_VARIANTS))
+@pytest.mark.parametrize("seed,budget_kb", [(7, 6), (21, 3), (99, 10)])
+def test_optimized_builders_match_reference(variant, seed, budget_kb):
+    rng = random.Random(seed)
+    stable = build_stable(make_random_tree(rng, 600))
+    budget = budget_kb * 1024
+    ref = TreeSketchBuilder(stable, TSBuildOptions(reference=True)).compress_to(budget)
+    opt = TreeSketchBuilder(stable, OPTIMIZED_VARIANTS[variant]).compress_to(budget)
+    _assert_same_sketch(ref, opt)
+
+
+@pytest.mark.parametrize("name", sorted(TX_DATASETS))
+def test_optimized_builders_match_reference_on_datasets(name):
+    stable = build_stable(TX_DATASETS[name]())
+    for budget in (12 * 1024, 5 * 1024):
+        ref = TreeSketchBuilder(
+            stable, TSBuildOptions(reference=True)
+        ).compress_to(budget)
+        opt = TreeSketchBuilder(stable, TSBuildOptions()).compress_to(budget)
+        par = TreeSketchBuilder(stable, TSBuildOptions(workers=2)).compress_to(budget)
+        _assert_same_sketch(ref, opt)
+        _assert_same_sketch(ref, par)
+
+
+def test_budget_sweep_matches_reference():
+    # Reused builders (decreasing budgets) exercise pool-state persistence
+    # across compress_to calls, not just within one.
+    rng = random.Random(5)
+    stable = build_stable(make_random_tree(rng, 500))
+    ref_builder = TreeSketchBuilder(stable, TSBuildOptions(reference=True))
+    opt_builder = TreeSketchBuilder(stable, TSBuildOptions())
+    for budget_kb in (10, 6, 3):
+        ref = ref_builder.compress_to(budget_kb * 1024)
+        opt = opt_builder.compress_to(budget_kb * 1024)
+        _assert_same_sketch(ref, opt)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(20, 200))
+def test_fast_scorer_is_bitwise_identical(seed, size):
+    """_eval_raw must equal the seed scorer *bitwise* on every pair.
+
+    Bit-equality (not approximate equality) is what makes the memoized
+    and parallel builders emit identical sketches: any rounding drift
+    could flip a heap comparison and change the merge sequence.
+    """
+    rng = random.Random(seed)
+    part = MergePartition(build_stable(make_random_tree(rng, size)))
+    pool = create_pool_reference(part, heap_upper=50, pair_window=None)
+    # Walk a few merges so scoring also covers post-merge states.
+    for _ in range(3):
+        if not pool:
+            break
+        _ratio, _errd, _sized, u, v = pool[0]
+        for a, b in [(u, v), (v, u)]:
+            ref = part.evaluate_merge_reference(a, b)
+            errd, sized = part._eval_raw(a, b)
+            assert (errd, sized) == (ref.errd, ref.sized)
+        part.apply_merge(u, v)
+        pool = create_pool_reference(part, heap_upper=50, pair_window=None)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_create_pool_variants_agree(seed):
+    """All create_pool configurations return the same candidate set."""
+    rng = random.Random(seed)
+    part = MergePartition(build_stable(make_random_tree(rng, 300)))
+    for pair_window in (None, 8):
+        ref = create_pool_reference(part, 60, pair_window)
+        base = create_pool(part, 60, pair_window)
+        state = PoolState(part)
+        incr = create_pool(part, 60, pair_window, state=state)
+        part.enable_memo()
+        memo1 = create_pool(part, 60, pair_window, state=state, memoize=True)
+        memo2 = create_pool(part, 60, pair_window, state=state, memoize=True)
+        assert part.memo_hits > 0  # second pass served from the memo
+        for other in (base, incr, memo1, memo2):
+            assert sorted(other) == sorted(ref)
+        part.merge_memo = None
+        part.memo_hits = part.memo_misses = 0
+
+
+def test_parallel_pool_matches_serial():
+    rng = random.Random(11)
+    part = MergePartition(build_stable(make_random_tree(rng, 400)))
+    serial = create_pool(part, 80, 16)
+    parallel = create_pool(part, 80, 16, workers=2)
+    assert sorted(serial) == sorted(parallel)
+
+
+def test_pool_state_tracks_merges():
+    """Incrementally maintained grouping == from-scratch regrouping."""
+    rng = random.Random(3)
+    part = MergePartition(build_stable(make_random_tree(rng, 400)))
+    state = PoolState(part)
+    for _ in range(25):
+        pool = create_pool(part, 10, state=state)
+        if not pool:
+            break
+        _ratio, _errd, _sized, u, v = min(pool)
+        label_u, label_v = part.cluster_label[u], part.cluster_label[v]
+        depth_u, depth_v = part.cluster_depth[u], part.cluster_depth[v]
+        part.apply_merge(u, v)
+        state.on_merge(label_u, label_v, u, v, depth_u, depth_v,
+                       part.cluster_depth[u])
+        fresh = state.rebuilt_groups(part)
+        live = {
+            label: {d: set(b) for d, b in buckets.items() if b}
+            for label, buckets in state.groups.items()
+        }
+        live = {label: buckets for label, buckets in live.items() if buckets}
+        assert live == fresh
+
+
+def test_memo_invalidated_by_version_bumps():
+    """A merge must invalidate memo entries touching its neighbourhood."""
+    rng = random.Random(17)
+    part = MergePartition(build_stable(make_random_tree(rng, 300)))
+    part.enable_memo()
+    pool = create_pool_reference(part, 200, None)
+    assert pool
+    scored = {}
+    for _ratio, _errd, _sized, u, v in pool:
+        scored[(u, v)] = part.scored_merge(u, v)
+    _ratio, _errd, _sized, mu, mv = min(pool)
+    part.apply_merge(mu, mv)
+    bumped = {mu} | part.parents_of(mu) | set(part.out_stats[mu])
+    for (u, v), before in scored.items():
+        if u == mv or v == mv or mu in (u, v):
+            continue
+        if not part.alive(u) or not part.alive(v):
+            continue
+        after = part.scored_merge(u, v)
+        fresh = part._eval_raw(u, v)
+        assert after[1] == fresh[0] and after[2] == fresh[1]
+        if u not in bumped and v not in bumped:
+            # Untouched neighbourhood: the memo may (and does) serve the
+            # old entry, which must still equal a fresh computation.
+            assert after == before

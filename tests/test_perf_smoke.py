@@ -1,0 +1,81 @@
+"""Perf smoke test: pins hot-path work counters against budgeted ceilings.
+
+Run with ``pytest -m perf``.  The exact wall-clock of a build varies by
+machine, but the *amount of work* TSBUILD and the eval cache do on a fixed
+dataset is deterministic -- so we pin the observability counters instead
+of seconds.  If a future change pushes a counter past its ceiling (or a
+cache stops hitting), the perf win of docs/PERFORMANCE.md has regressed
+and this test fails before any benchmark needs to run.
+
+Ceilings are the values measured at the time of the perf overhaul plus
+~25% headroom (see BENCH_build.json for the measured baseline).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.build import build_treesketch
+from repro.core.qcache import QueryCache
+from repro.core.stable import build_stable
+from repro.datagen.datasets import TX_DATASETS
+from repro.workload.runner import run_selectivity
+from repro.workload.workload import make_workload
+
+pytestmark = pytest.mark.perf
+
+BUDGET_BYTES = 8 * 1024
+NUM_QUERIES = 20
+
+# Measured on IMDB-TX at 8 KB: heap_pops 24482, stale 18932,
+# memo_misses 50186, memo_hits 12880, merges 1450, 17 unique queries.
+CEILINGS = {
+    "counters.tsbuild.heap_pops": 30_000,
+    "counters.tsbuild.stale_recomputations": 24_000,
+    "counters.tsbuild.memo_misses": 62_000,
+    "counters.tsbuild.merges_applied": 1_800,
+    "counters.tsbuild.pool_regenerations": 4,
+}
+FLOORS = {
+    # Memoization must actually absorb rescoring work.
+    "counters.tsbuild.memo_hits": 9_000,
+}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    tree = TX_DATASETS["IMDB-TX"]()
+    stable = build_stable(tree)
+    with obs.observed() as registry:
+        sketch = build_treesketch(stable, BUDGET_BYTES)
+        workload = make_workload(tree, num_queries=NUM_QUERIES, seed=3,
+                                 stable=stable)
+        cache = QueryCache(sketch, maxsize=64)
+        run_selectivity(sketch, workload, cache=cache)
+        run_selectivity(sketch, workload, cache=cache)
+    return obs.report.flatten_snapshot(registry.snapshot())
+
+
+@pytest.mark.parametrize("counter", sorted(CEILINGS))
+def test_build_counter_ceiling(measured, counter):
+    assert measured[counter] <= CEILINGS[counter], (
+        f"{counter} = {measured[counter]} exceeds its perf budget "
+        f"{CEILINGS[counter]}; the TSBUILD fast path has regressed"
+    )
+
+
+@pytest.mark.parametrize("counter", sorted(FLOORS))
+def test_build_counter_floor(measured, counter):
+    assert measured[counter] >= FLOORS[counter], (
+        f"{counter} = {measured[counter]} is below {FLOORS[counter]}; "
+        f"memoization is no longer absorbing rescores"
+    )
+
+
+def test_eval_cache_counters(measured):
+    misses = measured["counters.eval.cache.misses"]
+    hits = measured["counters.eval.cache.hits"]
+    # One miss per distinct canonical query, at most one per issued query.
+    assert misses <= NUM_QUERIES
+    # The second workload pass must be served entirely from the cache.
+    assert hits >= NUM_QUERIES
+    assert measured["counters.eval.queries"] == misses

@@ -1,0 +1,125 @@
+"""Tests for the canonical-query LRU cache (repro.core.qcache)."""
+
+import pytest
+
+from repro import obs
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.qcache import QueryCache, resolve_cache
+from repro.core.stable import build_stable
+from repro.query.parser import parse_twig
+from repro.workload.runner import run_selectivity
+from repro.xmltree.tree import XMLTree
+
+
+@pytest.fixture
+def sketch():
+    spec = (
+        "r",
+        [
+            ("a", [("p", ["k", "k"]), "n"]),
+            ("a", [("p", ["k"]), "n", "n"]),
+            ("a", [("b", ["t"])]),
+        ],
+    )
+    tree = XMLTree.from_nested(spec)
+    return build_treesketch(build_stable(tree), 100 * 1024)
+
+
+def test_cached_results_match_uncached(sketch):
+    cache = QueryCache(sketch)
+    for text in ["//a (//p)", "//a[//b] (//p ?)", "//a (//p (//k ?), //n ?)"]:
+        query = parse_twig(text)
+        direct = estimate_selectivity(eval_query(sketch, query))
+        assert cache.selectivity(query) == direct
+        assert cache.selectivity(query) == direct  # served from cache
+
+
+def test_hit_miss_accounting(sketch):
+    cache = QueryCache(sketch)
+    q = parse_twig("//a (//p)")
+    cache.result(q)
+    cache.result(q)
+    cache.selectivity(q)
+    assert cache.misses == 1
+    assert cache.hits == 2
+    assert len(cache) == 1
+
+
+def test_canonical_text_shares_entries(sketch):
+    """Structurally identical queries parsed from different text share."""
+    cache = QueryCache(sketch)
+    a = parse_twig("//a (//p)")
+    b = parse_twig(str(parse_twig("//a (//p)")))
+    assert str(a) == str(b)
+    cache.result(a)
+    cache.result(b)
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_lru_eviction_order(sketch):
+    cache = QueryCache(sketch, maxsize=2)
+    q1, q2, q3 = (parse_twig(t) for t in ["//a", "//p", "//k"])
+    cache.result(q1)
+    cache.result(q2)
+    cache.result(q1)  # q1 now most recent
+    cache.result(q3)  # evicts q2
+    assert cache.evictions == 1
+    cache.result(q2)
+    assert cache.misses == 4  # q2 was re-computed
+
+
+def test_maxsize_validation(sketch):
+    with pytest.raises(ValueError):
+        QueryCache(sketch, maxsize=0)
+    unbounded = QueryCache(sketch, maxsize=None)
+    for text in ["//a", "//p", "//k", "//n", "//b"]:
+        unbounded.result(parse_twig(text))
+    assert unbounded.evictions == 0
+
+
+def test_obs_counters(sketch):
+    with obs.observed() as registry:
+        cache = QueryCache(sketch, maxsize=1)
+        q1, q2 = parse_twig("//a"), parse_twig("//p")
+        cache.result(q1)
+        cache.result(q1)
+        cache.result(q2)
+    flat = obs.report.flatten_snapshot(registry.snapshot())
+    assert flat["counters.eval.cache.hits"] == 1
+    assert flat["counters.eval.cache.misses"] == 2
+    assert flat["counters.eval.cache.evictions"] == 1
+
+
+def test_resolve_cache(sketch):
+    cache = QueryCache(sketch)
+    assert resolve_cache(sketch, cache) is cache
+    built = resolve_cache(sketch, 16)
+    assert isinstance(built, QueryCache) and built.maxsize == 16
+    assert resolve_cache(sketch, None) is None
+    assert resolve_cache(object(), 16) is None
+
+
+def test_runner_with_cache_matches_uncached(sketch):
+    from repro.workload.workload import make_workload
+
+    spec = (
+        "r",
+        [
+            ("a", [("p", ["k", "k"]), "n"]),
+            ("a", [("p", ["k"]), "n", "n"]),
+            ("a", [("b", ["t"])]),
+        ],
+    )
+    tree = XMLTree.from_nested(spec)
+    stable = build_stable(tree)
+    workload = make_workload(tree, num_queries=6, seed=1, stable=stable)
+    plain = run_selectivity(sketch, workload)
+    cache = QueryCache(sketch)
+    # Two passes through the same workload: second is all cache hits.
+    cached_first = run_selectivity(sketch, workload, cache=cache)
+    cached_again = run_selectivity(sketch, workload, cache=cache)
+    assert cached_first.per_query == plain.per_query
+    assert cached_again.per_query == plain.per_query
+    assert cache.hits >= len(workload)
