@@ -10,9 +10,16 @@ Installed as the ``treesketch`` console script::
     treesketch compare  data.xml sketch.json "//a (//p)"
     treesketch workload data.xml --budget-kb 10 --queries 40
     treesketch estimate sketch.json "//a (//p)" --repeat 3
+    treesketch serve sketch.json xmark=xmark.json.gz --port 7077
+    treesketch workload data.xml --server 127.0.0.1:7077 --queries 40
 
 ``build`` accepts either raw XML or a saved stable summary, so the
-expensive parse/summarize step can be done once.
+expensive parse/summarize step can be done once.  Synopsis paths ending
+in ``.gz`` are read/written gzip-compressed.  ``serve`` runs the network
+query daemon of :mod:`repro.serve` (docs/SERVING.md); ``workload
+--server`` replays the generated workload against such a daemon instead
+of evaluating in-process.  ``python -m repro ...`` is equivalent to the
+installed script.
 
 Every subcommand accepts ``--stats`` (print the internal metric counters
 and span timings after the run) and ``--trace FILE`` (dump the span trace
@@ -147,7 +154,7 @@ def cmd_gen_corpus(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
-    from repro.workload.runner import run_selectivity
+    from repro.workload.runner import run_selectivity, run_selectivity_remote
     from repro.workload.workload import make_workload
 
     if args.queries < 1:
@@ -155,10 +162,46 @@ def cmd_workload(args: argparse.Namespace) -> int:
         return 2
     tree = _load_document(args.document)
     stable = build_stable(tree)
-    sketch = build_treesketch(stable, int(args.budget_kb * 1024))
     workload = make_workload(
         tree, num_queries=args.queries, seed=args.seed, stable=stable
     )
+
+    if args.server:
+        # Replay mode: estimates come from a running serve daemon
+        # (docs/SERVING.md); ground truth is still computed locally.
+        from repro.serve.client import ServeClient, ServerError, parse_address
+
+        try:
+            host, port = parse_address(args.server)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        try:
+            with ServeClient(host, port) as client:
+                name = args.sketch_name
+                if name is None:
+                    names = [s["name"] for s in client.list_sketches()]
+                    name = names[0] if len(names) == 1 else None
+                    if name is None and names:
+                        print(f"--sketch-name required; server holds {names}",
+                              file=sys.stderr)
+                        return 2
+                quality = run_selectivity_remote(client, workload, sketch=name)
+        except (OSError, ServerError) as exc:
+            print(f"server replay failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"workload: {len(workload)} queries over {args.document} "
+            f"(seed {args.seed}), served by {host}:{port}"
+            + (f" sketch {name!r}" if name else "")
+        )
+        print(
+            f"avg selectivity error {quality.avg_error:.3f}, "
+            f"{quality.seconds:.3f}s total"
+        )
+        return 0
+
+    sketch = build_treesketch(stable, int(args.budget_kb * 1024))
     cache = None
     if args.eval_cache > 0:
         from repro.core.qcache import QueryCache
@@ -179,6 +222,54 @@ def cmd_workload(args: argparse.Namespace) -> int:
             f"eval cache: {info['hits']} hits, {info['misses']} misses, "
             f"{info['evictions']} evictions ({info['size']}/{info['maxsize']} entries)"
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.registry import SketchRegistry
+    from repro.serve.server import ServeConfig, SketchServer
+
+    registry = SketchRegistry(cache_size=args.cache_size or None)
+    for spec in args.sketches:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = None, spec
+        try:
+            entry = registry.load(path, name=name or None)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load sketch {path!r}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"pinned {entry.name!r}: {entry.sketch.num_nodes} nodes, "
+            f"{entry.sketch.size_bytes() / 1024:.1f} KB ({path})"
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        degrade_watermark=args.degrade_watermark,
+        default_deadline_ms=args.deadline_ms,
+        max_expand_nodes=args.max_expand_nodes,
+        workers=args.workers,
+    )
+
+    async def _run() -> None:
+        server = SketchServer(registry, config)
+        await server.start()
+        host, port = server.address
+        print(f"serving {len(registry)} sketch(es) on {host}:{port} "
+              f"(protocol v1, Ctrl-C to stop)", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
     return 0
 
 
@@ -312,9 +403,40 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--eval-cache", type=int, default=0, metavar="N",
                    help="canonical-query LRU cache capacity (0 = off)")
+    p.add_argument("--server", metavar="HOST:PORT",
+                   help="replay the workload against a running serve daemon "
+                        "instead of evaluating in-process (docs/SERVING.md)")
+    p.add_argument("--sketch-name", metavar="NAME",
+                   help="sketch to query in --server mode "
+                        "(default: the server's only sketch)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_workload)
+
+    p = add_parser("serve",
+                   help="network query daemon over pinned sketches "
+                        "(docs/SERVING.md)")
+    p.add_argument("sketches", nargs="+", metavar="[NAME=]PATH",
+                   help="synopsis JSON (.json or .json.gz) to pin, optionally "
+                        "named (default name: file stem)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077,
+                   help="TCP port (0 = ephemeral; default 7077)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="admission bound; beyond it requests are shed with "
+                        "an `overloaded` error (default 64)")
+    p.add_argument("--degrade-watermark", type=int, default=None,
+                   help="queue depth above which eval degrades to "
+                        "selectivity-only (default max-pending/2)")
+    p.add_argument("--deadline-ms", type=float, default=10_000.0,
+                   help="default per-request deadline (default 10000)")
+    p.add_argument("--max-expand-nodes", type=int, default=200_000,
+                   help="hard cap on expand answer size (default 200000)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="per-sketch query cache capacity (0 = unbounded)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="compute threads (default 1)")
+    p.set_defaults(func=cmd_serve)
 
     p = add_parser("estimate",
                    help="estimate twig selectivities over a synopsis, cached")

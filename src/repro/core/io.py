@@ -4,10 +4,17 @@ A synopsis is only useful if it can be built once and shipped to the
 query-time component, so both summary types serialize to a compact JSON
 document (stable summaries losslessly; TreeSketches including their
 sufficient statistics, so squared error survives the round trip).
+
+Paths ending in ``.gz`` are read and written gzip-compressed
+transparently -- ``save_synopsis(sketch, "xmark.json.gz")`` ships a
+sketch to a serving host at a fraction of the plain-JSON size, and
+``load_synopsis`` (and therefore the serve registry and every CLI
+subcommand that loads a synopsis) accepts either form.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Any, Dict, Union
 
@@ -107,13 +114,20 @@ def synopsis_from_dict(payload: Dict[str, Any]) -> Union[StableSummary, TreeSket
     return synopsis
 
 
+def _open_text(path: str, mode: str):
+    """Open ``path`` for text I/O, gzip-compressed iff it ends in .gz."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def save_synopsis(synopsis: Union[StableSummary, TreeSketch], path: str) -> None:
-    """Write a synopsis to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a synopsis to ``path`` as JSON (gzipped for ``*.gz`` paths)."""
+    with _open_text(path, "w") as handle:
         json.dump(synopsis_to_dict(synopsis), handle, separators=(",", ":"))
 
 
 def load_synopsis(path: str) -> Union[StableSummary, TreeSketch]:
-    """Read a synopsis written by :func:`save_synopsis`."""
-    with open(path, "r", encoding="utf-8") as handle:
+    """Read a synopsis written by :func:`save_synopsis` (``.json[.gz]``)."""
+    with _open_text(path, "r") as handle:
         return synopsis_from_dict(json.load(handle))

@@ -15,10 +15,19 @@ cached :class:`ResultSketch` is safely shared across calls.
 Cache traffic is reported through the PR-1 observability registry as
 ``eval.cache.hits`` / ``eval.cache.misses`` / ``eval.cache.evictions``.
 See docs/PERFORMANCE.md for sizing guidance.
+
+The cache is **concurrency-safe**: the serving daemon
+(:mod:`repro.serve`) hits one instance from its worker pool, so every
+lookup/insert runs under an internal lock.  The lock is held across the
+underlying ``eval_query`` too -- single-flight semantics: concurrent
+requests for the same (or different) queries serialize rather than
+duplicating evaluation work, which is the right trade on the single-core
+hosts this targets.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -45,6 +54,9 @@ class QueryCache:
         self.maxsize = maxsize
         # canonical text -> [ResultSketch, Optional[float] selectivity]
         self._entries: "OrderedDict[str, list]" = OrderedDict()
+        # Guards entries *and* the hit/miss/eviction tallies; reentrant so
+        # selectivity() can call _entry() while holding it.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -54,21 +66,22 @@ class QueryCache:
     def _entry(self, query: TwigQuery) -> list:
         metrics = get_metrics()
         key = str(query)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            metrics.counter("eval.cache.hits").inc()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                metrics.counter("eval.cache.hits").inc()
+                return entry
+            self.misses += 1
+            metrics.counter("eval.cache.misses").inc()
+            entry = [eval_query(self.sketch, query), None]
+            self._entries[key] = entry
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                metrics.counter("eval.cache.evictions").inc()
             return entry
-        self.misses += 1
-        metrics.counter("eval.cache.misses").inc()
-        entry = [eval_query(self.sketch, query), None]
-        self._entries[key] = entry
-        if self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            metrics.counter("eval.cache.evictions").inc()
-        return entry
 
     def result(self, query: TwigQuery) -> ResultSketch:
         """The (cached) result sketch of ``query``; treat as read-only."""
@@ -76,28 +89,32 @@ class QueryCache:
 
     def selectivity(self, query: TwigQuery) -> float:
         """The (cached) estimated binding-tuple count of ``query``."""
-        entry = self._entry(query)
-        if entry[1] is None:
-            entry[1] = estimate_selectivity(entry[0])
-        return entry[1]
+        with self._lock:
+            entry = self._entry(query)
+            if entry[1] is None:
+                entry[1] = estimate_selectivity(entry[0])
+            return entry[1]
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> dict:
         """Hit/miss/eviction totals and current occupancy, for reporting."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
 
 def resolve_cache(

@@ -1,0 +1,45 @@
+"""Network query serving for TreeSketch synopses.
+
+The paper's promise is *build once, answer in a fraction of a second*;
+this package is the "answer" half as a network daemon: an asyncio TCP
+server speaking a newline-delimited JSON protocol over a registry of
+pinned sketches, with per-request deadlines, bounded admission with load
+shedding, and graceful degradation to selectivity-only answers under
+queue pressure.  See docs/SERVING.md for the protocol specification and
+operational semantics; start it from the command line with
+``treesketch serve`` (or ``python -m repro serve``).
+"""
+
+from repro.serve.admission import AdmissionController, Decision
+from repro.serve.client import ServeClient, ServerError, parse_address
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.serve.registry import RegisteredSketch, SketchRegistry
+from repro.serve.server import (
+    ServeConfig,
+    ServerHandle,
+    SketchServer,
+    start_server_thread,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "AdmissionController",
+    "Decision",
+    "SketchRegistry",
+    "RegisteredSketch",
+    "ServeConfig",
+    "SketchServer",
+    "ServerHandle",
+    "start_server_thread",
+    "ServeClient",
+    "ServerError",
+    "parse_address",
+]

@@ -1,0 +1,103 @@
+"""Admission control for the serving daemon: bound, shed, degrade.
+
+An inference-style server must never let a burst of expensive requests
+take down the cheap ones, so data-plane requests pass through a single
+:class:`AdmissionController` with two thresholds:
+
+* ``max_pending`` -- the hard concurrency bound.  A request arriving
+  while ``max_pending`` requests are already admitted is **shed**: the
+  server answers immediately with a structured ``overloaded`` error
+  (clients retry with backoff) instead of queueing unboundedly.
+* ``degrade_watermark`` -- the soft pressure threshold.  While the
+  admitted depth is above it, ``eval`` requests are answered
+  **degraded**: selectivity-only (the cheap estimate path) instead of a
+  full result sketch, flagged ``degraded: true`` so clients know the
+  answer is partial.
+
+Depth is published through the obs gauge ``serve.queue.depth``;
+admissions and sheds bump ``serve.admitted`` / ``serve.shed``.  The
+controller is thread-safe, though the server only drives it from the
+event-loop thread.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Dict, Optional
+
+from repro.obs import get_metrics
+
+
+class Decision(enum.Enum):
+    """Outcome of an admission attempt."""
+
+    ADMIT = "admit"      # serve normally
+    DEGRADE = "degrade"  # serve, but eval answers selectivity-only
+    SHED = "shed"        # reject with an `overloaded` error
+
+
+class AdmissionController:
+    """Bounded admission gate with a degradation watermark.
+
+    ``max_pending`` must be >= 1 (a server that sheds everything is
+    configured, not overloaded).  ``degrade_watermark=None`` defaults to
+    half of ``max_pending``; ``0`` degrades every admitted eval (useful
+    for tests and for forcing estimate-only service).
+    """
+
+    def __init__(self, max_pending: int = 64,
+                 degrade_watermark: Optional[int] = None) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if degrade_watermark is None:
+            degrade_watermark = max(1, max_pending // 2)
+        if degrade_watermark < 0:
+            raise ValueError("degrade_watermark must be >= 0")
+        self.max_pending = max_pending
+        self.degrade_watermark = degrade_watermark
+        self._pending = 0
+        self._lock = threading.Lock()
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of currently admitted (pending) data-plane requests."""
+        return self._pending
+
+    def acquire(self) -> Decision:
+        """Try to admit one request; pair every non-SHED with a release."""
+        metrics = get_metrics()
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self.shed_total += 1
+                metrics.counter("serve.shed").inc()
+                return Decision.SHED
+            self._pending += 1
+            depth = self._pending
+            self.admitted_total += 1
+        metrics.counter("serve.admitted").inc()
+        metrics.gauge("serve.queue.depth").set(depth)
+        if depth > self.degrade_watermark:
+            return Decision.DEGRADE
+        return Decision.ADMIT
+
+    def release(self) -> None:
+        """Return one admitted slot."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._pending -= 1
+            depth = self._pending
+        get_metrics().gauge("serve.queue.depth").set(depth)
+
+    def info(self) -> Dict[str, int]:
+        """Current depth, limits, and lifetime totals (for the stats op)."""
+        return {
+            "depth": self._pending,
+            "max_pending": self.max_pending,
+            "degrade_watermark": self.degrade_watermark,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+        }

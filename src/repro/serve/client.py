@@ -1,0 +1,129 @@
+"""A small blocking client for the serving daemon.
+
+Deliberately dependency-free and synchronous: tests, the workload replay
+mode (``treesketch workload --server``), and scripts want a
+one-socket-one-call interface, not an async stack.  One
+:class:`ServeClient` wraps one TCP connection; requests are written as
+newline-delimited JSON and responses matched by ``id`` (the client is
+sequential, so ids are only a sanity check).
+
+Failures come back two ways: :meth:`request` returns the raw response
+dict (including ``ok: false`` errors -- what load-test and degradation
+probes want), while the typed convenience methods (:meth:`eval`,
+:meth:`estimate`, ...) raise :class:`ServerError` carrying the structured
+error code.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve import protocol
+
+
+class ServerError(RuntimeError):
+    """An ``ok: false`` response, surfaced with its wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``HOST:PORT`` string (the CLI's ``--server`` argument)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+class ServeClient:
+    """Blocking line-protocol client; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------ transport
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, return the raw response dict (even errors)."""
+        self._next_id += 1
+        message: Dict[str, Any] = {"op": op, "id": self._next_id}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        self._file.write(protocol.encode_message(message))
+        self._file.flush()
+        line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_message(line)
+        if response.get("id") not in (None, self._next_id):
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return response
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`request`, but raise :class:`ServerError` on failure."""
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(error.get("code", "internal"),
+                              error.get("message", "unspecified server error"))
+        return response
+
+    # ---------------------------------------------------------- convenience
+
+    def eval(self, query: str, sketch: Optional[str] = None,
+             deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Full approximate answer: selectivity, result summary, bindings.
+
+        Under server pressure the response may be ``degraded: true`` and
+        carry only the selectivity -- callers must treat ``result`` /
+        ``bindings`` as optional.
+        """
+        return self.call("eval", query=query, sketch=sketch,
+                         deadline_ms=deadline_ms)
+
+    def estimate(self, query: str, sketch: Optional[str] = None,
+                 deadline_ms: Optional[float] = None) -> float:
+        """Selectivity estimate for ``query`` (the cheap path)."""
+        return self.call("estimate", query=query, sketch=sketch,
+                         deadline_ms=deadline_ms)["selectivity"]
+
+    def expand(self, query: str, sketch: Optional[str] = None,
+               max_nodes: Optional[int] = None, seed: Optional[int] = None,
+               deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Approximate answer document: ``{"elements": n, "xml": ...}``."""
+        return self.call("expand", query=query, sketch=sketch,
+                         max_nodes=max_nodes, seed=seed,
+                         deadline_ms=deadline_ms)
+
+    def health(self) -> Dict[str, Any]:
+        return self.call("health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def list_sketches(self) -> List[Dict[str, Any]]:
+        return self.call("list_sketches")["sketches"]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

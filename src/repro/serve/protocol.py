@@ -1,0 +1,174 @@
+"""Wire protocol for the TreeSketch query-serving daemon.
+
+One request per line, one response per line: UTF-8 JSON objects separated
+by ``\\n`` (newline-delimited JSON).  A connection is a sequence of
+independent request/response pairs -- there is no session state beyond
+the TCP stream, so clients may pipeline requests and match responses by
+``id``.
+
+Request shape::
+
+    {"op": "eval", "id": 7, "sketch": "xmark", "query": "//a (//p)",
+     "deadline_ms": 250}
+
+``op`` is required; everything else depends on the op (see
+docs/SERVING.md for the full spec).  Responses always carry ``ok`` plus
+the echoed ``id``/``op``; failures carry a structured ``error``::
+
+    {"id": 7, "ok": false, "op": "eval",
+     "error": {"code": "overloaded", "message": "queue full (64 pending)"}}
+
+This module is transport-agnostic: it validates and (de)serializes
+messages, and both :mod:`repro.serve.server` and
+:mod:`repro.serve.client` build on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+PROTOCOL_VERSION = 1
+
+#: Supported operations, in documentation order.
+OPS = ("eval", "estimate", "expand", "list_sketches", "health", "stats")
+
+#: Ops that read a sketch (admission-controlled; the rest are control-plane).
+DATA_OPS = frozenset({"eval", "estimate", "expand"})
+
+#: Structured error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",        # malformed JSON, wrong types, missing fields
+    "unknown_op",         # op not in OPS
+    "unknown_sketch",     # sketch name not in the registry
+    "bad_query",          # twig text failed to parse
+    "deadline_exceeded",  # request ran past its (or the server's) deadline
+    "overloaded",         # shed by admission control; retry with backoff
+    "expansion_limit",    # expand exceeded max_nodes
+    "internal",           # unexpected server-side failure
+)
+
+#: Hard cap on one serialized message (requests *and* responses).
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, tagged with a wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _require_str(request: Dict[str, Any], field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            "bad_request", f"field {field!r} must be a non-empty string"
+        )
+    return value
+
+
+def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Decode and validate one request line.
+
+    Returns the request dict; raises :class:`ProtocolError` with
+    ``bad_request`` (malformed JSON / bad field types) or ``unknown_op``.
+    Op-specific required fields are checked here so the server's dispatch
+    can assume a well-formed request.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("bad_request", "request exceeds MAX_LINE_BYTES")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("bad_request", "request is not valid UTF-8")
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"request is not valid JSON: {exc}")
+    if not isinstance(request, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_request", "field 'op' must be a string")
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown_op", f"unknown op {op!r}; supported: {', '.join(OPS)}"
+        )
+
+    req_id = request.get("id")
+    if req_id is not None and not isinstance(req_id, (int, str)):
+        raise ProtocolError("bad_request", "field 'id' must be an int or string")
+
+    deadline = request.get("deadline_ms")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
+                or deadline <= 0:
+            raise ProtocolError(
+                "bad_request", "field 'deadline_ms' must be a positive number"
+            )
+
+    if op in DATA_OPS:
+        _require_str(request, "query")
+        if request.get("sketch") is not None:
+            _require_str(request, "sketch")
+    if op == "expand":
+        max_nodes = request.get("max_nodes")
+        if max_nodes is not None and (
+            not isinstance(max_nodes, int) or isinstance(max_nodes, bool)
+            or max_nodes < 1
+        ):
+            raise ProtocolError(
+                "bad_request", "field 'max_nodes' must be a positive integer"
+            )
+        seed = request.get("seed")
+        if seed is not None and (
+            not isinstance(seed, int) or isinstance(seed, bool)
+        ):
+            raise ProtocolError("bad_request", "field 'seed' must be an integer")
+    return request
+
+
+def ok_response(request: Optional[Dict[str, Any]], **payload: Any) -> Dict[str, Any]:
+    """A success response echoing the request's ``id`` and ``op``."""
+    request = request or {}
+    response: Dict[str, Any] = {"id": request.get("id"), "op": request.get("op"),
+                                "ok": True}
+    response.update(payload)
+    return response
+
+
+def error_response(
+    request: Optional[Dict[str, Any]], code: str, message: str
+) -> Dict[str, Any]:
+    """A failure response with a structured ``error`` object."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    request = request or {}
+    return {
+        "id": request.get("id"),
+        "op": request.get("op"),
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its newline-terminated wire form."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one response line (client side); raises ValueError if broken."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError("response must be a JSON object")
+    return message

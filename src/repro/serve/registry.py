@@ -1,0 +1,127 @@
+"""The sketch registry: named, pinned synopses ready to serve.
+
+A serving daemon holds several frozen TreeSketches at once (one per
+document or per budget tier) and routes each request by name.  The
+registry loads them through :mod:`repro.core.io` (stable summaries are
+promoted to their zero-error sketch, so anything `save_synopsis` wrote is
+servable, including ``.json.gz``), pins them in memory, and gives each
+one a dedicated :class:`repro.core.qcache.QueryCache` -- the per-sketch
+canonical-query LRU that makes repeated serving cheap.
+
+Sketches are registered once, before the server starts, and treated as
+immutable afterwards; nothing here locks, because lookups are read-only
+dict hits.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.core.io import load_synopsis
+from repro.core.qcache import QueryCache
+from repro.core.stable import StableSummary
+from repro.core.treesketch import TreeSketch
+
+
+def name_from_path(path: str) -> str:
+    """Default sketch name for a file: basename minus ``.json[.gz]``."""
+    base = os.path.basename(path)
+    for suffix in (".json.gz", ".json"):
+        if base.endswith(suffix):
+            return base[: -len(suffix)]
+    return os.path.splitext(base)[0] or base
+
+
+class RegisteredSketch:
+    """One pinned sketch: the synopsis, its cache, and its provenance."""
+
+    __slots__ = ("name", "sketch", "cache", "path")
+
+    def __init__(self, name: str, sketch: TreeSketch, cache: QueryCache,
+                 path: Optional[str] = None) -> None:
+        self.name = name
+        self.sketch = sketch
+        self.cache = cache
+        self.path = path
+
+    def describe(self) -> Dict[str, object]:
+        """Metadata for ``list_sketches`` responses."""
+        sketch = self.sketch
+        return {
+            "name": self.name,
+            "path": self.path,
+            "nodes": sketch.num_nodes,
+            "edges": sketch.num_edges,
+            "size_bytes": sketch.size_bytes(),
+            "cache": self.cache.info(),
+        }
+
+
+class SketchRegistry:
+    """Name -> :class:`RegisteredSketch`, with load-time promotion."""
+
+    def __init__(self, cache_size: Optional[int] = 256) -> None:
+        self._sketches: Dict[str, RegisteredSketch] = {}
+        self.cache_size = cache_size
+
+    def register(self, name: str,
+                 synopsis: Union[StableSummary, TreeSketch],
+                 path: Optional[str] = None) -> RegisteredSketch:
+        """Pin an in-memory synopsis under ``name``.
+
+        Stable summaries are promoted to their zero-error TreeSketch so
+        every registered entry speaks the evaluation interface.
+        """
+        if not name:
+            raise ValueError("sketch name must be non-empty")
+        if name in self._sketches:
+            raise ValueError(f"sketch {name!r} is already registered")
+        if isinstance(synopsis, StableSummary):
+            synopsis = TreeSketch.from_stable(synopsis)
+        if not isinstance(synopsis, TreeSketch):
+            raise TypeError(
+                f"unsupported synopsis type {type(synopsis).__name__}"
+            )
+        entry = RegisteredSketch(
+            name, synopsis, QueryCache(synopsis, maxsize=self.cache_size), path
+        )
+        self._sketches[name] = entry
+        return entry
+
+    def load(self, path: str, name: Optional[str] = None) -> RegisteredSketch:
+        """Load a synopsis file (``.json`` or ``.json.gz``) and pin it."""
+        return self.register(name or name_from_path(path),
+                             load_synopsis(path), path=path)
+
+    def get(self, name: Optional[str] = None) -> RegisteredSketch:
+        """Look up by name; ``None`` resolves iff exactly one is registered.
+
+        Raises :class:`KeyError` with a client-ready message otherwise
+        (the server maps it to an ``unknown_sketch`` error).
+        """
+        if name is None:
+            if len(self._sketches) == 1:
+                return next(iter(self._sketches.values()))
+            raise KeyError(
+                "request must name a sketch: server holds "
+                f"{sorted(self._sketches)}"
+            )
+        entry = self._sketches.get(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown sketch {name!r}; available: {sorted(self._sketches)}"
+            )
+        return entry
+
+    def names(self) -> List[str]:
+        return sorted(self._sketches)
+
+    def describe_all(self) -> List[Dict[str, object]]:
+        return [self._sketches[name].describe() for name in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sketches

@@ -1,0 +1,376 @@
+"""The asyncio TCP daemon serving approximate XML query answers.
+
+Design, in one paragraph: the event loop owns all I/O and all
+bookkeeping (admission, metrics, deadlines); sketch computation --
+``eval_query`` / ``estimate_selectivity`` / ``expand_result`` through the
+per-sketch :class:`~repro.core.qcache.QueryCache` -- runs on a small
+thread pool so a slow query can never stall the control plane (``health``
+keeps answering while the workers grind).  Every data-plane request
+passes the :class:`~repro.serve.admission.AdmissionController`: beyond
+``max_pending`` it is shed with a structured ``overloaded`` error, above
+the ``degrade_watermark`` an ``eval`` is answered selectivity-only with
+``degraded: true``, and each admitted request runs under a deadline
+(``deadline_ms`` in the request, else the server default) that maps to a
+``deadline_exceeded`` error when it fires.  The full protocol is
+specified in docs/SERVING.md.
+
+Embedding (what the tests and the CLI do)::
+
+    registry = SketchRegistry()
+    registry.load("xmark.json.gz")
+    handle = start_server_thread(registry, ServeConfig(port=0))
+    try:
+        ...  # talk to ("127.0.0.1", handle.port) with repro.serve.client
+    finally:
+        handle.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.estimate import estimate_bindings
+from repro.core.expand import ExpansionLimitError, expand_result
+from repro.obs import get_clock, get_metrics
+from repro.query.parser import parse_twig
+from repro.query.twig import TwigQuery
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController, Decision
+from repro.serve.protocol import ProtocolError
+from repro.serve.registry import RegisteredSketch, SketchRegistry
+from repro.xmltree.serialize import to_xml
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one :class:`SketchServer` instance.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.address`` after ``start()``).  ``workers`` sizes the
+    compute thread pool -- 1 is right for a single-core host and keeps
+    sketch computation fully serialized.  ``handler_delay_s`` is a
+    test/debug knob: it delays each admitted data-plane request while
+    holding its admission slot, which makes queue-pressure scenarios
+    (shedding, degradation, deadlines) reproducible.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 64
+    degrade_watermark: Optional[int] = None
+    default_deadline_ms: float = 10_000.0
+    max_expand_nodes: int = 200_000
+    workers: int = 1
+    handler_delay_s: float = 0.0
+
+
+class SketchServer:
+    """Line-delimited JSON query server over a :class:`SketchRegistry`."""
+
+    def __init__(self, registry: SketchRegistry,
+                 config: Optional[ServeConfig] = None) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            degrade_watermark=self.config.degrade_watermark,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._started_at = get_clock().now()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            # Abandoned post-deadline work may still be running; don't wait.
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        get_metrics().counter("serve.connections").inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.IncompleteReadError):
+                    # Oversized line: the stream cannot be resynchronized.
+                    writer.write(protocol.encode_message(protocol.error_response(
+                        None, "bad_request", "request line too long")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(protocol.encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # event loop shutting down mid-connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        metrics = get_metrics()
+        metrics.counter("serve.requests").inc()
+        clock = get_clock()
+        start = clock.now()
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            metrics.counter("serve.errors").inc()
+            return protocol.error_response(None, exc.code, exc.message)
+        metrics.counter(f"serve.requests.{request['op']}").inc()
+        try:
+            response = await self._dispatch(request)
+        except ProtocolError as exc:
+            response = protocol.error_response(request, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - fail the request, not the server
+            response = protocol.error_response(
+                request, "internal", f"{type(exc).__name__}: {exc}")
+        if not response.get("ok"):
+            metrics.counter("serve.errors").inc()
+        metrics.histogram("serve.request_seconds").observe(clock.now() - start)
+        return response
+
+    # -------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        if op == "health":
+            return protocol.ok_response(
+                request,
+                status="ok",
+                protocol=protocol.PROTOCOL_VERSION,
+                sketches=self.registry.names(),
+                uptime_s=(get_clock().now() - self._started_at
+                          if self._started_at is not None else 0.0),
+            )
+        if op == "list_sketches":
+            return protocol.ok_response(
+                request, sketches=self.registry.describe_all())
+        if op == "stats":
+            return protocol.ok_response(
+                request,
+                admission=self.admission.info(),
+                sketches=self.registry.describe_all(),
+                metrics=get_metrics().snapshot(),
+            )
+        return await self._dispatch_data(request)
+
+    async def _dispatch_data(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # Resolve cheaply *before* taking an admission slot: a request for
+        # a missing sketch or an unparsable twig is a client error, not load.
+        try:
+            registered = self.registry.get(request.get("sketch"))
+        except KeyError as exc:
+            raise ProtocolError("unknown_sketch", exc.args[0])
+        try:
+            query = parse_twig(request["query"])
+        except Exception as exc:
+            raise ProtocolError(
+                "bad_query", f"cannot parse twig {request['query']!r}: {exc}")
+
+        decision = self.admission.acquire()
+        if decision is Decision.SHED:
+            raise ProtocolError(
+                "overloaded",
+                f"admission queue full ({self.admission.max_pending} pending); "
+                "retry with backoff",
+            )
+        try:
+            degraded = decision is Decision.DEGRADE and request["op"] == "eval"
+            if degraded:
+                get_metrics().counter("serve.degraded").inc()
+            deadline_s = (
+                float(request.get("deadline_ms",
+                                  self.config.default_deadline_ms)) / 1000.0
+            )
+            work = partial(self._execute, request, registered, query, degraded)
+
+            async def _admitted() -> Dict[str, Any]:
+                if self.config.handler_delay_s > 0:
+                    await asyncio.sleep(self.config.handler_delay_s)
+                return await asyncio.get_running_loop().run_in_executor(
+                    self._executor, work)
+
+            try:
+                payload = await asyncio.wait_for(_admitted(), timeout=deadline_s)
+            except asyncio.TimeoutError:
+                get_metrics().counter("serve.deadline_exceeded").inc()
+                raise ProtocolError(
+                    "deadline_exceeded",
+                    f"request exceeded its {deadline_s * 1000:.0f} ms deadline",
+                )
+            return protocol.ok_response(request, **payload)
+        finally:
+            self.admission.release()
+
+    # --------------------------------------------------- worker-thread compute
+
+    def _execute(self, request: Dict[str, Any], registered: RegisteredSketch,
+                 query: TwigQuery, degraded: bool) -> Dict[str, Any]:
+        """Pure sketch computation; runs on the worker pool."""
+        op = request["op"]
+        cache = registered.cache
+        if op == "estimate":
+            return {"sketch": registered.name,
+                    "selectivity": cache.selectivity(query)}
+        if op == "eval":
+            if degraded:
+                # Graceful degradation: the cheap estimate path only.
+                return {
+                    "sketch": registered.name,
+                    "selectivity": cache.selectivity(query),
+                    "degraded": True,
+                }
+            result = cache.result(query)
+            return {
+                "sketch": registered.name,
+                "selectivity": cache.selectivity(query),
+                "degraded": False,
+                "result": {
+                    "nodes": result.num_nodes,
+                    "edges": result.num_edges,
+                    "empty": result.empty,
+                },
+                "bindings": estimate_bindings(result),
+            }
+        if op == "expand":
+            max_nodes = min(
+                int(request.get("max_nodes", self.config.max_expand_nodes)),
+                self.config.max_expand_nodes,
+            )
+            result = cache.result(query)
+            try:
+                nesting = expand_result(
+                    result, max_nodes=max_nodes,
+                    sketch=registered.sketch, seed=request.get("seed"),
+                )
+            except ExpansionLimitError:
+                raise ProtocolError(
+                    "expansion_limit",
+                    f"approximate answer exceeds max_nodes={max_nodes}",
+                )
+            return {
+                "sketch": registered.name,
+                "elements": nesting.size(),
+                "xml": to_xml(nesting.to_xmltree()),
+            }
+        raise ProtocolError("unknown_op", f"unhandled op {op!r}")  # unreachable
+
+
+# ---------------------------------------------------------------- threading
+
+
+class ServerHandle:
+    """A :class:`SketchServer` running on a dedicated event-loop thread.
+
+    ``start()`` blocks until the socket is bound (so ``port`` is real) or
+    startup failed (the failure is re-raised in the caller's thread).
+    Used by the test suite and anywhere a blocking program wants a live
+    server -- production deployments run ``treesketch serve`` instead.
+    """
+
+    def __init__(self, registry: SketchRegistry,
+                 config: Optional[ServeConfig] = None) -> None:
+        self._registry = registry
+        self._config = config
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        server = SketchServer(self._registry, self._config)
+        try:
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 - report to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.host, self.port = server.address
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+def start_server_thread(registry: SketchRegistry,
+                        config: Optional[ServeConfig] = None) -> ServerHandle:
+    """Start a server on a background thread; returns the bound handle."""
+    return ServerHandle(registry, config).start()

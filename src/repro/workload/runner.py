@@ -79,19 +79,12 @@ def _answerer_for(synopsis, seed: int, max_nodes: int,
     raise TypeError(f"unsupported synopsis type {type(synopsis).__name__}")
 
 
-def run_selectivity(
-    synopsis,
+def _score_selectivity(
+    estimator: Callable[[TwigQuery], float],
     workload: Workload,
-    queries: Optional[Sequence[int]] = None,
-    cache: Optional[Union[QueryCache, int]] = None,
+    queries: Optional[Sequence[int]],
 ) -> SelectivityQuality:
-    """Average sanity-bounded relative error over (a slice of) a workload.
-
-    ``cache`` enables canonical-query LRU caching on TreeSketch synopses:
-    pass an int capacity for a fresh :class:`QueryCache` or an existing
-    cache to share across runs (ignored for other synopsis types).
-    """
-    estimator = _estimator_for(synopsis, resolve_cache(synopsis, cache))
+    """The timed selectivity-scoring loop shared by local and remote runs."""
     indices = list(queries) if queries is not None else list(range(len(workload)))
     clock = get_clock()
     latencies = get_metrics().histogram("workload.selectivity.query_seconds")
@@ -114,6 +107,44 @@ def run_selectivity(
         per_query=per_query,
         seconds=seconds,
     )
+
+
+def run_selectivity(
+    synopsis,
+    workload: Workload,
+    queries: Optional[Sequence[int]] = None,
+    cache: Optional[Union[QueryCache, int]] = None,
+) -> SelectivityQuality:
+    """Average sanity-bounded relative error over (a slice of) a workload.
+
+    ``cache`` enables canonical-query LRU caching on TreeSketch synopses:
+    pass an int capacity for a fresh :class:`QueryCache` or an existing
+    cache to share across runs (ignored for other synopsis types).
+    """
+    estimator = _estimator_for(synopsis, resolve_cache(synopsis, cache))
+    return _score_selectivity(estimator, workload, queries)
+
+
+def run_selectivity_remote(
+    client,
+    workload: Workload,
+    sketch: Optional[str] = None,
+    queries: Optional[Sequence[int]] = None,
+    deadline_ms: Optional[float] = None,
+) -> SelectivityQuality:
+    """Replay a workload against a running serving daemon.
+
+    ``client`` is a :class:`repro.serve.client.ServeClient`; each query
+    is sent as an ``estimate`` request (its canonical text form), so the
+    scored numbers are exactly what a network caller would see --
+    per-query latencies include the wire.  Ground truth is still computed
+    locally from the workload's document.  Server-side errors
+    (``overloaded``, ``deadline_exceeded``, ...) propagate as
+    :class:`repro.serve.client.ServerError`.
+    """
+    estimator = lambda q: client.estimate(  # noqa: E731 - one-line adapter
+        str(q), sketch=sketch, deadline_ms=deadline_ms)
+    return _score_selectivity(estimator, workload, queries)
 
 
 def run_answer_quality(

@@ -68,6 +68,60 @@ class TestCLI:
         assert main(["build", sketch_path, "--budget-kb", "1", "-o", sketch_path]) == 2
 
 
+class TestServeCommand:
+    def test_serve_missing_sketch_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["serve", missing, "--port", "0"]) == 2
+        assert "cannot load sketch" in capsys.readouterr().err
+
+    def test_serve_duplicate_names(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "1", "-o", sketch_path])
+        capsys.readouterr()
+        assert main(["serve", sketch_path, f"sketch={sketch_path}",
+                     "--port", "0"]) == 2
+        assert "already registered" in capsys.readouterr().err
+
+    def test_gzip_sketch_through_cli(self, xml_file, tmp_path, capsys):
+        """build and query accept .json.gz paths transparently."""
+        sketch_path = str(tmp_path / "sketch.json.gz")
+        assert main(["build", xml_file, "--budget-kb", "64",
+                     "-o", sketch_path]) == 0
+        capsys.readouterr()
+        assert main(["query", sketch_path, "//a (//p)"]) == 0
+        assert "estimated binding tuples: 4.0" in capsys.readouterr().out
+
+
+class TestPythonDashM:
+    """``python -m repro`` must behave exactly like the console script."""
+
+    def _run(self, *argv):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_module_entry_stats(self, xml_file):
+        proc = self._run("stats", xml_file)
+        assert proc.returncode == 0
+        assert "stable summary" in proc.stdout
+
+    def test_module_entry_requires_subcommand(self):
+        proc = self._run()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
+
+
 class TestGenCorpus:
     def test_gen_corpus_writes_files(self, tmp_path, capsys):
         assert main(["gen-corpus", str(tmp_path), "XMark-TX", "--scale", "0.02"]) == 0

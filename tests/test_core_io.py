@@ -56,6 +56,42 @@ class TestTreeSketchRoundTrip:
         )
 
 
+class TestGzipTransport:
+    """`.json.gz` paths are written and read gzip-compressed."""
+
+    def test_round_trip_treesketch(self, paper_document, tmp_path):
+        sketch = build_treesketch(paper_document, 120)
+        path = tmp_path / "sketch.json.gz"
+        save_synopsis(sketch, str(path))
+        loaded = load_synopsis(str(path))
+        assert isinstance(loaded, TreeSketch)
+        assert loaded.squared_error() == pytest.approx(sketch.squared_error())
+        assert loaded.size_bytes() == sketch.size_bytes()
+        assert synopsis_to_dict(loaded) == synopsis_to_dict(sketch)
+
+    def test_round_trip_stable(self, paper_document, tmp_path):
+        stable = build_stable(paper_document)
+        path = tmp_path / "stable.json.gz"
+        save_synopsis(stable, str(path))
+        loaded = load_synopsis(str(path))
+        assert isinstance(loaded, StableSummary)
+        assert loaded.count == stable.count
+
+    def test_file_is_actually_gzip(self, paper_document, tmp_path):
+        stable = build_stable(paper_document)
+        plain = tmp_path / "s.json"
+        gzipped = tmp_path / "s.json.gz"
+        save_synopsis(stable, str(plain))
+        save_synopsis(stable, str(gzipped))
+        assert gzipped.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        # Same JSON either way once decompressed.
+        import gzip as gzip_mod
+        import json as json_mod
+
+        assert json_mod.loads(gzip_mod.decompress(gzipped.read_bytes())) \
+            == json_mod.loads(plain.read_text())
+
+
 class TestErrorHandling:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):

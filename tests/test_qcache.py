@@ -101,6 +101,51 @@ def test_resolve_cache(sketch):
     assert resolve_cache(object(), 16) is None
 
 
+def test_concurrent_access_stress(sketch):
+    """Hammer one cache from many threads; accounting must stay exact.
+
+    The serve daemon shares a QueryCache across its worker pool, so the
+    LRU must survive concurrent result/selectivity traffic: no lost
+    updates in the hit/miss tallies (they are guarded by the same lock as
+    the OrderedDict), no over-capacity growth, and every answer identical
+    to the uncached computation.
+    """
+    import threading
+
+    texts = ["//a", "//p", "//k", "//n", "//b", "//a (//p)"]
+    queries = [parse_twig(t) for t in texts]
+    expected = {
+        str(q): estimate_selectivity(eval_query(sketch, q)) for q in queries
+    }
+    cache = QueryCache(sketch, maxsize=3)  # smaller than the query set: evicts
+    n_threads, n_rounds = 8, 40
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(offset: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(n_rounds):
+                query = queries[(offset + i) % len(queries)]
+                if cache.selectivity(query) != expected[str(query)]:
+                    errors.append(str(query))
+                cache.result(query)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    total_lookups = n_threads * n_rounds * 2  # selectivity + result per round
+    assert cache.hits + cache.misses == total_lookups
+    assert len(cache) <= 3
+    info = cache.info()
+    assert info["hits"] == cache.hits and info["misses"] == cache.misses
+
+
 def test_runner_with_cache_matches_uncached(sketch):
     from repro.workload.workload import make_workload
 

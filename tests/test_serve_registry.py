@@ -1,0 +1,88 @@
+"""Unit tests for the sketch registry (repro.serve.registry)."""
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.io import save_synopsis
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.serve.registry import SketchRegistry, name_from_path
+from repro.xmltree.tree import XMLTree
+
+
+@pytest.fixture
+def tree():
+    return XMLTree.from_nested(
+        ("r", [("a", [("p", ["k", "k"]), "n"]), ("a", [("p", ["k"]), "n"])])
+    )
+
+
+@pytest.fixture
+def sketch(tree):
+    return build_treesketch(build_stable(tree), 100 * 1024)
+
+
+def test_name_from_path():
+    assert name_from_path("/tmp/xmark.json") == "xmark"
+    assert name_from_path("/tmp/xmark.json.gz") == "xmark"
+    assert name_from_path("xmark.synopsis") == "xmark"
+
+
+def test_register_and_get(sketch):
+    registry = SketchRegistry()
+    entry = registry.register("main", sketch)
+    assert registry.get("main") is entry
+    assert registry.get() is entry  # sole sketch resolves implicitly
+    assert "main" in registry and len(registry) == 1
+    assert registry.names() == ["main"]
+
+
+def test_get_errors(sketch):
+    registry = SketchRegistry()
+    with pytest.raises(KeyError):
+        registry.get("nope")
+    registry.register("a", sketch)
+    registry.register("b", sketch)
+    with pytest.raises(KeyError):  # ambiguous without a name
+        registry.get()
+
+
+def test_duplicate_and_invalid_registration(sketch):
+    registry = SketchRegistry()
+    registry.register("a", sketch)
+    with pytest.raises(ValueError):
+        registry.register("a", sketch)
+    with pytest.raises(ValueError):
+        registry.register("", sketch)
+    with pytest.raises(TypeError):
+        registry.register("b", object())
+
+
+def test_stable_summary_promoted(tree):
+    registry = SketchRegistry()
+    entry = registry.register("zero", build_stable(tree))
+    assert isinstance(entry.sketch, TreeSketch)
+    assert entry.sketch.squared_error() == pytest.approx(0.0)
+
+
+def test_load_plain_and_gzip(sketch, tmp_path):
+    plain = str(tmp_path / "doc.json")
+    gzipped = str(tmp_path / "doc2.json.gz")
+    save_synopsis(sketch, plain)
+    save_synopsis(sketch, gzipped)
+    registry = SketchRegistry()
+    a = registry.load(plain)
+    b = registry.load(gzipped)
+    assert a.name == "doc" and b.name == "doc2"
+    assert a.sketch.num_nodes == b.sketch.num_nodes == sketch.num_nodes
+    assert b.path == gzipped
+
+
+def test_describe_all(sketch, tmp_path):
+    registry = SketchRegistry(cache_size=7)
+    registry.register("main", sketch)
+    (described,) = registry.describe_all()
+    assert described["name"] == "main"
+    assert described["nodes"] == sketch.num_nodes
+    assert described["size_bytes"] == sketch.size_bytes()
+    assert described["cache"]["maxsize"] == 7

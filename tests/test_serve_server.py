@@ -1,0 +1,312 @@
+"""End-to-end tests for the serving daemon: real sockets, real sketches.
+
+Covers the acceptance bar for the serve subsystem: a server loaded with
+two sketches answers eval/estimate/health over TCP with results identical
+to the in-process functions; under forced queue pressure it degrades
+eval to selectivity-only (``degraded: true``) and sheds with structured
+``overloaded`` errors, never a hang or a crash, with the ``serve.*``
+observability counters pinned.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.stable import build_stable
+from repro.query.parser import parse_twig
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServerError,
+    SketchRegistry,
+    start_server_thread,
+)
+from repro.xmltree.tree import XMLTree
+
+QUERIES = ["//a (//p)", "//a[//b] (//p ?)", "//a (//p (//k ?), //n ?)"]
+
+
+def _tree() -> XMLTree:
+    return XMLTree.from_nested(
+        (
+            "r",
+            [
+                ("a", [("p", ["k", "k"]), "n"]),
+                ("a", [("p", ["k"]), "n", "n"]),
+                ("a", [("b", ["t"])]),
+            ],
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sketches():
+    stable = build_stable(_tree())
+    return {
+        "lossless": build_treesketch(stable, 100 * 1024),
+        "tight": build_treesketch(stable, 220),
+    }
+
+
+@pytest.fixture(scope="module")
+def server(sketches):
+    registry = SketchRegistry()
+    for name, sketch in sketches.items():
+        registry.register(name, sketch)
+    handle = start_server_thread(registry, ServeConfig(port=0))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient("127.0.0.1", server.port) as client:
+        yield client
+
+
+class TestHappyPath:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert sorted(health["sketches"]) == ["lossless", "tight"]
+        assert health["protocol"] == 1
+
+    def test_list_sketches(self, client, sketches):
+        listed = {entry["name"]: entry for entry in client.list_sketches()}
+        assert set(listed) == {"lossless", "tight"}
+        for name, sketch in sketches.items():
+            assert listed[name]["nodes"] == sketch.num_nodes
+            assert listed[name]["size_bytes"] == sketch.size_bytes()
+
+    def test_estimate_matches_in_process_on_both_sketches(self, client, sketches):
+        for name, sketch in sketches.items():
+            for text in QUERIES:
+                direct = estimate_selectivity(
+                    eval_query(sketch, parse_twig(text)))
+                assert client.estimate(text, sketch=name) == pytest.approx(direct)
+
+    def test_eval_matches_in_process_on_both_sketches(self, client, sketches):
+        for name, sketch in sketches.items():
+            for text in QUERIES:
+                result = eval_query(sketch, parse_twig(text))
+                response = client.eval(text, sketch=name)
+                assert response["degraded"] is False
+                assert response["sketch"] == name
+                assert response["selectivity"] == pytest.approx(
+                    estimate_selectivity(result))
+                assert response["result"] == {
+                    "nodes": result.num_nodes,
+                    "edges": result.num_edges,
+                    "empty": result.empty,
+                }
+                assert "q0" in response["bindings"]
+
+    def test_expand_round_trips_xml(self, client):
+        from repro.xmltree.parser import parse_xml
+
+        response = client.expand("//a (//p)", sketch="lossless")
+        preview = parse_xml(response["xml"])
+        assert len(preview) == response["elements"]
+        assert preview.root.label == "r"
+
+    def test_pipelined_requests_one_connection(self, client):
+        for _ in range(3):
+            assert client.health()["status"] == "ok"
+            assert client.estimate("//a (//p)", sketch="lossless") >= 0.0
+
+    def test_stats_reports_admission_and_caches(self, client):
+        stats = client.stats()
+        assert stats["admission"]["depth"] == 0
+        names = {entry["name"] for entry in stats["sketches"]}
+        assert names == {"lossless", "tight"}
+
+
+class TestErrorPaths:
+    def test_unknown_sketch(self, client):
+        response = client.request("estimate", query="//a", sketch="nope")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown_sketch"
+        with pytest.raises(ServerError) as excinfo:
+            client.estimate("//a", sketch="nope")
+        assert excinfo.value.code == "unknown_sketch"
+
+    def test_ambiguous_sketch_must_be_named(self, client):
+        response = client.request("estimate", query="//a")
+        assert response["error"]["code"] == "unknown_sketch"
+
+    def test_bad_query(self, client):
+        response = client.request("eval", query="((", sketch="lossless")
+        assert response["error"]["code"] == "bad_query"
+
+    def test_unknown_op_and_bad_request(self, client):
+        assert client.request("frobnicate")["error"]["code"] == "unknown_op"
+        response = client.request("eval", sketch="lossless")  # no query
+        assert response["error"]["code"] == "bad_request"
+
+    def test_malformed_json_line(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b'{"op": "eval"\n')
+            response = json.loads(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_connection_survives_errors(self, client):
+        client.request("frobnicate")
+        client.request("eval", query="((", sketch="lossless")
+        assert client.health()["status"] == "ok"  # same connection, still live
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_structured(self, sketches):
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        handle = start_server_thread(
+            registry, ServeConfig(port=0, handler_delay_s=0.5))
+        try:
+            with obs.observed() as metrics:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    response = client.request(
+                        "eval", query="//a (//p)", deadline_ms=50)
+                    assert response["error"]["code"] == "deadline_exceeded"
+                    # Control plane is unaffected by data-plane deadlines.
+                    assert client.health()["status"] == "ok"
+            flat = obs.report.flatten_snapshot(metrics.snapshot())
+            assert flat["counters.serve.deadline_exceeded"] == 1
+        finally:
+            handle.stop()
+
+
+class TestGracefulDegradation:
+    def test_low_watermark_degrades_eval_to_selectivity_only(self, sketches):
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        # degrade_watermark=0 forces every admitted eval onto the cheap path.
+        handle = start_server_thread(
+            registry, ServeConfig(port=0, degrade_watermark=0))
+        try:
+            with obs.observed() as metrics:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    direct = estimate_selectivity(
+                        eval_query(sketches["lossless"], parse_twig("//a (//p)")))
+                    response = client.eval("//a (//p)")
+                    assert response["degraded"] is True
+                    assert response["selectivity"] == pytest.approx(direct)
+                    assert "result" not in response  # no full result sketch
+                    assert "bindings" not in response
+                    # estimate/expand are not degraded, only eval changes shape
+                    assert client.estimate("//a (//p)") == pytest.approx(direct)
+            flat = obs.report.flatten_snapshot(metrics.snapshot())
+            assert flat["counters.serve.degraded"] == 1
+            assert flat["counters.serve.requests.eval"] == 1
+        finally:
+            handle.stop()
+
+
+class TestLoadShedding:
+    def test_overloaded_is_shed_not_hung(self, sketches):
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        # One admission slot, held for a while by a slow request.
+        handle = start_server_thread(
+            registry,
+            ServeConfig(port=0, max_pending=1, degrade_watermark=1,
+                        handler_delay_s=1.0),
+        )
+        slow = probe = None
+        try:
+            with obs.observed() as metrics:
+                slow = ServeClient("127.0.0.1", handle.port)
+                probe = ServeClient("127.0.0.1", handle.port)
+                outcome = {}
+
+                def occupy():
+                    outcome["slow"] = slow.request("eval", query="//a (//p)")
+
+                thread = threading.Thread(target=occupy)
+                thread.start()
+                # stats bypasses admission: poll until the slow request holds
+                # the only slot, then the next data-plane request must shed.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if probe.stats()["admission"]["depth"] >= 1:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("slow request was never admitted")
+                response = probe.request("eval", query="//a (//p)")
+                assert response["ok"] is False
+                assert response["error"]["code"] == "overloaded"
+                assert "retry" in response["error"]["message"]
+                # health still answers instantly while the queue is full
+                assert probe.health()["status"] == "ok"
+                thread.join(timeout=10)
+                assert outcome["slow"]["ok"] is True  # admitted one completed
+            flat = obs.report.flatten_snapshot(metrics.snapshot())
+            assert flat["counters.serve.shed"] == 1
+            assert flat["gauges.serve.queue.depth"] == 0
+        finally:
+            if slow is not None:
+                slow.close()
+            if probe is not None:
+                probe.close()
+            handle.stop()
+
+
+class TestWorkloadReplay:
+    def test_cli_workload_against_server(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.xmltree.serialize import to_xml
+
+        xml_path = tmp_path / "doc.xml"
+        xml_path.write_text(to_xml(_tree()))
+        registry = SketchRegistry()
+        # The server pins the same sketch the local workload run would build.
+        stable = build_stable(_tree())
+        registry.register("doc", build_treesketch(stable, 10 * 1024))
+        handle = start_server_thread(registry, ServeConfig(port=0))
+        try:
+            code = main([
+                "workload", str(xml_path),
+                "--server", f"127.0.0.1:{handle.port}",
+                "--queries", "5",
+            ])
+        finally:
+            handle.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"served by 127.0.0.1:{handle.port}" in out
+        assert "avg selectivity error" in out
+
+    def test_runner_remote_matches_local(self, sketches):
+        from repro.workload.runner import run_selectivity, run_selectivity_remote
+        from repro.workload.workload import make_workload
+
+        tree = _tree()
+        workload = make_workload(tree, num_queries=6, seed=3,
+                                 stable=build_stable(tree))
+        local = run_selectivity(sketches["lossless"], workload)
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        handle = start_server_thread(registry, ServeConfig(port=0))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                remote = run_selectivity_remote(client, workload, sketch="s")
+        finally:
+            handle.stop()
+        assert remote.per_query == pytest.approx(local.per_query)
+
+    def test_cli_workload_bad_server_address(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.xmltree.serialize import to_xml
+
+        xml_path = tmp_path / "doc.xml"
+        xml_path.write_text(to_xml(_tree()))
+        assert main(["workload", str(xml_path), "--server", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
