@@ -22,7 +22,11 @@ lookup/insert runs under an internal lock.  The lock is held across the
 underlying ``eval_query`` too -- single-flight semantics: concurrent
 requests for the same (or different) queries serialize rather than
 duplicating evaluation work, which is the right trade on the single-core
-hosts this targets.
+hosts this targets.  Two readers deliberately sidestep that lock:
+:meth:`QueryCache.info` falls back to a lock-free (GIL-atomic) snapshot
+so the server's control plane never blocks behind a slow query, and
+:meth:`QueryCache.peek_selectivity` answers from cache only -- the
+degraded serving path that must not add evaluation work.
 """
 
 from __future__ import annotations
@@ -95,6 +99,32 @@ class QueryCache:
                 entry[1] = estimate_selectivity(entry[0])
             return entry[1]
 
+    def peek_selectivity(self, query: TwigQuery) -> Optional[float]:
+        """Cached-only selectivity: ``None`` on a miss or lock contention.
+
+        Never calls ``eval_query`` -- this is the serving daemon's
+        degraded path, which must not add evaluation work to an already
+        overloaded server.  A hit counts as a cache hit and memoizes the
+        (cheap) selectivity over the already-cached result sketch; a
+        miss leaves the miss tally untouched because nothing was
+        evaluated.
+        """
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            key = str(query)
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            get_metrics().counter("eval.cache.hits").inc()
+            if entry[1] is None:
+                entry[1] = estimate_selectivity(entry[0])
+            return entry[1]
+        finally:
+            self._lock.release()
+
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -106,8 +136,17 @@ class QueryCache:
             self._entries.clear()
 
     def info(self) -> dict:
-        """Hit/miss/eviction totals and current occupancy, for reporting."""
-        with self._lock:
+        """Hit/miss/eviction totals and current occupancy, for reporting.
+
+        Never blocks: the single-flight lock is held across whole
+        ``eval_query`` calls, so a blocking read here would stall the
+        serving daemon's control plane (``stats``/``list_sketches``)
+        behind a slow query.  If the lock is busy the tallies are read
+        without it -- int and ``len`` reads are atomic under the GIL, so
+        the worst case is a snapshot one update stale.
+        """
+        acquired = self._lock.acquire(blocking=False)
+        try:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
@@ -115,6 +154,9 @@ class QueryCache:
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
             }
+        finally:
+            if acquired:
+                self._lock.release()
 
 
 def resolve_cache(

@@ -10,14 +10,18 @@ take down the cheap ones, so data-plane requests pass through a single
   (clients retry with backoff) instead of queueing unboundedly.
 * ``degrade_watermark`` -- the soft pressure threshold.  While the
   admitted depth is above it, ``eval`` requests are answered
-  **degraded**: selectivity-only (the cheap estimate path) instead of a
-  full result sketch, flagged ``degraded: true`` so clients know the
-  answer is partial.
+  **degraded**: from the query cache only (an already-cached
+  selectivity, flagged ``degraded: true``; a cache miss is answered
+  ``overloaded``), so degradation genuinely sheds evaluation work
+  instead of merely shrinking the response.
 
-Depth is published through the obs gauge ``serve.queue.depth``;
-admissions and sheds bump ``serve.admitted`` / ``serve.shed``.  The
-controller is thread-safe, though the server only drives it from the
-event-loop thread.
+Depth is published through the obs gauge ``serve.queue.depth``, set
+while the lock is still held so concurrent transitions can never leave
+a stale depth behind; admissions and sheds bump ``serve.admitted`` /
+``serve.shed``.  The controller is thread-safe by necessity:
+``acquire()`` runs on the server's event-loop thread, but ``release()``
+also fires from worker-pool done-callbacks (the slot travels with the
+computation so admission bounds real in-flight compute).
 """
 
 from __future__ import annotations
@@ -77,8 +81,8 @@ class AdmissionController:
             self._pending += 1
             depth = self._pending
             self.admitted_total += 1
+            metrics.gauge("serve.queue.depth").set(depth)
         metrics.counter("serve.admitted").inc()
-        metrics.gauge("serve.queue.depth").set(depth)
         if depth > self.degrade_watermark:
             return Decision.DEGRADE
         return Decision.ADMIT
@@ -89,8 +93,7 @@ class AdmissionController:
             if self._pending <= 0:
                 raise RuntimeError("release() without a matching acquire()")
             self._pending -= 1
-            depth = self._pending
-        get_metrics().gauge("serve.queue.depth").set(depth)
+            get_metrics().gauge("serve.queue.depth").set(self._pending)
 
     def info(self) -> Dict[str, int]:
         """Current depth, limits, and lifetime totals (for the stats op)."""

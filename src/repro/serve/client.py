@@ -61,6 +61,14 @@ class ServeClient:
         line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
         if not line:
             raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # The server caps responses at MAX_LINE_BYTES (oversized ones
+            # become response_too_large errors), so a missing terminator
+            # means the stream is desynchronized, not a long answer.
+            raise ConnectionError(
+                "response line exceeds the protocol cap; stream is "
+                "desynchronized -- reconnect"
+            )
         response = protocol.decode_message(line)
         if response.get("id") not in (None, self._next_id):
             raise ConnectionError(
@@ -85,8 +93,10 @@ class ServeClient:
         """Full approximate answer: selectivity, result summary, bindings.
 
         Under server pressure the response may be ``degraded: true`` and
-        carry only the selectivity -- callers must treat ``result`` /
-        ``bindings`` as optional.
+        carry only a cached selectivity -- callers must treat ``result``
+        / ``bindings`` as optional, and uncached queries may come back
+        ``overloaded`` (raised as :class:`ServerError`) until pressure
+        drops.
         """
         return self.call("eval", query=query, sketch=sketch,
                          deadline_ms=deadline_ms)

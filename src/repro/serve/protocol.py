@@ -26,7 +26,7 @@ messages, and both :mod:`repro.serve.server` and
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 PROTOCOL_VERSION = 1
 
@@ -45,6 +45,7 @@ ERROR_CODES = (
     "deadline_exceeded",  # request ran past its (or the server's) deadline
     "overloaded",         # shed by admission control; retry with backoff
     "expansion_limit",    # expand exceeded max_nodes
+    "response_too_large",  # serialized response exceeded MAX_LINE_BYTES
     "internal",           # unexpected server-side failure
 )
 
@@ -162,6 +163,27 @@ def error_response(
 def encode_message(message: Dict[str, Any]) -> bytes:
     """Serialize one message to its newline-terminated wire form."""
     return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def encode_response(message: Dict[str, Any]) -> Tuple[bytes, Dict[str, Any]]:
+    """Serialize a response, enforcing :data:`MAX_LINE_BYTES`.
+
+    Clients frame responses with a 1 MiB ``readline`` -- an oversized
+    line would reach them truncated and desynchronize the stream.  A
+    response that serializes past the cap is therefore replaced by a
+    structured ``response_too_large`` error (echoing the original
+    ``id``/``op``), which always fits.  Returns ``(wire bytes, the
+    message actually encoded)`` so callers can meter errors correctly.
+    """
+    data = encode_message(message)
+    if len(data) > MAX_LINE_BYTES:
+        message = error_response(
+            message, "response_too_large",
+            f"serialized response is {len(data)} bytes, over the "
+            f"{MAX_LINE_BYTES}-byte line cap; for expand, lower max_nodes",
+        )
+        data = encode_message(message)
+    return data, message
 
 
 def decode_message(line: Union[bytes, str]) -> Dict[str, Any]:

@@ -8,11 +8,19 @@ thread pool so a slow query can never stall the control plane (``health``
 keeps answering while the workers grind).  Every data-plane request
 passes the :class:`~repro.serve.admission.AdmissionController`: beyond
 ``max_pending`` it is shed with a structured ``overloaded`` error, above
-the ``degrade_watermark`` an ``eval`` is answered selectivity-only with
-``degraded: true``, and each admitted request runs under a deadline
-(``deadline_ms`` in the request, else the server default) that maps to a
-``deadline_exceeded`` error when it fires.  The full protocol is
-specified in docs/SERVING.md.
+the ``degrade_watermark`` an ``eval`` is answered from the query cache
+only (selectivity with ``degraded: true``, or ``overloaded`` on a cache
+miss -- degradation must shed compute, not just response bytes), and
+each admitted request runs under a deadline (``deadline_ms`` in the
+request, else the server default) that maps to a ``deadline_exceeded``
+error when it fires.  A deadline abandons the response, not the slot:
+the admission slot is returned only when the worker actually finishes,
+so admission always bounds real in-flight compute and sustained
+timeouts surface as ``overloaded`` instead of an unbounded executor
+queue.  Responses are capped at ``protocol.MAX_LINE_BYTES`` like
+requests; an oversized one is replaced by a structured
+``response_too_large`` error so the client's line framing never
+desynchronizes.  The full protocol is specified in docs/SERVING.md.
 
 Embedding (what the tests and the CLI do)::
 
@@ -29,7 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Dict, Optional, Tuple
@@ -142,8 +150,7 @@ class SketchServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._handle_line(line)
-                writer.write(protocol.encode_message(response))
+                writer.write(await self._handle_line(line))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -157,7 +164,7 @@ class SketchServer:
                     asyncio.CancelledError):
                 pass
 
-    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+    async def _handle_line(self, line: bytes) -> bytes:
         metrics = get_metrics()
         metrics.counter("serve.requests").inc()
         clock = get_clock()
@@ -165,20 +172,24 @@ class SketchServer:
         try:
             request = protocol.parse_request(line)
         except ProtocolError as exc:
-            metrics.counter("serve.errors").inc()
-            return protocol.error_response(None, exc.code, exc.message)
-        metrics.counter(f"serve.requests.{request['op']}").inc()
-        try:
-            response = await self._dispatch(request)
-        except ProtocolError as exc:
-            response = protocol.error_response(request, exc.code, exc.message)
-        except Exception as exc:  # noqa: BLE001 - fail the request, not the server
-            response = protocol.error_response(
-                request, "internal", f"{type(exc).__name__}: {exc}")
+            response: Dict[str, Any] = protocol.error_response(
+                None, exc.code, exc.message)
+        else:
+            metrics.counter(f"serve.requests.{request['op']}").inc()
+            try:
+                response = await self._dispatch(request)
+            except ProtocolError as exc:
+                response = protocol.error_response(request, exc.code, exc.message)
+            except Exception as exc:  # noqa: BLE001 - fail the request, not the server
+                response = protocol.error_response(
+                    request, "internal", f"{type(exc).__name__}: {exc}")
+        # encode_response enforces MAX_LINE_BYTES (swapping in a
+        # response_too_large error), so meter ok-ness on what went out.
+        data, response = protocol.encode_response(response)
         if not response.get("ok"):
             metrics.counter("serve.errors").inc()
         metrics.histogram("serve.request_seconds").observe(clock.now() - start)
-        return response
+        return data
 
     # -------------------------------------------------------------- dispatch
 
@@ -225,21 +236,29 @@ class SketchServer:
                 f"admission queue full ({self.admission.max_pending} pending); "
                 "retry with backoff",
             )
+        degraded = decision is Decision.DEGRADE and request["op"] == "eval"
+        deadline_s = (
+            float(request.get("deadline_ms",
+                              self.config.default_deadline_ms)) / 1000.0
+        )
+        work = partial(self._execute, request, registered, query, degraded)
+        submitted: Optional[Future] = None
         try:
-            degraded = decision is Decision.DEGRADE and request["op"] == "eval"
-            if degraded:
-                get_metrics().counter("serve.degraded").inc()
-            deadline_s = (
-                float(request.get("deadline_ms",
-                                  self.config.default_deadline_ms)) / 1000.0
-            )
-            work = partial(self._execute, request, registered, query, degraded)
-
             async def _admitted() -> Dict[str, Any]:
+                nonlocal submitted
                 if self.config.handler_delay_s > 0:
                     await asyncio.sleep(self.config.handler_delay_s)
-                return await asyncio.get_running_loop().run_in_executor(
-                    self._executor, work)
+                # The admission slot travels with the computation: it is
+                # returned by the done-callback when the worker actually
+                # finishes, even if the deadline below abandons this
+                # coroutine first.  Admission therefore bounds real
+                # in-flight compute -- under sustained timeouts new
+                # requests shed as `overloaded` instead of piling up
+                # behind abandoned work in the executor queue.
+                submitted = self._executor.submit(work)
+                submitted.add_done_callback(
+                    lambda _f: self.admission.release())
+                return await asyncio.wrap_future(submitted)
 
             try:
                 payload = await asyncio.wait_for(_admitted(), timeout=deadline_s)
@@ -251,7 +270,8 @@ class SketchServer:
                 )
             return protocol.ok_response(request, **payload)
         finally:
-            self.admission.release()
+            if submitted is None:  # never reached the worker pool
+                self.admission.release()
 
     # --------------------------------------------------- worker-thread compute
 
@@ -265,10 +285,21 @@ class SketchServer:
                     "selectivity": cache.selectivity(query)}
         if op == "eval":
             if degraded:
-                # Graceful degradation: the cheap estimate path only.
+                # Graceful degradation must shed compute, not just
+                # response bytes: serve only an already-cached
+                # selectivity; a miss (or cache-lock contention) answers
+                # `overloaded` instead of running eval_query.
+                selectivity = cache.peek_selectivity(query)
+                if selectivity is None:
+                    raise ProtocolError(
+                        "overloaded",
+                        "server is degraded and this query's selectivity "
+                        "is not cached; retry with backoff",
+                    )
+                get_metrics().counter("serve.degraded").inc()
                 return {
                     "sketch": registered.name,
-                    "selectivity": cache.selectivity(query),
+                    "selectivity": selectivity,
                     "degraded": True,
                 }
             result = cache.result(query)

@@ -146,6 +146,50 @@ def test_concurrent_access_stress(sketch):
     assert info["hits"] == cache.hits and info["misses"] == cache.misses
 
 
+def test_peek_selectivity_is_cache_only(sketch):
+    """peek never evaluates: the serving daemon's degraded path relies on
+    a miss costing nothing (no eval_query, no miss-tally churn)."""
+    cache = QueryCache(sketch)
+    q = parse_twig("//a (//p)")
+    assert cache.peek_selectivity(q) is None
+    assert cache.misses == 0 and len(cache) == 0  # nothing was evaluated
+    direct = estimate_selectivity(eval_query(sketch, q))
+    cache.result(q)  # prime the entry (selectivity not yet memoized)
+    assert cache.peek_selectivity(q) == direct
+    assert cache.hits == 1
+    assert cache.peek_selectivity(q) == direct  # memoized now
+    assert cache.misses == 1  # only the priming result() missed
+
+
+def test_peek_and_info_never_block_on_a_busy_lock(sketch):
+    """While a worker holds the single-flight lock (mid eval_query), the
+    control plane must still get answers: info() falls back to a
+    lock-free snapshot and peek_selectivity declines with None."""
+    import threading
+
+    cache = QueryCache(sketch)
+    q = parse_twig("//a")
+    value = cache.selectivity(q)
+    acquired, release = threading.Event(), threading.Event()
+
+    def hold():
+        with cache._lock:
+            acquired.set()
+            release.wait(10)
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert acquired.wait(10)
+    try:
+        assert cache.peek_selectivity(q) is None  # contended: decline
+        info = cache.info()  # must return promptly, not deadlock
+        assert info["size"] == 1 and info["misses"] == 1
+    finally:
+        release.set()
+        holder.join(10)
+    assert cache.peek_selectivity(q) == value  # uncontended again
+
+
 def test_runner_with_cache_matches_uncached(sketch):
     from repro.workload.workload import make_workload
 

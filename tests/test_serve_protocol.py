@@ -13,6 +13,7 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_message,
     encode_message,
+    encode_response,
     error_response,
     ok_response,
     parse_request,
@@ -112,6 +113,25 @@ class TestResponses:
     def test_decode_rejects_non_object(self):
         with pytest.raises(ValueError):
             decode_message(b"[]\n")
+
+    def test_encode_response_within_cap_passes_through(self):
+        message = ok_response({"op": "eval", "id": 1}, selectivity=2.0)
+        data, sent = encode_response(message)
+        assert sent is message
+        assert decode_message(data) == message
+
+    def test_encode_response_caps_oversized_payloads(self):
+        """An over-cap response becomes a structured error, never a line
+        the client's 1 MiB readline would truncate (and desynchronize on)."""
+        message = ok_response({"op": "expand", "id": "big"},
+                              xml="x" * (MAX_LINE_BYTES + 1024))
+        data, sent = encode_response(message)
+        assert len(data) <= MAX_LINE_BYTES
+        assert data.endswith(b"\n")
+        assert sent["ok"] is False
+        assert sent["error"]["code"] == "response_too_large"
+        assert sent["id"] == "big" and sent["op"] == "expand"
+        assert decode_message(data) == sent
 
 
 class TestAdmissionController:

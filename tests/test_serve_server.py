@@ -182,6 +182,81 @@ class TestDeadlines:
         finally:
             handle.stop()
 
+    def test_abandoned_compute_keeps_its_admission_slot(self, sketches):
+        """A deadline abandons the response, not the slot: while the
+        worker still grinds on the abandoned request, admission must keep
+        shedding -- otherwise sustained timeouts grow the executor queue
+        unboundedly behind stuck work."""
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        entry = registry.get("s")
+        orig_result = entry.cache.result
+        finished = threading.Event()
+
+        def slow_result(query):
+            time.sleep(0.75)
+            try:
+                return orig_result(query)
+            finally:
+                finished.set()
+
+        entry.cache.result = slow_result
+        handle = start_server_thread(
+            registry, ServeConfig(port=0, max_pending=1, degrade_watermark=1))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                response = client.request(
+                    "eval", query="//a (//p)", deadline_ms=50)
+                assert response["error"]["code"] == "deadline_exceeded"
+                # The abandoned computation still holds the only slot.
+                probe = client.request("eval", query="//p", deadline_ms=5000)
+                assert probe["ok"] is False
+                assert probe["error"]["code"] == "overloaded"
+                assert finished.wait(10)  # worker eventually completes
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if client.stats()["admission"]["depth"] == 0:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("slot was never released after compute")
+                entry.cache.result = orig_result  # back to full speed
+                final = client.eval("//a (//p)")
+                assert final["degraded"] is False
+        finally:
+            entry.cache.result = orig_result
+            handle.stop()
+
+
+class TestControlPlaneNonBlocking:
+    def test_stats_answers_while_cache_lock_is_held(self, sketches):
+        """stats/list_sketches read cache tallies without blocking on the
+        single-flight lock a worker holds across a whole eval_query."""
+        registry = SketchRegistry()
+        registry.register("s", sketches["lossless"])
+        cache = registry.get("s").cache
+        handle = start_server_thread(registry, ServeConfig(port=0))
+        acquired, release = threading.Event(), threading.Event()
+
+        def hold():
+            with cache._lock:
+                acquired.set()
+                release.wait(10)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert acquired.wait(10)
+        try:
+            with ServeClient("127.0.0.1", handle.port, timeout=5.0) as client:
+                stats = client.stats()  # would hang before the fix
+                assert stats["ok"] is True
+                listed = client.list_sketches()
+                assert listed[0]["cache"]["maxsize"] == cache.maxsize
+        finally:
+            release.set()
+            holder.join(10)
+            handle.stop()
+
 
 class TestGracefulDegradation:
     def test_low_watermark_degrades_eval_to_selectivity_only(self, sketches):
@@ -195,16 +270,23 @@ class TestGracefulDegradation:
                 with ServeClient("127.0.0.1", handle.port) as client:
                     direct = estimate_selectivity(
                         eval_query(sketches["lossless"], parse_twig("//a (//p)")))
+                    # A degraded eval serves cached entries only: before
+                    # anything primed the cache it sheds instead of
+                    # evaluating (degradation must shed compute).
+                    cold = client.request("eval", query="//a (//p)")
+                    assert cold["ok"] is False
+                    assert cold["error"]["code"] == "overloaded"
+                    # estimate is never degraded; it runs fully (and
+                    # primes the cache for degraded evals of the hot set)
+                    assert client.estimate("//a (//p)") == pytest.approx(direct)
                     response = client.eval("//a (//p)")
                     assert response["degraded"] is True
                     assert response["selectivity"] == pytest.approx(direct)
                     assert "result" not in response  # no full result sketch
                     assert "bindings" not in response
-                    # estimate/expand are not degraded, only eval changes shape
-                    assert client.estimate("//a (//p)") == pytest.approx(direct)
             flat = obs.report.flatten_snapshot(metrics.snapshot())
             assert flat["counters.serve.degraded"] == 1
-            assert flat["counters.serve.requests.eval"] == 1
+            assert flat["counters.serve.requests.eval"] == 2
         finally:
             handle.stop()
 
