@@ -186,7 +186,9 @@ def cmd_workload(args: argparse.Namespace) -> int:
                         print(f"--sketch-name required; server holds {names}",
                               file=sys.stderr)
                         return 2
-                quality = run_selectivity_remote(client, workload, sketch=name)
+                quality = run_selectivity_remote(
+                    client, workload, sketch=name,
+                    request_id_prefix=args.request_prefix)
         except (OSError, ServerError) as exc:
             print(f"server replay failed: {exc}", file=sys.stderr)
             return 1
@@ -227,7 +229,9 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
+    from repro import obs
     from repro.serve.registry import SketchRegistry
     from repro.serve.server import ServeConfig, SketchServer
 
@@ -245,6 +249,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"pinned {entry.name!r}: {entry.sketch.num_nodes} nodes, "
             f"{entry.sketch.size_bytes() / 1024:.1f} KB ({path})"
         )
+    shadow_reference = None
+    if args.shadow_sample > 0:
+        if not args.shadow_reference:
+            print("--shadow-sample needs --shadow-reference "
+                  "(an XML document for exact truth, or a synopsis)",
+                  file=sys.stderr)
+            return 2
+        from repro.serve.shadow import load_reference
+
+        try:
+            shadow_reference = load_reference(args.shadow_reference)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"cannot load shadow reference "
+                  f"{args.shadow_reference!r}: {exc}", file=sys.stderr)
+            return 2
+    # The telemetry plane renders the *active* metrics registry, so the
+    # daemon needs a live one even without --stats/--trace.
+    if (args.metrics_port is not None or args.shadow_sample > 0) \
+            and not obs.enabled():
+        obs.enable()
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -253,24 +277,164 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         max_expand_nodes=args.max_expand_nodes,
         workers=args.workers,
+        metrics_port=args.metrics_port,
+        shadow_fraction=args.shadow_sample,
+        shadow_reference=shadow_reference,
     )
 
     async def _run() -> None:
         server = SketchServer(registry, config)
         await server.start()
+        # Signal handlers go in before the readiness lines are printed:
+        # supervisors (and the tests) treat those lines as "safe to
+        # signal", so the graceful path must already be armed.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-Unix loop: fall back to KeyboardInterrupt
         host, port = server.address
         print(f"serving {len(registry)} sketch(es) on {host}:{port} "
               f"(protocol v1, Ctrl-C to stop)", flush=True)
+        if args.metrics_port is not None:
+            mhost, mport = server.metrics_address
+            print(f"telemetry on http://{mhost}:{mport} "
+                  "(/metrics /healthz /statusz)", flush=True)
         try:
-            await server.serve_forever()
+            if installed:
+                await stop.wait()
+                print("\nshutting down: draining in-flight requests "
+                      f"(up to {args.drain_s:g}s)", flush=True)
+                if await server.drain(timeout=args.drain_s):
+                    print("drained", flush=True)
+                else:
+                    print(f"drain timed out with "
+                          f"{server.admission.depth} request(s) in flight",
+                          flush=True)
+            else:
+                await server.serve_forever()
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             await server.stop()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    if obs.enabled():
+        # Flush span records now (idempotent; main() closes --trace sinks
+        # again) and leave a final metrics snapshot in the log.
+        obs.get_tracer().sink.close()
+        if not getattr(args, "stats", False):
+            print()
+            print(obs.report.render_registry(
+                obs.get_metrics(), title="final metrics snapshot"))
     return 0
+
+
+def _render_statusz(status: dict, source: str) -> str:
+    """One console screen of a /statusz document (``treesketch top``)."""
+    lines = [
+        f"treesketch top — {source}  "
+        f"(uptime {status.get('uptime_s', 0.0):.0f}s, "
+        f"protocol v{status.get('protocol', '?')})",
+        "",
+    ]
+    admission = status.get("admission") or {}
+    lines.append(
+        "admission  depth {depth}/{max_pending}  degrade>{degrade_watermark}  "
+        "admitted {admitted_total}  shed {shed_total}".format(
+            **{k: admission.get(k, "?") for k in (
+                "depth", "max_pending", "degrade_watermark",
+                "admitted_total", "shed_total")})
+    )
+    lines.append("")
+    lines.append("sketches")
+    for entry in status.get("sketches") or []:
+        cache = entry.get("cache") or {}
+        lines.append(
+            f"  {entry.get('name'):<16} {entry.get('nodes', 0):>7} nodes  "
+            f"{entry.get('size_bytes', 0) / 1024:>8.1f} KB  "
+            f"cache {cache.get('hits', 0)}/{cache.get('misses', 0)} h/m "
+            f"({cache.get('size', 0)}/{cache.get('maxsize')})"
+        )
+    latency = status.get("latency") or {}
+    if latency:
+        lines.append("")
+        lines.append("latency (trailing window, ms)")
+        lines.append(f"  {'op':<10} {'count':>7} {'mean':>8} {'p50':>8} "
+                     f"{'p95':>8} {'p99':>8}")
+        for op in sorted(latency):
+            row = latency[op]
+            lines.append(
+                f"  {op:<10} {row.get('count', 0):>7.0f} "
+                + " ".join(f"{row.get(k, 0.0) * 1000:>8.2f}"
+                           for k in ("mean", "p50", "p95", "p99"))
+            )
+    accuracy = status.get("accuracy")
+    lines.append("")
+    if accuracy:
+        mean = accuracy.get("rel_error_mean")
+        worst = accuracy.get("rel_error_max")
+        lines.append(
+            "accuracy   fraction {fraction:g}  sampled {sampled}  "
+            "evaluated {evaluated}  dropped {dropped}  failed {failed}".format(
+                **{k: accuracy.get(k, 0) for k in (
+                    "fraction", "sampled", "evaluated", "dropped", "failed")})
+        )
+        lines.append(
+            "           rel error mean "
+            + (f"{mean:.4f}" if mean is not None else "n/a")
+            + "  max " + (f"{worst:.4f}" if worst is not None else "n/a")
+        )
+    else:
+        lines.append("accuracy   shadow sampler off")
+    counters = status.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<32} {counters[name]:>12,}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.request
+
+    from repro.serve.client import parse_address
+
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    base = f"http://{host}:{port}"
+    shown = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(
+                        f"{base}/statusz", timeout=args.http_timeout) as resp:
+                    status = json.loads(resp.read().decode("utf-8"))
+            except (OSError, ValueError) as exc:
+                print(f"cannot poll {base}/statusz: {exc}", file=sys.stderr)
+                return 1
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_statusz(status, base), flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -409,6 +573,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sketch-name", metavar="NAME",
                    help="sketch to query in --server mode "
                         "(default: the server's only sketch)")
+    p.add_argument("--request-prefix", metavar="PREFIX",
+                   help="in --server mode, tag the n-th request with "
+                        "request_id PREFIX-n for trace correlation")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_workload)
@@ -436,7 +603,36 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-sketch query cache capacity (0 = unbounded)")
     p.add_argument("--workers", type=int, default=1,
                    help="compute threads (default 1)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="start an HTTP telemetry sidecar on PORT "
+                        "(0 = ephemeral) serving /metrics (Prometheus), "
+                        "/healthz and /statusz")
+    p.add_argument("--shadow-sample", type=float, default=0.0,
+                   metavar="FRACTION",
+                   help="replay this fraction of estimate/eval answers "
+                        "against a reference off the hot path and record "
+                        "serve.accuracy.* metrics (default 0 = off)")
+    p.add_argument("--shadow-reference", metavar="PATH",
+                   help="reference for --shadow-sample: an XML document "
+                        "(exact truth) or a synopsis JSON (stable summary)")
+    p.add_argument("--drain-s", type=float, default=5.0,
+                   help="on SIGTERM/SIGINT, wait up to this long for "
+                        "in-flight requests before closing (default 5)")
     p.set_defaults(func=cmd_serve)
+
+    p = add_parser("top",
+                   help="live console view of a serve daemon's /statusz")
+    p.add_argument("address", metavar="HOST:PORT",
+                   help="the daemon's --metrics-port address")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N screens (default 0 = until Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append screens instead of clearing the terminal")
+    p.add_argument("--http-timeout", type=float, default=5.0,
+                   help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_top)
 
     p = add_parser("estimate",
                    help="estimate twig selectivities over a synopsis, cached")

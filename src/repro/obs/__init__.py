@@ -44,6 +44,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    WindowedHistogram,
 )
 from repro.obs.spans import (
     NULL_TRACER,
@@ -61,6 +62,7 @@ __all__ = [
     "get_metrics", "get_tracer", "get_clock",
     # building blocks
     "MetricsRegistry", "NullRegistry", "Counter", "Gauge", "Histogram",
+    "WindowedHistogram",
     "Tracer", "NullTracer", "Span",
     "NullSink", "ListSink", "JsonLinesSink",
     "MonotonicClock", "FakeClock",

@@ -1,0 +1,196 @@
+"""HTTP exposition of the observability layer: /metrics, /healthz, /statusz.
+
+Scrapers (Prometheus, curl, dashboards) want the metrics registry over
+HTTP, not in-process.  This module renders a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` in the Prometheus
+text exposition format (version 0.0.4) and runs a tiny stdlib HTTP
+sidecar serving three endpoints:
+
+* ``GET /metrics``  -- the Prometheus text rendering of the snapshot;
+* ``GET /healthz``  -- ``{"status": "ok"}`` while the process is up;
+* ``GET /statusz``  -- a JSON status document supplied by the embedding
+  server (the serving daemon publishes per-sketch registry stats,
+  admission state, latency percentiles, and accuracy telemetry here --
+  what ``treesketch top`` renders).
+
+The sidecar is deliberately a sidecar: it runs a
+:class:`http.server.ThreadingHTTPServer` on its own daemon thread and
+only ever *reads* snapshots, so a scrape can never block the serving
+data plane.  No new dependencies -- stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["render_prometheus", "ExpositionServer"]
+
+#: Quantiles published for each histogram in the exposition.
+_QUANTILES: Tuple[Tuple[str, str], ...] = (
+    ("0.5", "p50"), ("0.9", "p90"), ("0.95", "p95"), ("0.99", "p99"),
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "treesketch") -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    ``serve.requests.eval`` becomes ``treesketch_serve_requests_eval``:
+    every character outside ``[a-zA-Z0-9_:]`` is replaced by ``_`` and
+    the namespace prefix guarantees the first character is a letter.
+    """
+    return f"{namespace}_{_INVALID_CHARS.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    """One sample value in exposition syntax (NaN/+Inf/-Inf spelled out)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, object]],
+                      namespace: str = "treesketch") -> str:
+    """Render a registry snapshot as Prometheus text exposition (0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; histograms are
+    published as ``summary`` metrics (``{quantile="..."}`` samples plus
+    ``_sum``/``_count``), which matches what the bounded-sample and
+    windowed histograms can answer exactly.  Output is sorted by metric
+    name, ends in a newline, and every line parses under the exposition
+    grammar -- ``tests/test_obs_expo.py`` holds a parser to that effect.
+    """
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = sanitize_metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric} {_format_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = sanitize_metric_name(name, namespace)
+        summary = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}")
+        lines.append(f"{metric}_sum {_format_value(summary.get('sum', 0.0))}")
+        lines.append(
+            f"{metric}_count {_format_value(summary.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+class ExpositionServer:
+    """The HTTP metrics sidecar: stdlib, threaded, read-only.
+
+    ``snapshot_provider`` returns the registry snapshot to render under
+    ``/metrics``; ``status_provider`` (optional) returns the JSON
+    document for ``/statusz``.  Both are called per request on the
+    sidecar's threads, so they must be cheap and thread-safe --
+    ``MetricsRegistry.snapshot()`` and the serving daemon's lock-free
+    status readers both qualify.
+
+    ``port=0`` binds an ephemeral port; read it back from :attr:`port`
+    after :meth:`start`.
+    """
+
+    def __init__(self, snapshot_provider: Callable[[], Dict],
+                 status_provider: Optional[Callable[[], Dict]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 namespace: str = "treesketch") -> None:
+        self._snapshot_provider = snapshot_provider
+        self._status_provider = status_provider
+        self._namespace = namespace
+        self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ---------------------------------------------------------------- routes
+
+    def _make_handler(self):
+        expo = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_prometheus(
+                        expo._snapshot_provider(), namespace=expo._namespace
+                    ).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/healthz":
+                    body = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
+                    ctype = "application/json"
+                elif path == "/statusz":
+                    status = (expo._status_provider()
+                              if expo._status_provider is not None else {})
+                    body = json.dumps(status, sort_keys=True).encode("utf-8") \
+                        + b"\n"
+                    ctype = "application/json"
+                else:
+                    body = b"not found: try /metrics, /healthz, /statusz\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes are periodic; don't spam the daemon's stderr
+
+        return Handler
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "ExpositionServer":
+        if self._thread is not None:
+            raise RuntimeError("exposition server is already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-expo", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout)
+        self._httpd.server_close()
+        self._thread = None

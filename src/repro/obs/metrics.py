@@ -1,6 +1,6 @@
 """A lightweight, dependency-free metrics registry.
 
-Three instrument kinds, mirroring the usual server-metrics vocabulary:
+Four instrument kinds, mirroring the usual server-metrics vocabulary:
 
 * :class:`Counter` -- a monotonically increasing integer (merges applied,
   heap pops, cache hits);
@@ -8,7 +8,11 @@ Three instrument kinds, mirroring the usual server-metrics vocabulary:
   size, heap depth);
 * :class:`Histogram` -- a streaming distribution with exact count/sum/
   min/max and quantiles over a bounded, deterministically thinned sample
-  (per-query latencies, span durations).
+  (per-query latencies, span durations);
+* :class:`WindowedHistogram` -- a ring of fixed-duration buckets on the
+  obs clock, reporting quantiles over the trailing window only (the
+  serving daemon's ``serve.op.latency.*`` percentiles, where a dashboard
+  wants "the last minute", not "since process start").
 
 Instrumented code never checks an "is observability on?" flag.  It asks
 the active registry for an instrument and calls ``inc``/``set``/
@@ -25,12 +29,14 @@ across threads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedHistogram",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
@@ -142,6 +148,104 @@ class Histogram:
         }
 
 
+class WindowedHistogram:
+    """Quantiles over a trailing time window, not process lifetime.
+
+    Observations land in a ring of ``buckets`` fixed-duration buckets of
+    ``window_s / buckets`` seconds each, stamped with the obs clock; a
+    bucket older than the window is dropped the next time the histogram
+    is touched.  ``summary()``/``quantile()`` therefore describe only the
+    trailing window -- the shape a live dashboard wants -- while
+    ``count``/``total`` stay exact over every observation ever made.
+    Quantiles are exact (no thinning): a window holds at most a few
+    seconds of traffic, so the retained sample stays small by design.
+
+    The clock is resolved through :func:`repro.obs.get_clock` at call
+    time unless one is injected, so a :class:`~repro.obs.clock.FakeClock`
+    installed via ``obs.observed(clock=...)`` drives rotation
+    deterministically in tests.
+    """
+
+    __slots__ = ("name", "count", "total", "window_s", "bucket_s",
+                 "num_buckets", "_clock", "_buckets")
+
+    def __init__(self, name: str, window_s: float = 60.0, buckets: int = 6,
+                 clock=None) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.window_s = float(window_s)
+        self.num_buckets = int(buckets)
+        self.bucket_s = self.window_s / self.num_buckets
+        self._clock = clock
+        # (bucket index on the clock, observations) pairs, oldest first.
+        self._buckets: Deque[Tuple[int, List[float]]] = deque()
+
+    def _now_index(self) -> int:
+        clock = self._clock
+        if clock is None:
+            from repro.obs import get_clock
+
+            clock = get_clock()
+        return int(clock.now() / self.bucket_s)
+
+    def _rotate(self, now_index: int) -> None:
+        horizon = now_index - self.num_buckets
+        while self._buckets and self._buckets[0][0] <= horizon:
+            self._buckets.popleft()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        index = self._now_index()
+        self._rotate(index)
+        if not self._buckets or self._buckets[-1][0] != index:
+            self._buckets.append((index, []))
+        self._buckets[-1][1].append(value)
+
+    def window_values(self) -> List[float]:
+        """Every observation still inside the trailing window."""
+        self._rotate(self._now_index())
+        values: List[float] = []
+        for _, bucket in self._buckets:
+            values.extend(bucket)
+        return values
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the window; 0.0 when it is empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        values = sorted(self.window_values())
+        if not values:
+            return 0.0
+        return values[min(len(values) - 1, int(q * len(values)))]
+
+    def summary(self) -> Dict[str, float]:
+        values = sorted(self.window_values())
+        n = len(values)
+
+        def rank(q: float) -> float:
+            return values[min(n - 1, int(q * n))] if n else 0.0
+
+        return {
+            "count": n,
+            "sum": sum(values),
+            "mean": sum(values) / n if n else 0.0,
+            "min": values[0] if n else 0.0,
+            "max": values[-1] if n else 0.0,
+            "p50": rank(0.50),
+            "p90": rank(0.90),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "window_s": self.window_s,
+        }
+
+
 class MetricsRegistry:
     """Names -> instruments; instruments are created on first use.
 
@@ -153,7 +257,9 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._metrics: Dict[
+            str, Union[Counter, Gauge, Histogram, WindowedHistogram]
+        ] = {}
 
     def _get(self, name: str, kind: type):
         metric = self._metrics.get(name)
@@ -175,6 +281,20 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
+
+    def windowed(self, name: str, window_s: float = 60.0,
+                 buckets: int = 6) -> WindowedHistogram:
+        """A :class:`WindowedHistogram`; window params apply on creation."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = WindowedHistogram(name, window_s=window_s, buckets=buckets)
+            self._metrics[name] = metric
+        elif type(metric) is not WindowedHistogram:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                "not a WindowedHistogram"
+            )
+        return metric
 
     def names(self) -> List[str]:
         return sorted(self._metrics)
@@ -259,6 +379,10 @@ class NullRegistry:
         return _NULL_GAUGE
 
     def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def windowed(self, name: str, window_s: float = 60.0,
+                 buckets: int = 6) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
     def names(self) -> List[str]:

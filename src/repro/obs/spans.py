@@ -23,6 +23,7 @@ shared reentrant no-op context manager: no event dict, no clock reads.
 from __future__ import annotations
 
 import json
+import threading
 from typing import IO, Dict, List, Optional, Union
 
 from repro.obs.clock import MonotonicClock
@@ -67,26 +68,65 @@ class ListSink:
 
 
 class JsonLinesSink:
-    """Writes one compact JSON object per line (the trace-file format)."""
+    """Writes one compact JSON object per line (the trace-file format).
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    Crash-safe by default: every record is flushed to the OS as one
+    complete line (``flush_every=1``), so a process killed mid-run loses
+    at most the event being serialized -- never a torn half-line that
+    breaks downstream ``jq``/ingest.  Long batch runs can trade that for
+    throughput with ``flush_every=N`` (bounded buffering: at most ``N-1``
+    records are lost on a crash).  ``emit`` is thread-safe -- the serving
+    daemon records spans from the event loop *and* its worker pool --
+    and a closed sink drops events instead of raising, so late span
+    exits during shutdown cannot crash the host.  Usable as a context
+    manager.
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         if isinstance(target, str):
             self._handle: IO[str] = open(target, "w", encoding="utf-8")
             self._owned = True
         else:
             self._handle = target
             self._owned = False
+        self._flush_every = flush_every
+        self._unflushed = 0
+        self._lock = threading.Lock()
+        self._closed = False
         self.events_written = 0
 
     def emit(self, event: Dict[str, object]) -> None:
-        self._handle.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
-        self._handle.write("\n")
-        self.events_written += 1
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line)
+            self._handle.write("\n")
+            self.events_written += 1
+            self._unflushed += 1
+            if self._unflushed >= self._flush_every:
+                self._handle.flush()
+                self._unflushed = 0
 
     def close(self) -> None:
-        self._handle.flush()
-        if self._owned:
-            self._handle.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+            finally:
+                if self._owned:
+                    self._handle.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class Span:
@@ -159,6 +199,32 @@ class Tracer:
         """Slash-joined path of the active span stack ('' at top level)."""
         return "/".join(self._stack)
 
+    def record(self, name: str, start: float, duration: float,
+               **attrs: object) -> None:
+        """Emit a pre-timed, flat span event without touching the stack.
+
+        The context-manager form assumes single-threaded, properly nested
+        execution; async servers interleave many requests on one event
+        loop (and finish compute on worker threads), which would corrupt
+        the nesting stack.  ``record`` is the safe form for those
+        callers: the caller times the region itself and the event goes
+        out at depth 0 -- correlation happens through attributes (the
+        serving daemon stamps every request's spans with its
+        ``request_id``), not through nesting.
+        """
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "path": name,
+            "depth": 0,
+            "start": start,
+            "duration": duration,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+        self.metrics.histogram(f"span.{name}.seconds").observe(duration)
+
     def _finish(self, span: Span, error: bool) -> None:
         duration = self.clock.now() - span.start
         self._stack.pop()
@@ -213,6 +279,10 @@ class NullTracer:
 
     def span(self, name: str, **attrs: object) -> _NullActiveSpan:
         return _NULL_ACTIVE_SPAN
+
+    def record(self, name: str, start: float, duration: float,
+               **attrs: object) -> None:
+        pass
 
     def current_path(self) -> str:
         return ""

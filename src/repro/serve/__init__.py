@@ -25,6 +25,7 @@ from repro.serve.server import (
     SketchServer,
     start_server_thread,
 )
+from repro.serve.shadow import ShadowSampler, load_reference
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -42,4 +43,6 @@ __all__ = [
     "ServeClient",
     "ServerError",
     "parse_address",
+    "ShadowSampler",
+    "load_reference",
 ]

@@ -16,7 +16,9 @@ error code.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.serve import protocol
@@ -40,12 +42,42 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 
 class ServeClient:
-    """Blocking line-protocol client; usable as a context manager."""
+    """Blocking line-protocol client; usable as a context manager.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    ``retries``/``backoff`` make the initial *connection* resilient to a
+    daemon that is still starting (deploy races, test harnesses): each
+    refused attempt sleeps ``backoff * 2**attempt`` seconds plus up to
+    ``jitter`` of that again (decorrelated, so a fleet of restarting
+    clients does not reconnect in lockstep), up to ``retries`` extra
+    attempts.  The default is zero retries -- fail fast, as before.
+
+    Every response's correlation id is kept in :attr:`last_request_id`
+    (server-generated unless the caller passed ``request_id=``), ready
+    to grep out of the server's trace file.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retries: int = 0, backoff: float = 0.05,
+                 jitter: float = 0.5,
+                 rng: Optional[random.Random] = None) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0 or jitter < 0:
+            raise ValueError("backoff and jitter must be >= 0")
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.last_request_id: Optional[str] = None
+        rng = rng if rng is not None else random.Random()
+        for attempt in range(retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout)
+                break
+            except OSError:
+                if attempt >= retries:
+                    raise
+                delay = backoff * (2 ** attempt)
+                time.sleep(delay * (1.0 + jitter * rng.random()))
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
 
@@ -75,6 +107,7 @@ class ServeClient:
                 f"response id {response.get('id')!r} does not match "
                 f"request id {self._next_id}"
             )
+        self.last_request_id = response.get("request_id")
         return response
 
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
@@ -89,7 +122,8 @@ class ServeClient:
     # ---------------------------------------------------------- convenience
 
     def eval(self, query: str, sketch: Optional[str] = None,
-             deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+             deadline_ms: Optional[float] = None,
+             request_id: Optional[str] = None) -> Dict[str, Any]:
         """Full approximate answer: selectivity, result summary, bindings.
 
         Under server pressure the response may be ``degraded: true`` and
@@ -99,21 +133,24 @@ class ServeClient:
         drops.
         """
         return self.call("eval", query=query, sketch=sketch,
-                         deadline_ms=deadline_ms)
+                         deadline_ms=deadline_ms, request_id=request_id)
 
     def estimate(self, query: str, sketch: Optional[str] = None,
-                 deadline_ms: Optional[float] = None) -> float:
+                 deadline_ms: Optional[float] = None,
+                 request_id: Optional[str] = None) -> float:
         """Selectivity estimate for ``query`` (the cheap path)."""
         return self.call("estimate", query=query, sketch=sketch,
-                         deadline_ms=deadline_ms)["selectivity"]
+                         deadline_ms=deadline_ms,
+                         request_id=request_id)["selectivity"]
 
     def expand(self, query: str, sketch: Optional[str] = None,
                max_nodes: Optional[int] = None, seed: Optional[int] = None,
-               deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+               deadline_ms: Optional[float] = None,
+               request_id: Optional[str] = None) -> Dict[str, Any]:
         """Approximate answer document: ``{"elements": n, "xml": ...}``."""
         return self.call("expand", query=query, sketch=sketch,
                          max_nodes=max_nodes, seed=seed,
-                         deadline_ms=deadline_ms)
+                         deadline_ms=deadline_ms, request_id=request_id)
 
     def health(self) -> Dict[str, Any]:
         return self.call("health")

@@ -12,8 +12,11 @@ Request shape::
      "deadline_ms": 250}
 
 ``op`` is required; everything else depends on the op (see
-docs/SERVING.md for the full spec).  Responses always carry ``ok`` plus
-the echoed ``id``/``op``; failures carry a structured ``error``::
+docs/SERVING.md for the full spec).  ``request_id`` is the optional
+end-to-end correlation id: the server generates one when it is absent,
+echoes it in every response, and stamps it on the request's server-side
+trace spans.  Responses always carry ``ok`` plus the echoed
+``id``/``op``/``request_id``; failures carry a structured ``error``::
 
     {"id": 7, "ok": false, "op": "eval",
      "error": {"code": "overloaded", "message": "queue full (64 pending)"}}
@@ -51,6 +54,9 @@ ERROR_CODES = (
 
 #: Hard cap on one serialized message (requests *and* responses).
 MAX_LINE_BYTES = 1 << 20
+
+#: Cap on a client-supplied correlation id (it is echoed and logged).
+MAX_REQUEST_ID_CHARS = 128
 
 
 class ProtocolError(Exception):
@@ -107,6 +113,18 @@ def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
     if req_id is not None and not isinstance(req_id, (int, str)):
         raise ProtocolError("bad_request", "field 'id' must be an int or string")
 
+    request_id = request.get("request_id")
+    if request_id is not None:
+        if not isinstance(request_id, str) or not request_id:
+            raise ProtocolError(
+                "bad_request", "field 'request_id' must be a non-empty string"
+            )
+        if len(request_id) > MAX_REQUEST_ID_CHARS:
+            raise ProtocolError(
+                "bad_request",
+                f"field 'request_id' exceeds {MAX_REQUEST_ID_CHARS} characters",
+            )
+
     deadline = request.get("deadline_ms")
     if deadline is not None:
         if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
@@ -137,10 +155,12 @@ def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
 
 
 def ok_response(request: Optional[Dict[str, Any]], **payload: Any) -> Dict[str, Any]:
-    """A success response echoing the request's ``id`` and ``op``."""
+    """A success response echoing the request's ``id``, ``op``, ``request_id``."""
     request = request or {}
     response: Dict[str, Any] = {"id": request.get("id"), "op": request.get("op"),
                                 "ok": True}
+    if request.get("request_id") is not None:
+        response["request_id"] = request["request_id"]
     response.update(payload)
     return response
 
@@ -152,12 +172,15 @@ def error_response(
     if code not in ERROR_CODES:
         raise ValueError(f"unknown protocol error code {code!r}")
     request = request or {}
-    return {
+    response: Dict[str, Any] = {
         "id": request.get("id"),
         "op": request.get("op"),
         "ok": False,
         "error": {"code": code, "message": message},
     }
+    if request.get("request_id") is not None:
+        response["request_id"] = request["request_id"]
+    return response
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:

@@ -22,6 +22,15 @@ requests; an oversized one is replaced by a structured
 ``response_too_large`` error so the client's line framing never
 desynchronizes.  The full protocol is specified in docs/SERVING.md.
 
+The operational telemetry plane rides alongside: ``metrics_port``
+starts the HTTP exposition sidecar (``/metrics`` Prometheus text,
+``/healthz``, ``/statusz`` -- see :mod:`repro.obs.expo`), every request
+carries a ``request_id`` correlation id stamped on its ``serve.request``
+/ ``serve.execute`` trace spans, per-op latency percentiles flow through
+windowed histograms, and an optional :class:`~repro.serve.shadow.
+ShadowSampler` replays a fraction of served answers against a reference
+off the hot path to measure live approximation error.
+
 Embedding (what the tests and the CLI do)::
 
     registry = SketchRegistry()
@@ -37,20 +46,22 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.estimate import estimate_bindings
 from repro.core.expand import ExpansionLimitError, expand_result
-from repro.obs import get_clock, get_metrics
+from repro.obs import get_clock, get_metrics, get_tracer
 from repro.query.parser import parse_twig
 from repro.query.twig import TwigQuery
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, Decision
 from repro.serve.protocol import ProtocolError
 from repro.serve.registry import RegisteredSketch, SketchRegistry
+from repro.serve.shadow import ShadowSampler
 from repro.xmltree.serialize import to_xml
 
 
@@ -65,6 +76,15 @@ class ServeConfig:
     test/debug knob: it delays each admitted data-plane request while
     holding its admission slot, which makes queue-pressure scenarios
     (shedding, degradation, deadlines) reproducible.
+
+    Telemetry plane (docs/OBSERVABILITY.md): ``metrics_port`` (non-None)
+    starts the HTTP exposition sidecar -- ``/metrics`` (Prometheus
+    text), ``/healthz``, ``/statusz`` -- on ``host:metrics_port`` (0 =
+    ephemeral; read ``server.metrics_address``).  ``latency_window_s``
+    sizes the trailing window behind the ``serve.op.latency.*``
+    percentiles.  ``shadow_fraction`` > 0 with a ``shadow_reference``
+    estimator (see :func:`repro.serve.shadow.load_reference`) enables
+    the online accuracy sampler -- **off by default**.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +95,11 @@ class ServeConfig:
     max_expand_nodes: int = 200_000
     workers: int = 1
     handler_delay_s: float = 0.0
+    metrics_port: Optional[int] = None
+    latency_window_s: float = 60.0
+    shadow_fraction: float = 0.0
+    shadow_reference: Optional[Callable[[TwigQuery], float]] = None
+    shadow_max_queue: int = 256
 
 
 class SketchServer:
@@ -91,6 +116,19 @@ class SketchServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started_at: Optional[float] = None
+        self._exposition = None
+        self._shadow: Optional[ShadowSampler] = None
+        if self.config.shadow_fraction > 0:
+            if self.config.shadow_reference is None:
+                raise ValueError(
+                    "shadow_fraction > 0 requires a shadow_reference "
+                    "estimator (see repro.serve.shadow.load_reference)"
+                )
+            self._shadow = ShadowSampler(
+                self.config.shadow_reference,
+                fraction=self.config.shadow_fraction,
+                max_queue=self.config.shadow_max_queue,
+            )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -100,6 +138,19 @@ class SketchServer:
         if self._server is None:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """``(host, port)`` of the HTTP exposition sidecar."""
+        if self._exposition is None:
+            raise RuntimeError("metrics sidecar is not running "
+                               "(set ServeConfig.metrics_port)")
+        return self._exposition.host, self._exposition.port
+
+    @property
+    def shadow(self) -> Optional[ShadowSampler]:
+        """The accuracy sampler, or None when disabled (the default)."""
+        return self._shadow
 
     async def start(self) -> None:
         if self._server is not None:
@@ -115,17 +166,49 @@ class SketchServer:
             limit=protocol.MAX_LINE_BYTES,
         )
         self._started_at = get_clock().now()
+        if self._shadow is not None:
+            self._shadow.start()
+        if self.config.metrics_port is not None:
+            from repro.obs.expo import ExpositionServer
+
+            self._exposition = ExpositionServer(
+                snapshot_provider=lambda: get_metrics().snapshot(),
+                status_provider=self.statusz,
+                host=self.config.host,
+                port=self.config.metrics_port,
+            ).start()
 
     async def serve_forever(self) -> None:
         if self._server is None:
             raise RuntimeError("call start() first")
         await self._server.serve_forever()
 
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Wait for in-flight data-plane requests to finish (or time out).
+
+        Graceful shutdown calls this after the listener is closed:
+        admitted work keeps its slot until the worker actually completes,
+        so a zero depth means the compute pipeline is empty.  Returns
+        whether the drain completed inside ``timeout``.
+        """
+        clock = get_clock()
+        deadline = clock.now() + timeout
+        while self.admission.depth > 0:
+            if clock.now() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._exposition is not None:
+            self._exposition.stop()
+            self._exposition = None
+        if self._shadow is not None:
+            self._shadow.stop()
         if self._executor is not None:
             # Abandoned post-deadline work may still be running; don't wait.
             self._executor.shutdown(wait=False)
@@ -169,13 +252,26 @@ class SketchServer:
         metrics.counter("serve.requests").inc()
         clock = get_clock()
         start = clock.now()
+        op: Optional[str] = None
         try:
             request = protocol.parse_request(line)
         except ProtocolError as exc:
+            request_id = uuid.uuid4().hex
             response: Dict[str, Any] = protocol.error_response(
                 None, exc.code, exc.message)
+            response["request_id"] = request_id
         else:
-            metrics.counter(f"serve.requests.{request['op']}").inc()
+            # End-to-end correlation: a client-supplied request_id is
+            # honored verbatim; otherwise the server mints one.  It is
+            # echoed in the response and stamped on every span this
+            # request records, so one id ties the wire exchange to the
+            # server-side trace.
+            request_id = request.get("request_id")
+            if request_id is None:
+                request_id = uuid.uuid4().hex
+                request["request_id"] = request_id
+            op = request["op"]
+            metrics.counter(f"serve.requests.{op}").inc()
             try:
                 response = await self._dispatch(request)
             except ProtocolError as exc:
@@ -186,9 +282,22 @@ class SketchServer:
         # encode_response enforces MAX_LINE_BYTES (swapping in a
         # response_too_large error), so meter ok-ness on what went out.
         data, response = protocol.encode_response(response)
-        if not response.get("ok"):
+        ok = bool(response.get("ok"))
+        if not ok:
             metrics.counter("serve.errors").inc()
-        metrics.histogram("serve.request_seconds").observe(clock.now() - start)
+        elapsed = clock.now() - start
+        metrics.histogram("serve.request_seconds").observe(elapsed)
+        if op is not None:
+            metrics.windowed(
+                f"serve.op.latency.{op}",
+                window_s=self.config.latency_window_s,
+            ).observe(elapsed)
+        # record(), not span(): requests interleave on the event loop, so
+        # the nesting stack would be corrupted -- correlation is by id.
+        get_tracer().record(
+            "serve.request", start, elapsed,
+            op=op, request_id=request_id, ok=ok,
+        )
         return data
 
     # -------------------------------------------------------------- dispatch
@@ -213,8 +322,41 @@ class SketchServer:
                 admission=self.admission.info(),
                 sketches=self.registry.describe_all(),
                 metrics=get_metrics().snapshot(),
+                accuracy=(self._shadow.info()
+                          if self._shadow is not None else None),
             )
         return await self._dispatch_data(request)
+
+    def statusz(self) -> Dict[str, Any]:
+        """The ``/statusz`` document: one JSON page of operational state.
+
+        Read-only and lock-free (admission/cache tallies fall back to
+        GIL-atomic snapshots), so the exposition sidecar can call it from
+        its own threads while the data plane is saturated.  This is what
+        ``treesketch top`` renders.
+        """
+        snapshot = get_metrics().snapshot()
+        latency = {
+            op: {key: summary[key]
+                 for key in ("count", "mean", "p50", "p95", "p99")}
+            for op in sorted(protocol.DATA_OPS)
+            for summary in [snapshot["histograms"].get(
+                f"serve.op.latency.{op}")]
+            if summary is not None
+        }
+        return {
+            "uptime_s": (get_clock().now() - self._started_at
+                         if self._started_at is not None else 0.0),
+            "protocol": protocol.PROTOCOL_VERSION,
+            "admission": self.admission.info(),
+            "sketches": self.registry.describe_all(),
+            "latency": latency,
+            "accuracy": (self._shadow.info()
+                         if self._shadow is not None else None),
+            "counters": {name: value
+                         for name, value in snapshot["counters"].items()
+                         if name.startswith(("serve.", "eval.cache."))},
+        }
 
     async def _dispatch_data(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # Resolve cheaply *before* taking an admission slot: a request for
@@ -268,6 +410,16 @@ class SketchServer:
                     "deadline_exceeded",
                     f"request exceeded its {deadline_s * 1000:.0f} ms deadline",
                 )
+            # Shadow accuracy sampling happens here, on the event loop,
+            # *after* the answer is complete and outside the admission-
+            # held critical section: offer() is an O(1) accumulator bump
+            # plus a non-blocking enqueue; the reference evaluation runs
+            # on the sampler's own thread, never a worker slot.
+            if (self._shadow is not None
+                    and request["op"] in ("estimate", "eval")
+                    and not payload.get("degraded")):
+                self._shadow.offer(registered.name, query,
+                                   payload["selectivity"])
             return protocol.ok_response(request, **payload)
         finally:
             if submitted is None:  # never reached the worker pool
@@ -278,6 +430,21 @@ class SketchServer:
     def _execute(self, request: Dict[str, Any], registered: RegisteredSketch,
                  query: TwigQuery, degraded: bool) -> Dict[str, Any]:
         """Pure sketch computation; runs on the worker pool."""
+        clock = get_clock()
+        started = clock.now()
+        try:
+            return self._compute(request, registered, query, degraded)
+        finally:
+            # Worker-side half of the request trace, correlated by
+            # request_id (record() is stack-free, hence thread-safe here).
+            get_tracer().record(
+                "serve.execute", started, clock.now() - started,
+                op=request["op"], sketch=registered.name,
+                request_id=request.get("request_id"),
+            )
+
+    def _compute(self, request: Dict[str, Any], registered: RegisteredSketch,
+                 query: TwigQuery, degraded: bool) -> Dict[str, Any]:
         op = request["op"]
         cache = registered.cache
         if op == "estimate":
@@ -361,6 +528,8 @@ class ServerHandle:
         self._startup_error: Optional[BaseException] = None
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        self.metrics_host: Optional[str] = None
+        self.metrics_port: Optional[int] = None
 
     def start(self, timeout: float = 10.0) -> "ServerHandle":
         self._thread = threading.Thread(
@@ -386,6 +555,8 @@ class ServerHandle:
             return
         self.server = server
         self.host, self.port = server.address
+        if server._exposition is not None:
+            self.metrics_host, self.metrics_port = server.metrics_address
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._ready.set()

@@ -13,6 +13,7 @@ Both accept any synopsis with the TreeSketch evaluation interface
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -131,6 +132,7 @@ def run_selectivity_remote(
     sketch: Optional[str] = None,
     queries: Optional[Sequence[int]] = None,
     deadline_ms: Optional[float] = None,
+    request_id_prefix: Optional[str] = None,
 ) -> SelectivityQuality:
     """Replay a workload against a running serving daemon.
 
@@ -141,9 +143,21 @@ def run_selectivity_remote(
     locally from the workload's document.  Server-side errors
     (``overloaded``, ``deadline_exceeded``, ...) propagate as
     :class:`repro.serve.client.ServerError`.
+
+    ``request_id_prefix`` tags the replay for end-to-end correlation:
+    the n-th request goes out as ``request_id="<prefix>-<n>"``, so the
+    matching ``serve.request``/``serve.execute`` spans in the server's
+    trace file can be joined back to workload positions.
     """
-    estimator = lambda q: client.estimate(  # noqa: E731 - one-line adapter
-        str(q), sketch=sketch, deadline_ms=deadline_ms)
+    sent = itertools.count()
+
+    def estimator(q: TwigQuery) -> float:
+        request_id = (f"{request_id_prefix}-{next(sent)}"
+                      if request_id_prefix is not None else None)
+        return client.estimate(str(q), sketch=sketch,
+                               deadline_ms=deadline_ms,
+                               request_id=request_id)
+
     return _score_selectivity(estimator, workload, queries)
 
 

@@ -1,0 +1,114 @@
+"""Edge cases for obs.report and crash-safety for JsonLinesSink."""
+
+import json
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs import JsonLinesSink, FakeClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import flatten_snapshot, render_registry, render_snapshot
+
+pytestmark = pytest.mark.obs
+
+
+class TestReportEdges:
+    def test_empty_registry(self):
+        text = render_registry(MetricsRegistry())
+        assert "(no metrics recorded)" in text
+        assert flatten_snapshot(MetricsRegistry().snapshot()) == {}
+
+    def test_empty_sections_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("only.counter").inc()
+        text = render_registry(registry)
+        assert "counters" in text
+        assert "gauges" not in text and "histograms" not in text
+
+    def test_nan_histogram_stats_render(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(float("nan"))
+        text = render_snapshot(registry.snapshot())
+        assert "nan" in text.lower()
+        flat = flatten_snapshot(registry.snapshot())
+        assert math.isnan(flat["histograms.h.sum"])
+
+    def test_inf_histogram_stats_render(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(float("inf"))
+        hist.observe(1.0)
+        text = render_snapshot(registry.snapshot())
+        assert "inf" in text.lower()
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["histograms.h.max"] == float("inf")
+        assert flat["histograms.h.count"] == 2
+
+    def test_nan_gauge_flattens(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("-inf"))
+        assert flatten_snapshot(registry.snapshot())["gauges.g"] == float("-inf")
+
+    def test_windowed_histogram_flattens(self):
+        with obs.observed(clock=FakeClock()) as registry:
+            registry.windowed("w").observe(3.0)
+            flat = flatten_snapshot(registry.snapshot())
+        assert flat["histograms.w.p99"] == 3.0
+        assert flat["histograms.w.window_s"] == 60.0
+
+
+class TestJsonLinesSinkSafety:
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonLinesSink(str(path)) as sink:
+            sink.emit({"name": "a", "duration": 1.0})
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.emit({"name": "a"})
+        sink.close()
+        sink.emit({"name": "ghost"})  # silently dropped, no crash
+        sink.close()  # idempotent
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_every_record_survives_a_hard_kill(self, tmp_path):
+        """Flush-per-record means an os._exit loses nothing already emitted.
+
+        The child writes spans and dies without closing the sink or
+        running atexit hooks; the parent must still read every record as
+        complete, valid JSON (no torn trailing line).
+        """
+        path = tmp_path / "crash.jsonl"
+        script = (
+            "import os, sys\n"
+            "from repro.obs import JsonLinesSink\n"
+            "sink = JsonLinesSink(sys.argv[1])\n"
+            "for i in range(50):\n"
+            "    sink.emit({'name': 'span', 'seq': i})\n"
+            "os._exit(1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            env=env, timeout=60,
+        )
+        assert result.returncode == 1
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == list(range(50))
+
+    def test_bounded_buffering_flushes_on_close(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonLinesSink(str(path), flush_every=10)
+        for i in range(25):
+            sink.emit({"seq": i})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 25

@@ -1,0 +1,140 @@
+"""WindowedHistogram: trailing-window percentiles on the obs clock.
+
+All rotation is driven by a FakeClock installed via ``obs.observed``,
+so bucket expiry and percentile math are fully deterministic.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import FakeClock, WindowedHistogram
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+pytestmark = pytest.mark.obs
+
+
+class TestWindowMath:
+    def test_nearest_rank_quantiles(self):
+        hist = WindowedHistogram("h", window_s=60.0, clock=FakeClock())
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        # Nearest-rank on a sorted sample of n=100: index min(99, int(q*n)).
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(0.50) == 51.0
+        assert hist.quantile(0.95) == 96.0
+        assert hist.quantile(0.99) == 100.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantile_validation_and_empty(self):
+        hist = WindowedHistogram("h", clock=FakeClock())
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        assert hist.quantile(0.5) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0 and summary["p99"] == 0.0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("h", window_s=0.0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("h", buckets=0)
+
+    def test_summary_shape_matches_report_columns(self):
+        from repro.obs.report import _HIST_COLUMNS
+
+        hist = WindowedHistogram("h", clock=FakeClock())
+        hist.observe(2.0)
+        summary = hist.summary()
+        for column in _HIST_COLUMNS:
+            assert column in summary
+        assert summary["window_s"] == 60.0
+
+
+class TestRotation:
+    def test_old_observations_leave_the_window(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("h", window_s=60.0, buckets=6, clock=clock)
+        hist.observe(1.0)
+        clock.advance(30.0)
+        hist.observe(2.0)
+        assert sorted(hist.window_values()) == [1.0, 2.0]
+        clock.advance(45.0)  # t=75: the t=0 bucket is beyond the window
+        assert hist.window_values() == [2.0]
+        clock.advance(60.0)  # everything expired
+        assert hist.window_values() == []
+
+    def test_lifetime_count_survives_rotation(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("h", window_s=10.0, buckets=2, clock=clock)
+        hist.observe(5.0)
+        clock.advance(100.0)
+        assert hist.window_values() == []
+        assert hist.count == 1
+        assert hist.total == 5.0
+        # ...but the summary describes only the (empty) window.
+        assert hist.summary()["count"] == 0
+
+    def test_buckets_drop_one_at_a_time(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("h", window_s=6.0, buckets=6, clock=clock)
+        for second in range(6):
+            clock.set(float(second))
+            hist.observe(float(second))
+        assert len(hist.window_values()) == 6
+        clock.set(7.0)  # bucket index 7; horizon drops index <= 1
+        remaining = hist.window_values()
+        assert sorted(remaining) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_percentiles_follow_the_window(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("h", window_s=10.0, buckets=2, clock=clock)
+        for _ in range(10):
+            hist.observe(100.0)  # a slow burst...
+        clock.advance(12.0)      # ...that ages out entirely
+        hist.observe(1.0)
+        assert hist.quantile(0.99) == 1.0
+
+    def test_uses_active_obs_clock_when_not_injected(self):
+        clock = FakeClock()
+        with obs.observed(clock=clock) as registry:
+            hist = registry.windowed("w", window_s=10.0, buckets=2)
+            hist.observe(1.0)
+            clock.advance(50.0)
+            assert hist.window_values() == []
+
+
+class TestRegistryIntegration:
+    def test_windowed_is_cached_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.windowed("w") is registry.windowed("w")
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        registry.windowed("w")
+        with pytest.raises(TypeError):
+            registry.windowed("h")
+        with pytest.raises(TypeError):
+            registry.histogram("w")
+        with pytest.raises(TypeError):
+            registry.counter("w")
+
+    def test_snapshot_includes_window_summary(self):
+        with obs.observed(clock=FakeClock()) as registry:
+            registry.windowed("serve.op.latency.eval").observe(0.5)
+            snapshot = registry.snapshot()
+        summary = snapshot["histograms"]["serve.op.latency.eval"]
+        assert summary["count"] == 1
+        assert summary["p95"] == 0.5
+        assert summary["window_s"] == 60.0
+
+    def test_render_registry_handles_windowed(self):
+        with obs.observed(clock=FakeClock()) as registry:
+            registry.windowed("w").observe(1.0)
+            text = obs.report.render_registry(registry)
+        assert "w" in text and "histograms" in text
+
+    def test_null_registry_windowed_is_noop(self):
+        hist = NULL_REGISTRY.windowed("w")
+        hist.observe(1.0)
+        assert hist.summary()["count"] == 0

@@ -1,0 +1,96 @@
+"""ServeClient connection retries: backoff, jitter, late-starting servers."""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable
+from repro.serve import ServeClient, ServeConfig, SketchRegistry, start_server_thread
+from repro.xmltree.tree import XMLTree
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture()
+def registry():
+    tree = XMLTree.from_nested(("r", [("a", ["b"]), ("a", ["b", "b"])]))
+    registry = SketchRegistry()
+    registry.register("main", build_treesketch(build_stable(tree), 100 * 1024))
+    return registry
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, retries=-1)
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, backoff=-0.1)
+        with pytest.raises(ValueError):
+            ServeClient("127.0.0.1", 1, jitter=-0.5)
+
+
+class TestFailFast:
+    def test_zero_retries_raises_immediately(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", _free_port(), timeout=1.0)
+        assert sleeps == []  # no backoff on the default path
+
+    def test_retries_exhaust_with_exponential_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", _free_port(), timeout=1.0,
+                        retries=3, backoff=0.05, jitter=0.0)
+        assert sleeps == [0.05, 0.1, 0.2]  # doubles; no sleep after the last
+
+    def test_jitter_stretches_each_delay(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        rng = random.Random(7)
+        expected_rng = random.Random(7)
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", _free_port(), timeout=1.0,
+                        retries=2, backoff=0.1, jitter=0.5, rng=rng)
+        expected = [0.1 * (1 + 0.5 * expected_rng.random()),
+                    0.2 * (1 + 0.5 * expected_rng.random())]
+        assert sleeps == pytest.approx(expected)
+        for base, actual in zip([0.1, 0.2], sleeps):
+            assert base <= actual <= base * 1.5
+
+
+class TestLateStartingServer:
+    def test_client_connects_once_the_server_is_up(self, registry):
+        """The deploy race the retries exist for: the client starts
+        dialing before the daemon has bound its socket."""
+        port = _free_port()
+        handle_box = {}
+
+        def start_late():
+            time.sleep(0.3)
+            handle_box["handle"] = start_server_thread(
+                registry, ServeConfig(port=port))
+
+        starter = threading.Thread(target=start_late)
+        starter.start()
+        try:
+            with ServeClient("127.0.0.1", port, timeout=5.0,
+                             retries=10, backoff=0.05, jitter=0.2) as client:
+                assert client.estimate("//a") == 2.0
+        finally:
+            starter.join()
+            handle_box["handle"].stop()
+
+    def test_without_retries_the_same_race_fails(self, registry):
+        port = _free_port()
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", port, timeout=1.0)

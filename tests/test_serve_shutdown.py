@@ -1,0 +1,177 @@
+"""Graceful shutdown of ``treesketch serve`` and the ``top`` console.
+
+The daemon tests run the real CLI in a subprocess and deliver real
+signals: SIGTERM must drain in-flight requests, log a final metrics
+snapshot, and exit 0.  The ``top`` tests poll a canned /statusz through
+the actual HTTP path.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import _render_statusz, main
+from repro.core.build import build_treesketch
+from repro.core.io import save_synopsis
+from repro.core.stable import build_stable
+from repro.obs.expo import ExpositionServer
+from repro.xmltree.serialize import to_xml
+from repro.xmltree.tree import XMLTree
+
+pytestmark = pytest.mark.obs
+
+_SERVE_RE = re.compile(r"on (\d+\.\d+\.\d+\.\d+):(\d+) \(protocol")
+_TELEMETRY_RE = re.compile(r"telemetry on http://([\d.]+):(\d+)")
+
+
+def _tree() -> XMLTree:
+    return XMLTree.from_nested(
+        ("r", [("a", [("p", ["k"]), "n"]), ("a", ["n"])]))
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("shutdown")
+    doc = tmp / "doc.xml"
+    doc.write_text(to_xml(_tree()))
+    sketch = tmp / "sketch.json"
+    save_synopsis(build_treesketch(build_stable(_tree()), 100 * 1024),
+                  str(sketch))
+    return {"doc": str(doc), "sketch": str(sketch)}
+
+
+def _spawn_serve(artifacts, *extra):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", artifacts["sketch"],
+         "--port", "0", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    addresses = {}
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _SERVE_RE.search(line)
+        if match:
+            addresses["serve"] = (match.group(1), int(match.group(2)))
+        match = _TELEMETRY_RE.search(line)
+        if match:
+            addresses["telemetry"] = (match.group(1), int(match.group(2)))
+        if "serve" in addresses and ("--metrics-port" not in extra
+                                     or "telemetry" in addresses):
+            return proc, addresses
+    proc.kill()
+    raise AssertionError("daemon did not report its addresses in time")
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, artifacts):
+        proc, addresses = _spawn_serve(artifacts, "--metrics-port", "0")
+        from repro.serve.client import ServeClient
+
+        with ServeClient(*addresses["serve"], retries=5) as client:
+            assert client.estimate("//a") == 2.0
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "draining in-flight requests" in out
+        assert "drained" in out
+        # The final metrics snapshot made it into the log, with the
+        # request that was served before the signal.
+        assert "final metrics snapshot" in out
+        assert "serve.requests" in out
+
+    def test_sigint_takes_the_same_path(self, artifacts):
+        proc, _ = _spawn_serve(artifacts)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "draining in-flight requests" in out
+
+    def test_trace_file_is_flushed_on_sigterm(self, artifacts, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        proc, addresses = _spawn_serve(
+            artifacts, "--metrics-port", "0", "--trace", str(trace))
+        from repro.serve.client import ServeClient
+
+        with ServeClient(*addresses["serve"], retries=5) as client:
+            client.estimate("//a", request_id="shutdown-corr")
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        ids = {(r.get("attrs") or {}).get("request_id") for r in records}
+        assert "shutdown-corr" in ids
+
+
+class TestTop:
+    STATUS = {
+        "uptime_s": 12.0,
+        "protocol": 1,
+        "admission": {"depth": 1, "max_pending": 64, "degrade_watermark": 32,
+                      "admitted_total": 9, "shed_total": 2},
+        "sketches": [{"name": "xmark", "nodes": 40, "size_bytes": 2048,
+                      "cache": {"hits": 5, "misses": 4, "size": 4,
+                                "maxsize": 256, "evictions": 0}}],
+        "latency": {"estimate": {"count": 9, "mean": 0.001, "p50": 0.001,
+                                 "p95": 0.002, "p99": 0.003}},
+        "accuracy": {"fraction": 0.1, "sampled": 1, "evaluated": 1,
+                     "dropped": 0, "failed": 0, "pending": 0,
+                     "rel_error_mean": 0.25, "rel_error_max": 0.5,
+                     "rel_error_last": 0.25},
+        "counters": {"serve.requests": 11},
+    }
+
+    def test_render_statusz_screen(self):
+        screen = _render_statusz(self.STATUS, "http://127.0.0.1:9")
+        assert "uptime 12s" in screen
+        assert "depth 1/64" in screen
+        assert "admitted 9  shed 2" in screen
+        assert "xmark" in screen and "2.0 KB" in screen
+        assert "p95" in screen and "2.00" in screen  # ms rendering
+        assert "rel error mean 0.2500  max 0.5000" in screen
+        assert "serve.requests" in screen
+
+    def test_render_handles_minimal_status(self):
+        screen = _render_statusz({}, "src")
+        assert "shadow sampler off" in screen
+
+    def test_top_polls_a_live_endpoint(self, capsys):
+        server = ExpositionServer(snapshot_provider=dict,
+                                  status_provider=lambda: self.STATUS,
+                                  port=0).start()
+        try:
+            code = main(["top", f"127.0.0.1:{server.port}",
+                         "--iterations", "2", "--interval", "0.01",
+                         "--no-clear"])
+        finally:
+            server.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("treesketch top") == 2
+        assert "depth 1/64" in out
+
+    def test_top_reports_unreachable_endpoint(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        code = main(["top", f"127.0.0.1:{port}",
+                     "--iterations", "1", "--no-clear"])
+        assert code == 1
+        assert "cannot poll" in capsys.readouterr().err
+
+    def test_top_rejects_bad_address(self, capsys):
+        assert main(["top", "no-port-here"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err

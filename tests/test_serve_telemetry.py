@@ -1,0 +1,379 @@
+"""The serving daemon's telemetry plane, end to end.
+
+Covers the acceptance bar for the operational-telemetry PR: client
+request_ids appear verbatim on the matching server-side span records;
+``/metrics`` is valid Prometheus exposition (checked with the parser
+from test_obs_expo); windowed per-op latency feeds ``/statusz``; and the
+shadow accuracy sampler is off by default and adds zero blocking work to
+the request path (pinned by counter assertions while the reference is
+wedged).
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable
+from repro.engine.exact import ExactEvaluator
+from repro.obs import ListSink
+from repro.query.parser import parse_twig
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ShadowSampler,
+    SketchRegistry,
+    SketchServer,
+    start_server_thread,
+)
+from repro.serve.shadow import load_reference, relative_error
+from repro.workload.workload import make_workload
+from repro.xmltree.tree import XMLTree
+
+from tests.test_obs_expo import parse_exposition
+
+pytestmark = pytest.mark.obs
+
+
+def _tree() -> XMLTree:
+    return XMLTree.from_nested(
+        (
+            "r",
+            [
+                ("a", [("p", ["k", "k"]), "n"]),
+                ("a", [("p", ["k"]), "n", "n"]),
+                ("a", [("b", ["t"])]),
+            ],
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sketch():
+    return build_treesketch(build_stable(_tree()), 100 * 1024)
+
+
+def _registry(sketch):
+    registry = SketchRegistry()
+    registry.register("main", sketch)
+    return registry
+
+
+def _wait_until(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.01)
+
+
+class TestRequestCorrelation:
+    def test_client_id_echoed_verbatim(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.estimate("//a", request_id="my-req-007")
+                assert client.last_request_id == "my-req-007"
+        finally:
+            handle.stop()
+
+    def test_server_mints_unique_ids(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.estimate("//a")
+                first = client.last_request_id
+                client.estimate("//a")
+                second = client.last_request_id
+            assert first and second and first != second
+            assert len(first) == 32  # uuid4 hex
+        finally:
+            handle.stop()
+
+    def test_invalid_request_ids_rejected(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                for bad in ["", "x" * 129, 7]:
+                    response = client.request("estimate", query="//a",
+                                              request_id=bad)
+                    assert response["ok"] is False
+                    assert response["error"]["code"] == "bad_request"
+                    # The connection survives; a minted id is echoed.
+                    assert response.get("request_id")
+        finally:
+            handle.stop()
+
+    def test_spans_carry_the_client_id(self, sketch):
+        """A client-sent request_id appears verbatim on both the event-loop
+        (serve.request) and worker-thread (serve.execute) span records."""
+        sink = ListSink()
+        with obs.observed(sink=sink):
+            handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+            try:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    client.estimate("//a", request_id="corr-42")
+                    client.estimate("//a", request_id="corr-43")
+            finally:
+                handle.stop()
+        by_id = {}
+        for event in sink.events:
+            attrs = event.get("attrs") or {}
+            if attrs.get("request_id"):
+                by_id.setdefault(attrs["request_id"], []).append(event["name"])
+        assert sorted(by_id["corr-42"]) == ["serve.execute", "serve.request"]
+        assert sorted(by_id["corr-43"]) == ["serve.execute", "serve.request"]
+
+    def test_workload_replay_prefix_tags_spans(self, sketch):
+        tree = _tree()
+        workload = make_workload(tree, num_queries=4, seed=1,
+                                 stable=build_stable(tree))
+        sink = ListSink()
+        with obs.observed(sink=sink):
+            handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+            try:
+                from repro.workload.runner import run_selectivity_remote
+
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    run_selectivity_remote(client, workload, sketch="main",
+                                           request_id_prefix="wl")
+            finally:
+                handle.stop()
+        ids = {(event.get("attrs") or {}).get("request_id")
+               for event in sink.events
+               if event.get("name") == "serve.request"}
+        assert {"wl-0", "wl-1", "wl-2", "wl-3"} <= ids
+
+
+class TestWindowedLatencyAndStatusz:
+    def test_latency_percentiles_flow_to_statusz(self, sketch):
+        with obs.observed():
+            handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+            try:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    for _ in range(5):
+                        client.estimate("//a")
+                status = handle.server.statusz()
+            finally:
+                handle.stop()
+        latency = status["latency"]["estimate"]
+        assert latency["count"] == 5
+        assert set(latency) == {"count", "mean", "p50", "p95", "p99"}
+        assert latency["p99"] >= latency["p50"] >= 0.0
+        assert status["counters"]["serve.requests.estimate"] == 5
+        assert status["admission"]["depth"] == 0
+        assert status["protocol"] == 1
+        assert [s["name"] for s in status["sketches"]] == ["main"]
+        assert status["accuracy"] is None
+
+    def test_statusz_works_with_obs_disabled(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.estimate("//a")
+            status = handle.server.statusz()
+        finally:
+            handle.stop()
+        assert status["latency"] == {}  # null registry records nothing
+        assert status["counters"] == {}
+        assert status["uptime_s"] >= 0.0
+
+
+class TestMetricsSidecar:
+    def test_scrape_parses_and_reflects_traffic(self, sketch):
+        with obs.observed():
+            handle = start_server_thread(
+                _registry(sketch), ServeConfig(port=0, metrics_port=0))
+            try:
+                assert handle.metrics_port is not None
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    for _ in range(3):
+                        client.estimate("//a")
+                base = f"http://{handle.metrics_host}:{handle.metrics_port}"
+                with urllib.request.urlopen(base + "/metrics", timeout=5) as r:
+                    body = r.read().decode("utf-8")
+                with urllib.request.urlopen(base + "/healthz", timeout=5) as r:
+                    health = json.loads(r.read().decode("utf-8"))
+                with urllib.request.urlopen(base + "/statusz", timeout=5) as r:
+                    status = json.loads(r.read().decode("utf-8"))
+            finally:
+                handle.stop()
+        types, samples = parse_exposition(body)
+        values = {name: value for name, labels, value in samples}
+        assert types["treesketch_serve_requests_total"] == "counter"
+        assert values["treesketch_serve_requests_total"] == "3"
+        assert types["treesketch_serve_op_latency_estimate"] == "summary"
+        assert health == {"status": "ok"}
+        assert status["counters"]["serve.requests"] == 3
+
+    def test_no_sidecar_without_metrics_port(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            assert handle.metrics_port is None
+            with pytest.raises(RuntimeError):
+                handle.server.metrics_address
+        finally:
+            handle.stop()
+
+
+class TestShadowSampler:
+    def test_off_by_default(self, sketch):
+        handle = start_server_thread(_registry(sketch), ServeConfig(port=0))
+        try:
+            assert handle.server.shadow is None
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.estimate("//a")
+                stats = client.stats()
+            assert stats["accuracy"] is None
+            # Counter pin: no sampling work happened at all.
+            assert not any(name.startswith("serve.accuracy")
+                           for name in stats["metrics"]["counters"])
+        finally:
+            handle.stop()
+
+    def test_fraction_requires_reference(self, sketch):
+        with pytest.raises(ValueError):
+            SketchServer(_registry(sketch),
+                         ServeConfig(shadow_fraction=0.5))
+
+    def test_deterministic_accumulator(self):
+        sampler = ShadowSampler(lambda q: 0.0, fraction=0.5, max_queue=16)
+        query = parse_twig("//a")
+        outcomes = [sampler.offer("s", query, 1.0) for _ in range(6)]
+        assert outcomes == [False, True, False, True, False, True]
+        assert sampler.sampled_total == 3
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ShadowSampler(lambda q: 0.0, fraction=1.5)
+        with pytest.raises(ValueError):
+            ShadowSampler(lambda q: 0.0, fraction=0.5, max_queue=0)
+
+    def test_relative_error_is_sanity_bounded(self):
+        assert relative_error(3.0, 2.0) == 0.5
+        assert relative_error(0.5, 0.0) == 0.5  # denominator floored at 1
+
+    def test_online_accuracy_end_to_end(self, sketch):
+        """A lossless sketch shadow-scored against exact truth: error 0."""
+        evaluator = ExactEvaluator(_tree())
+        with obs.observed() as registry:
+            handle = start_server_thread(_registry(sketch), ServeConfig(
+                port=0,
+                shadow_fraction=1.0,
+                shadow_reference=lambda q: float(evaluator.selectivity(q)),
+            ))
+            try:
+                sampler = handle.server.shadow
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    for query in ["//a", "//a (//p)", "//a[//b]"]:
+                        client.estimate(query)
+                _wait_until(lambda: sampler.evaluated_total == 3,
+                            message="shadow evaluations")
+                info = sampler.info()
+                stats_accuracy = handle.server.statusz()["accuracy"]
+            finally:
+                handle.stop()
+            snapshot = registry.snapshot()
+        assert info["sampled"] == 3
+        assert info["evaluated"] == 3
+        assert info["rel_error_mean"] == 0.0
+        assert info["rel_error_max"] == 0.0
+        assert stats_accuracy["evaluated"] == 3
+        assert snapshot["counters"]["serve.accuracy.sampled"] == 3
+        assert snapshot["counters"]["serve.accuracy.evaluated"] == 3
+        assert snapshot["histograms"]["serve.accuracy.rel_error"]["max"] == 0.0
+        assert "serve.accuracy.rel_error.window" in snapshot["histograms"]
+
+    def test_shadow_adds_zero_blocking_work(self, sketch):
+        """The counter pin behind the acceptance bar: with the reference
+        completely wedged, sampled requests still answer immediately, the
+        admission queue stays empty, and a full shadow queue drops (never
+        blocks).  Evaluations only land after the reference is released.
+        """
+        wedged = threading.Event()
+        release = threading.Event()
+
+        def reference(query):
+            wedged.set()
+            release.wait(timeout=30)
+            return 1.0
+
+        with obs.observed() as registry:
+            handle = start_server_thread(_registry(sketch), ServeConfig(
+                port=0,
+                shadow_fraction=1.0,
+                shadow_reference=reference,
+                shadow_max_queue=1,
+            ))
+            try:
+                sampler = handle.server.shadow
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    client.estimate("//a")        # drained -> wedges the thread
+                    assert wedged.wait(timeout=10)
+                    client.estimate("//a (//p)")  # sits in the queue (size 1)
+                    client.estimate("//a[//b]")   # queue full -> dropped
+                    # All three responses already returned: the wedged
+                    # reference never slowed the request path.
+                    assert sampler.sampled_total == 3
+                    assert sampler.evaluated_total == 0
+                    assert sampler.dropped_total == 1
+                    assert handle.server.admission.depth == 0
+                    # Data plane still live (this offer is dropped too:
+                    # the queue is still full behind the wedged thread).
+                    client.estimate("//a")
+                release.set()
+                _wait_until(lambda: sampler.evaluated_total == 2,
+                            message="post-release evaluations")
+            finally:
+                release.set()
+                handle.stop()
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.admitted"] == 4
+        assert snapshot["counters"]["serve.accuracy.sampled"] == 4
+        assert snapshot["counters"]["serve.accuracy.dropped"] == 2
+
+    def test_reference_failures_are_counted_not_fatal(self, sketch):
+        def reference(query):
+            raise RuntimeError("reference document is gone")
+
+        with obs.observed() as registry:
+            handle = start_server_thread(_registry(sketch), ServeConfig(
+                port=0, shadow_fraction=1.0, shadow_reference=reference))
+            try:
+                sampler = handle.server.shadow
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    client.estimate("//a")
+                    _wait_until(lambda: sampler.failed_total == 1,
+                                message="failed shadow evaluation")
+                    # The sampler thread survived the exception.
+                    client.estimate("//a (//p)")
+                    _wait_until(lambda: sampler.failed_total == 2,
+                                message="second failure")
+            finally:
+                handle.stop()
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.accuracy.failed"] == 2
+        assert "serve.accuracy.rel_error" not in snapshot["histograms"]
+
+
+class TestLoadReference:
+    def test_xml_reference_is_exact(self, tmp_path, sketch):
+        from repro.xmltree.serialize import to_xml
+
+        path = tmp_path / "doc.xml"
+        path.write_text(to_xml(_tree()))
+        reference = load_reference(str(path))
+        query = parse_twig("//a (//p)")
+        assert reference(query) == float(ExactEvaluator(_tree()).selectivity(query))
+
+    def test_synopsis_reference(self, tmp_path, sketch):
+        from repro.core.io import save_synopsis
+
+        path = tmp_path / "stable.json"
+        save_synopsis(build_stable(_tree()), str(path))
+        reference = load_reference(str(path))
+        assert reference(parse_twig("//a")) == 3.0
