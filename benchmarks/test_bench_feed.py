@@ -9,10 +9,13 @@ how to reproduce these numbers.
 
 * Construction: TSBUILD on the largest bundled dataset (XMark, the
   biggest count-stable summary of repro.datagen.DATASETS) at the paper's
-  10 KB budget.  Before = ``TSBuildOptions(reference=True)`` (the seed
-  scorer and from-scratch CREATEPOOL, verbatim); after = the optimized
-  defaults.  The two sketches are asserted identical, and the speedup is
-  asserted >= 1.5x -- the acceptance bar of the perf overhaul.
+  10 KB budget, three arms: before = ``TSBuildOptions(reference=True)``
+  (the seed scorer and from-scratch CREATEPOOL, verbatim); after = the
+  optimized dict path (``kernel="dicts"``); kernel = the flat-array
+  scoring kernel (``kernel="arrays"``, the shipping default via
+  ``"auto"``).  All three sketches are asserted identical; the dict-path
+  speedup must hold the >= 1.5x acceptance bar of the perf overhaul and
+  the arrays kernel must be strictly faster than the dict path.
 
 * Serving: a repeated selectivity workload over the built sketch, with
   and without the canonical-query LRU cache.
@@ -75,16 +78,30 @@ def test_bench_feed():
     stable = build_stable(tree)
 
     # ------------------------------------------------------------------
-    # Construction: seed vs optimized, same machine, same process.
+    # Construction: seed vs dict path vs array kernel, same machine,
+    # same process.
     # ------------------------------------------------------------------
     before_sketch, before_s, before_counters = _timed_build(
         stable, TSBuildOptions(reference=True)
     )
-    after_sketch, after_s, after_counters = _timed_build(stable, TSBuildOptions())
+    after_sketch, after_s, after_counters = _timed_build(
+        stable, TSBuildOptions(kernel="dicts")
+    )
+    kernel_sketch, kernel_s, kernel_counters = _timed_build(
+        stable, TSBuildOptions(kernel="arrays")
+    )
     assert _sketch_state(before_sketch) == _sketch_state(after_sketch), (
         "optimized TSBUILD diverged from the seed implementation"
     )
+    assert _sketch_state(before_sketch) == _sketch_state(kernel_sketch), (
+        "array-kernel TSBUILD diverged from the seed implementation"
+    )
     build_speedup = before_s / after_s
+    kernel_speedup = before_s / kernel_s
+
+    def _tsbuild_counters(flat):
+        return {k: v for k, v in flat.items()
+                if k.startswith("counters.tsbuild.")}
 
     build_doc = {
         "benchmark": "tsbuild_construction",
@@ -96,16 +113,23 @@ def test_bench_feed():
         "before": {
             "impl": "seed (TSBuildOptions(reference=True))",
             "seconds": round(before_s, 3),
-            "counters": {k: v for k, v in before_counters.items()
-                         if k.startswith("counters.tsbuild.")},
+            "counters": _tsbuild_counters(before_counters),
         },
         "after": {
-            "impl": "optimized (memoize + incremental_pool + fast scorer)",
+            "impl": "optimized dict path (memoize + incremental_pool + "
+                    "fast scorer, kernel='dicts')",
             "seconds": round(after_s, 3),
-            "counters": {k: v for k, v in after_counters.items()
-                         if k.startswith("counters.tsbuild.")},
+            "counters": _tsbuild_counters(after_counters),
+        },
+        "kernel": {
+            "impl": "array kernel (flat CSR partition state, "
+                    "kernel='arrays')",
+            "seconds": round(kernel_s, 3),
+            "counters": _tsbuild_counters(kernel_counters),
         },
         "speedup": round(build_speedup, 2),
+        "speedup_kernel": round(kernel_speedup, 2),
+        "kernel_vs_dicts": round(after_s / kernel_s, 2),
     }
     (REPO_ROOT / "BENCH_build.json").write_text(
         json.dumps(build_doc, indent=2) + "\n"
@@ -168,9 +192,11 @@ def test_bench_feed():
     emit(
         "bench_feed",
         "\n".join([
-            "Perf feed (before -> after, same machine & process)",
+            "Perf feed (before -> after -> kernel, same machine & process)",
             f"  build  {DATASET}@{BUDGET_KB}KB: "
-            f"{before_s:.2f}s -> {after_s:.2f}s  ({build_speedup:.2f}x)",
+            f"{before_s:.2f}s -> {after_s:.2f}s ({build_speedup:.2f}x) "
+            f"-> {kernel_s:.2f}s ({kernel_speedup:.2f}x cumulative, "
+            f"{after_s / kernel_s:.2f}x over dicts)",
             f"  eval   {EVAL_QUERIES} queries x {rounds} rounds: "
             f"{uncached_s:.3f}s -> {cached_s:.3f}s  ({eval_speedup:.2f}x)",
             "  -> BENCH_build.json, BENCH_eval.json",
@@ -181,5 +207,9 @@ def test_bench_feed():
         f"construction speedup {build_speedup:.2f}x fell below the "
         f"{MIN_BUILD_SPEEDUP}x acceptance bar (before {before_s:.2f}s, "
         f"after {after_s:.2f}s)"
+    )
+    assert kernel_s < after_s, (
+        f"the arrays kernel ({kernel_s:.2f}s) must beat the dict path "
+        f"({after_s:.2f}s) on {DATASET}"
     )
     assert eval_speedup > 1.0

@@ -209,7 +209,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         from repro.core.qcache import QueryCache
 
         cache = QueryCache(sketch, maxsize=args.eval_cache)
-    quality = run_selectivity(sketch, workload, cache=cache)
+    quality = run_selectivity(sketch, workload, cache=cache, batch=args.batch)
     print(
         f"workload: {len(workload)} queries over {args.document} "
         f"(seed {args.seed}), sketch {sketch.size_bytes() / 1024:.1f} KB"
@@ -454,9 +454,17 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     sketch = _load_sketch(args.sketch)
     queries = [parse_twig(text) for text in twigs]
     cache = QueryCache(sketch, maxsize=args.cache_size)
-    for _ in range(args.repeat):
-        for text, query in zip(twigs, queries):
-            print(f"{cache.selectivity(query):>16,.1f}  {text}")
+    if args.batch:
+        from repro.core.estimate import estimate_selectivity_batch
+
+        for _ in range(args.repeat):
+            results = [cache.result(query) for query in queries]
+            for text, est in zip(twigs, estimate_selectivity_batch(results)):
+                print(f"{est:>16,.1f}  {text}")
+    else:
+        for _ in range(args.repeat):
+            for text, query in zip(twigs, queries):
+                print(f"{cache.selectivity(query):>16,.1f}  {text}")
     info = cache.info()
     print(
         f"eval cache: {info['hits']} hits, {info['misses']} misses, "
@@ -576,6 +584,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--request-prefix", metavar="PREFIX",
                    help="in --server mode, tag the n-th request with "
                         "request_id PREFIX-n for trace correlation")
+    p.add_argument("--batch", action="store_true",
+                   help="estimate all selectivities in one vectorized pass "
+                        "(numpy when available; ignored in --server mode)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_workload)
@@ -644,6 +655,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="canonical-query LRU capacity (default 256)")
     p.add_argument("--repeat", type=int, default=1,
                    help="evaluate the query list this many times (cache demo)")
+    p.add_argument("--batch", action="store_true",
+                   help="estimate the whole query list per pass via "
+                        "estimate_selectivity_batch (numpy when available)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_estimate)

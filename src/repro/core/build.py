@@ -29,6 +29,7 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.core.kernel import KernelPartition
 from repro.core.partition import MergePartition
 from repro.core.pool import PoolState, create_pool, create_pool_reference
 from repro.core.stable import StableSummary, build_stable
@@ -62,8 +63,16 @@ class TSBuildOptions:
       and structural-key cache across regenerations;
     * ``workers`` -- fan candidate scoring across a process pool
       (``1`` = serial; needs a fork-capable platform, else falls back);
+    * ``kernel`` -- the partition/scoring backend: ``"arrays"`` is the
+      flat-array :class:`repro.core.kernel.KernelPartition` (CSR adjacency,
+      slot-table sufficient statistics, epoch-stamped scratch -- the
+      fastest path, bit-identical output), ``"dicts"`` the original
+      dict-backed :class:`MergePartition`, and ``"auto"`` (default) picks
+      arrays whenever the stable summary has dense ids (always true for
+      ``build_stable`` output) and falls back to dicts otherwise;
     * ``reference`` -- run the seed scorer and from-scratch CREATEPOOL
-      verbatim, ignoring the three knobs above (benchmark baseline).
+      verbatim, ignoring the knobs above (benchmark baseline; implies the
+      dict-backed partition).
     """
 
     heap_upper: int = 10_000
@@ -74,6 +83,7 @@ class TSBuildOptions:
     memoize: bool = True
     incremental_pool: bool = True
     workers: int = 1
+    kernel: str = "auto"
     reference: bool = False
 
 
@@ -93,7 +103,7 @@ class TreeSketchBuilder:
         stable = source if isinstance(source, StableSummary) else build_stable(source)
         self.stable = stable
         self.options = options or TSBuildOptions()
-        self.partition = MergePartition(stable)
+        self.partition = self._make_partition(stable)
         self.merges_applied = 0
         #: Whether the most recent ``compress_to`` call met its budget.
         self.reached_budget = False
@@ -102,6 +112,25 @@ class TreeSketchBuilder:
         self._pool_state: Optional[PoolState] = None
         if self.options.memoize and not self.options.reference:
             self.partition.enable_memo()
+
+    def _make_partition(self, stable: StableSummary):
+        """Instantiate the partition backend selected by ``options.kernel``."""
+        opts = self.options
+        kernel = opts.kernel
+        if kernel not in ("auto", "arrays", "dicts"):
+            raise ValueError(
+                f"unknown kernel {kernel!r} (expected 'arrays', 'dicts' or 'auto')"
+            )
+        if opts.reference or kernel == "dicts":
+            # The reference path scores through evaluate_merge_reference,
+            # which lives on the dict-backed partition.
+            return MergePartition(stable)
+        if kernel == "arrays":
+            return KernelPartition(stable)
+        try:  # auto: arrays when the summary has dense ids, else dicts
+            return KernelPartition(stable)
+        except ValueError:
+            return MergePartition(stable)
 
     # ------------------------------------------------------------------
 
@@ -121,7 +150,7 @@ class TreeSketchBuilder:
             self._merged_into[s] = cid
         return cid
 
-    def _generate_pool(self, part: MergePartition):
+    def _generate_pool(self, part):
         opts = self.options
         if opts.reference:
             return create_pool_reference(
@@ -137,7 +166,7 @@ class TreeSketchBuilder:
             state=state, memoize=opts.memoize, workers=opts.workers,
         )
 
-    def _apply_merge(self, part: MergePartition, u: int, v: int) -> None:
+    def _apply_merge(self, part, u: int, v: int) -> None:
         """Apply one merge and keep the incremental pool state in step."""
         state = self._pool_state
         if state is not None:
@@ -171,6 +200,15 @@ class TreeSketchBuilder:
         memo_hits = metrics.counter("tsbuild.memo_hits")
         memo_misses = metrics.counter("tsbuild.memo_misses")
         hits_before, misses_before = part.memo_hits, part.memo_misses
+        # Which partition backend served this build (see options.kernel).
+        metrics.counter(
+            "tsbuild.kernel_arrays"
+            if isinstance(part, KernelPartition)
+            else "tsbuild.kernel_dicts"
+        ).inc()
+        state = self._pool_state
+        skey_hits_before = state.key_hits if state is not None else 0
+        skey_recomputes_before = state.key_recomputes if state is not None else 0
         # The merge loop allocates millions of short-lived tuples and never
         # creates reference cycles, so cyclic GC passes are pure overhead
         # (~15-20% on large builds); suspend collection for the duration.
@@ -184,6 +222,14 @@ class TreeSketchBuilder:
                 gc.enable()
         memo_hits.inc(part.memo_hits - hits_before)
         memo_misses.inc(part.memo_misses - misses_before)
+        state = self._pool_state
+        if state is not None:
+            metrics.counter("tsbuild.skey_cache_hits").inc(
+                state.key_hits - skey_hits_before
+            )
+            metrics.counter("tsbuild.skey_recomputes").inc(
+                state.key_recomputes - skey_recomputes_before
+            )
         logger.info(
             "tsbuild: %d bytes (budget %d), %d nodes, sq %.1f, %d merges total",
             part.size_bytes(), budget_bytes, part.num_nodes,
@@ -191,7 +237,7 @@ class TreeSketchBuilder:
         )
         return part.to_treesketch()
 
-    def _compress_loop(self, part: MergePartition, budget_bytes: int,
+    def _compress_loop(self, part, budget_bytes: int,
                        pool_regens) -> None:
         opts = self.options
         merges_before = self.merges_applied
@@ -263,10 +309,15 @@ class TreeSketchBuilder:
                 stale.inc()
                 if reference:
                     result = part.evaluate_merge_reference(u, v)
+                    if result.sized <= 0:
+                        continue  # non-improving by definition: drop it
                     entry = (result.ratio, result.errd, result.sized,
                              u, v, cur_u, cur_v)
                 else:
-                    entry = part.scored_merge(u, v) + (u, v, cur_u, cur_v)
+                    scored = part.scored_merge(u, v)
+                    if scored[2] <= 0:
+                        continue  # non-improving by definition: drop it
+                    entry = scored + (u, v, cur_u, cur_v)
                 heapq.heappush(heap, entry)
                 continue
             self._apply_merge(part, u, v)

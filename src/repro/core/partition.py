@@ -45,7 +45,16 @@ ScoredMerge = Tuple[float, float, int]
 class MergeResult:
     """Score of a candidate merge: errd (squared-error increase) and sized
     (synopsis-size decrease in bytes).  ``ratio`` is the marginal-gain key
-    of the TSBUILD heap."""
+    of the TSBUILD heap.
+
+    Tiebreak for degenerate scores: a merge with ``sized <= 0`` saves no
+    space, so it is *non-improving by definition* -- ``ratio`` reports
+    ``+inf`` (instead of raising ZeroDivisionError) and candidate
+    generation skips such entries at pool insertion.  With the library's
+    size model this cannot arise from real summaries (a merge always
+    removes one node, so ``sized >= NODE_BYTES``), but synthetic or
+    future size models must not crash the heap.
+    """
 
     __slots__ = ("errd", "sized")
 
@@ -55,7 +64,7 @@ class MergeResult:
 
     @property
     def ratio(self) -> float:
-        return self.errd / self.sized
+        return self.errd / self.sized if self.sized > 0 else float("inf")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MergeResult(errd={self.errd:.3f}, sized={self.sized})"
@@ -109,8 +118,16 @@ class MergePartition:
 
         self.num_edges: int = stable.num_edges
         self.total_sq: float = 0.0
-        # Version stamps for lazy heap invalidation.
+        # Version stamps for lazy heap invalidation.  ``version`` bumps on
+        # *every* change that can move a cluster's merge score (its own
+        # state, a parent's dims, a parent's count); ``struct_version``
+        # bumps only on child-side changes -- the cluster's own dims or
+        # count.  Merge scores read both sides, so the memo and the heap
+        # key on ``version``; CREATEPOOL's structural key reads only the
+        # child side, so its cache keys on ``struct_version`` and
+        # survives parent-only updates (see docs/PERFORMANCE.md).
         self.version: Dict[int, int] = {nid: 0 for nid in stable.node_ids()}
+        self.struct_version: Dict[int, int] = {nid: 0 for nid in stable.node_ids()}
         # Optional versioned memo of merge scores (see enable_memo).
         self.merge_memo: Optional[Dict[Tuple[int, int], Tuple[int, int, float, float, int]]] = None
         self.memo_hits: int = 0
@@ -133,6 +150,13 @@ class MergePartition:
     def parents_of(self, cid: int) -> Set[int]:
         """Clusters with at least one edge into ``cid``."""
         return {self.assign[s] for s in self.in_sources[cid]}
+
+    def structural_key(self, cid: int) -> Tuple[float, float, int]:
+        """CREATEPOOL's cheap locality key: child-side state only
+        (out-degree, average total child count, extent size)."""
+        out = self.out_stats[cid]
+        total = sum(s for s, _ in out.values()) / max(1, self.count[cid])
+        return (len(out), total, self.count[cid])
 
     # ------------------------------------------------------------------
     # Candidate scoring
@@ -336,7 +360,7 @@ class MergePartition:
         memo = self.merge_memo
         if memo is None:
             errd, sized = self._eval_raw(u, v)
-            return errd / sized, errd, sized
+            return errd / sized if sized > 0 else float("inf"), errd, sized
         version = self.version
         ver_u = version.get(u, 0)
         ver_v = version.get(v, 0)
@@ -347,7 +371,7 @@ class MergePartition:
             return entry[2], entry[3], entry[4]
         self.memo_misses += 1
         errd, sized = self._eval_raw(u, v)
-        ratio = errd / sized
+        ratio = errd / sized if sized > 0 else float("inf")
         memo[key] = (ver_u, ver_v, ratio, errd, sized)
         return ratio, errd, sized
 
@@ -448,10 +472,16 @@ class MergePartition:
             self.total_sq += new_sq - old_sq
             self.num_edges += 1 - old_dims
             self.version[p] = self.version.get(p, 0) + 1
+            self.struct_version[p] = self.struct_version.get(p, 0) + 1
 
         # 5. Invalidate heap entries touching u, its parents, its children.
+        # Children get a full-version bump only: their own dims and count
+        # are untouched (the change is on their parent's side), so their
+        # structural key stays valid under ``struct_version``.
         self.version[u] = self.version.get(u, 0) + 1
+        self.struct_version[u] = self.struct_version.get(u, 0) + 1
         self.version.pop(v, None)
+        self.struct_version.pop(v, None)
         for child in self.out_stats[u]:
             if child != u:
                 self.version[child] = self.version.get(child, 0) + 1

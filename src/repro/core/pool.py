@@ -46,10 +46,11 @@ from repro.core.partition import MergePartition
 PoolEntry = Tuple[float, float, int, int, int]
 
 
-def _structural_key(partition: MergePartition, cid: int) -> Tuple[float, float, int]:
-    out = partition.out_stats[cid]
-    total = sum(s for s, _ in out.values()) / max(1, partition.count[cid])
-    return (len(out), total, partition.count[cid])
+def _structural_key(partition, cid: int) -> Tuple[float, float, int]:
+    # Dispatches to the partition implementation (dict-backed
+    # MergePartition or the flat-array KernelPartition) -- both compute
+    # the identical floats.
+    return partition.structural_key(cid)
 
 
 class _BoundedBest:
@@ -97,9 +98,9 @@ class PoolState:
     incremental state against a from-scratch rebuild.
     """
 
-    __slots__ = ("groups", "max_depth", "_keys")
+    __slots__ = ("groups", "max_depth", "_keys", "key_hits", "key_recomputes")
 
-    def __init__(self, partition: MergePartition) -> None:
+    def __init__(self, partition) -> None:
         groups: Dict[str, Dict[int, Set[int]]] = {}
         max_depth = 0
         depth_of = partition.cluster_depth
@@ -111,12 +112,23 @@ class PoolState:
         self.groups = groups
         self.max_depth = max_depth
         self._keys: Dict[int, Tuple[int, Tuple[float, float, int]]] = {}
+        self.key_hits = 0
+        self.key_recomputes = 0
 
-    def structural_key(self, partition: MergePartition, cid: int):
-        version = partition.version.get(cid, 0)
+    def structural_key(self, partition, cid: int):
+        # Cached under ``struct_version`` (child-side stamps only): a
+        # parent-only update -- the cluster's parent merged, changing
+        # count/dims *on the parent's side* -- bumps ``version`` but not
+        # ``struct_version``, and the structural key provably depends only
+        # on the cluster's own dims and count.  Keying on the full
+        # ``version`` (the pre-split behaviour) forced a recompute on
+        # every such bump.
+        version = partition.struct_version.get(cid, 0)
         cached = self._keys.get(cid)
         if cached is not None and cached[0] == version:
+            self.key_hits += 1
             return cached[1]
+        self.key_recomputes += 1
         key = _structural_key(partition, cid)
         self._keys[cid] = (version, key)
         return key
@@ -150,7 +162,7 @@ class PoolState:
                 buckets_u.setdefault(new_depth, set()).add(u)
         self._keys.pop(v, None)
 
-    def rebuilt_groups(self, partition: MergePartition) -> Dict[str, Dict[int, Set[int]]]:
+    def rebuilt_groups(self, partition) -> Dict[str, Dict[int, Set[int]]]:
         """A from-scratch grouping for consistency audits (tests only)."""
         return PoolState(partition).groups
 
@@ -243,10 +255,10 @@ def _level_pairs(
 # Parallel scoring (workers > 1): fork-based process pool
 # ----------------------------------------------------------------------
 
-_WORKER_PARTITION: Optional[MergePartition] = None
+_WORKER_PARTITION = None  # MergePartition or KernelPartition (fork-shared)
 
 
-def _worker_init(partition: MergePartition) -> None:
+def _worker_init(partition) -> None:
     global _WORKER_PARTITION
     _WORKER_PARTITION = partition
 
@@ -258,11 +270,12 @@ def _worker_score(pairs: List[Tuple[int, int]]) -> List[PoolEntry]:
     append = out.append
     for u, v in pairs:
         errd, sized = raw(u, v)
-        append((errd / sized, errd, sized, u, v))
+        ratio = errd / sized if sized > 0 else float("inf")
+        append((ratio, errd, sized, u, v))
     return out
 
 
-def _make_worker_pool(partition: MergePartition, workers: int):
+def _make_worker_pool(partition, workers: int):
     """A fork-context pool whose workers share ``partition`` by COW memory.
 
     Returns None when fork is unavailable (caller falls back to serial).
@@ -283,7 +296,7 @@ def _make_worker_pool(partition: MergePartition, workers: int):
 
 
 def create_pool(
-    partition: MergePartition,
+    partition,
     heap_upper: int,
     pair_window: Optional[int] = 32,
     stop_when_full: bool = False,
@@ -380,6 +393,8 @@ def create_pool(
                             and entry[1] == version[pair[1]]
                         ):
                             hits += 1
+                            if entry[4] <= 0:
+                                continue  # non-improving: never pooled
                             item = (-entry[2], entry[3], entry[4],
                                     pair[0], pair[1])
                             if len(heap) < heap_upper:
@@ -399,9 +414,14 @@ def create_pool(
                     partition.memo_misses += len(pairs)
                     for u, v in pairs:
                         errd, sized = raw(u, v)
-                        ratio = errd / sized
+                        if sized > 0:
+                            ratio = errd / sized
+                        else:
+                            ratio = float("inf")
                         memo[(u, v)] = (version[u], version[v],
                                         ratio, errd, sized)
+                        if sized <= 0:
+                            continue  # non-improving: skip at insertion
                         item = (-ratio, errd, sized, u, v)
                         if len(heap) < heap_upper:
                             heappush(heap, item)
@@ -410,6 +430,8 @@ def create_pool(
                 else:
                     for u, v in pairs:
                         errd, sized = raw(u, v)
+                        if sized <= 0:
+                            continue  # non-improving: skip at insertion
                         item = (-(errd / sized), errd, sized, u, v)
                         if len(heap) < heap_upper:
                             heappush(heap, item)
@@ -423,6 +445,8 @@ def create_pool(
                         if memo is not None:
                             memo[(u, v)] = (version[u], version[v],
                                             ratio, errd, sized)
+                        if sized <= 0:
+                            continue  # non-improving: skip at insertion
                         item = (-ratio, errd, sized, u, v)
                         if len(heap) < heap_upper:
                             heappush(heap, item)
@@ -534,4 +558,6 @@ def _pair_up(
 
 def _score(partition: MergePartition, u: int, v: int, best: _BoundedBest) -> None:
     result = partition.evaluate_merge_reference(u, v)
+    if result.sized <= 0:
+        return  # non-improving by definition: skip at pool insertion
     best.push((result.ratio, result.errd, result.sized, u, v))

@@ -13,10 +13,12 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import obs
 from repro.core.build import TSBuildOptions, TreeSketchBuilder
+from repro.core.kernel import KernelPartition
 from repro.core.partition import MergePartition
 from repro.core.pool import PoolState, create_pool, create_pool_reference
-from repro.core.stable import build_stable
+from repro.core.stable import StableSummary, build_stable
 from repro.datagen.datasets import TX_DATASETS
 from tests.conftest import make_random_tree
 
@@ -42,6 +44,10 @@ OPTIMIZED_VARIANTS = {
     "incremental_only": TSBuildOptions(memoize=False),
     "plain_scorer": TSBuildOptions(memoize=False, incremental_pool=False),
     "workers": TSBuildOptions(workers=2),
+    "kernel": TSBuildOptions(kernel="arrays"),
+    "kernel_plain": TSBuildOptions(
+        kernel="arrays", memoize=False, incremental_pool=False
+    ),
 }
 
 
@@ -158,6 +164,109 @@ def test_pool_state_tracks_merges():
         }
         live = {label: buckets for label, buckets in live.items() if buckets}
         assert live == fresh
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(20, 150))
+def test_three_scorers_bitwise_identical(seed, size):
+    """Reference, dict fast path, and array kernel agree on every pair.
+
+    The array kernel is only admissible if its ``(errd, sized)`` equals
+    the seed scorer's *bitwise* -- any rounding drift could flip a heap
+    comparison and change the merge sequence.  Both orientations of every
+    candidate pair are cross-checked on evolving (post-merge) states.
+    """
+    rng = random.Random(seed)
+    stable = build_stable(make_random_tree(rng, size))
+    dicts = MergePartition(stable)
+    kern = KernelPartition(stable)
+    pool = create_pool_reference(dicts, heap_upper=50, pair_window=None)
+    for _ in range(3):
+        if not pool:
+            break
+        _ratio, _errd, _sized, u, v = pool[0]
+        for a, b in [(u, v), (v, u)]:
+            ref = dicts.evaluate_merge_reference(a, b)
+            d_score = dicts._eval_raw(a, b)
+            k_score = kern._eval_raw(a, b)
+            assert d_score == (ref.errd, ref.sized) == k_score
+        dicts.apply_merge(u, v)
+        kern.apply_merge(u, v)
+        pool = create_pool_reference(dicts, heap_upper=50, pair_window=None)
+
+
+@pytest.mark.parametrize("no_numpy", [False, True], ids=["numpy", "no_numpy"])
+def test_kernel_full_build_matches_reference(no_numpy, monkeypatch):
+    """End-to-end: the arrays kernel emits the seed sketch, numpy or not.
+
+    The kernel's hot path is pure Python by design (numpy only backs
+    diagnostics and audits), so REPRO_NO_NUMPY must not change a single
+    bit of the output.
+    """
+    if no_numpy:
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    rng = random.Random(42)
+    stable = build_stable(make_random_tree(rng, 600))
+    for budget_kb in (6, 3):
+        ref = TreeSketchBuilder(
+            stable, TSBuildOptions(reference=True)
+        ).compress_to(budget_kb * 1024)
+        arr = TreeSketchBuilder(
+            stable, TSBuildOptions(kernel="arrays")
+        ).compress_to(budget_kb * 1024)
+        _assert_same_sketch(ref, arr)
+
+
+def test_kernel_and_dicts_do_identical_work():
+    """Bit-identical scoring implies identical heap/memo traffic."""
+    rng = random.Random(8)
+    stable = build_stable(make_random_tree(rng, 500))
+
+    def counters(kernel):
+        with obs.observed() as registry:
+            TreeSketchBuilder(
+                stable, TSBuildOptions(kernel=kernel)
+            ).compress_to(1024)
+        flat = obs.report.flatten_snapshot(registry.snapshot())
+        return {
+            k: v for k, v in flat.items()
+            if k.startswith("counters.tsbuild.")
+            and "kernel" not in k and "skey" not in k
+        }
+
+    arrays = counters("arrays")
+    dicts = counters("dicts")
+    assert arrays == dicts
+    assert arrays["counters.tsbuild.merges_applied"] > 0
+
+
+def test_kernel_selection_and_sparse_fallback():
+    """kernel= option routing, including auto's dense-id fallback."""
+    sparse = StableSummary()
+    sparse.add_node(0, "r", 1)
+    sparse.add_node(5, "a", 3)  # gap: ids are not dense
+    sparse.add_edge(0, 5, 3)
+    sparse.depth = {0: 1, 5: 0}
+    sparse.root_id = 0
+
+    with pytest.raises(ValueError):
+        KernelPartition(sparse)
+    with pytest.raises(ValueError):
+        TreeSketchBuilder(sparse, TSBuildOptions(kernel="arrays"))
+    auto = TreeSketchBuilder(sparse, TSBuildOptions(kernel="auto"))
+    assert isinstance(auto.partition, MergePartition)
+    with pytest.raises(ValueError):
+        TreeSketchBuilder(sparse, TSBuildOptions(kernel="simd"))
+
+    dense = build_stable(make_random_tree(random.Random(1), 80))
+    assert isinstance(
+        TreeSketchBuilder(dense, TSBuildOptions(kernel="auto")).partition,
+        KernelPartition,
+    )
+    assert isinstance(
+        TreeSketchBuilder(dense, TSBuildOptions(reference=True)).partition,
+        MergePartition,
+    )
 
 
 def test_memo_invalidated_by_version_bumps():

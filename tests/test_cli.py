@@ -82,6 +82,22 @@ class TestServeCommand:
                      "--port", "0"]) == 2
         assert "already registered" in capsys.readouterr().err
 
+    def test_estimate_batch_matches_sequential(self, xml_file, tmp_path, capsys):
+        sketch_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", sketch_path])
+        capsys.readouterr()
+        twigs = ["//a (//p)", "//a (//b)"]
+        assert main(["estimate", sketch_path, *twigs]) == 0
+        sequential = capsys.readouterr().out.splitlines()[:2]
+        assert main(["estimate", sketch_path, *twigs, "--batch"]) == 0
+        batch = capsys.readouterr().out.splitlines()[:2]
+        assert batch == sequential
+
+    def test_workload_batch_flag(self, xml_file, capsys):
+        assert main(["workload", xml_file, "--queries", "5",
+                     "--budget-kb", "64", "--batch"]) == 0
+        assert "avg selectivity error" in capsys.readouterr().out
+
     def test_gzip_sketch_through_cli(self, xml_file, tmp_path, capsys):
         """build and query accept .json.gz paths transparently."""
         sketch_path = str(tmp_path / "sketch.json.gz")

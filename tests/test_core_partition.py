@@ -170,3 +170,60 @@ class TestApplyMerge:
             sections = [c for c in part.members if part.cluster_label[c] == "s"]
         ts = part.to_treesketch()
         ts.validate()
+
+
+class TestNonImprovingMerges:
+    """sized <= 0 candidates: defined ratio, skipped at pool insertion.
+
+    A merge that frees no space cannot improve the error/size trade-off;
+    ``MergeResult.ratio`` reports it as ``inf`` (instead of raising
+    ZeroDivisionError) and candidate generation never pools it.
+    """
+
+    def test_ratio_is_inf_not_zero_division(self):
+        from repro.core.partition import MergeResult
+
+        assert MergeResult(5.0, 0).ratio == float("inf")
+        assert MergeResult(0.0, 0).ratio == float("inf")
+        assert MergeResult(5.0, -EDGE_BYTES).ratio == float("inf")
+        assert MergeResult(6.0, 3).ratio == 2.0
+
+    def test_scored_merge_guards_sized(self, monkeypatch):
+        part = MergePartition(build_stable(make_random_tree(random.Random(0), 60)))
+        monkeypatch.setattr(part, "_eval_raw", lambda u, v: (1.0, 0))
+        u, v = label_pairs(part)[0]
+        assert part.scored_merge(u, v) == (float("inf"), 1.0, 0)
+        part.enable_memo()
+        assert part.scored_merge(u, v) == (float("inf"), 1.0, 0)
+        # Served from the memo on repeat, still guarded.
+        assert part.scored_merge(u, v) == (float("inf"), 1.0, 0)
+        assert part.memo_hits == 1
+
+    @pytest.mark.parametrize("memoize", [False, True])
+    def test_pool_skips_non_improving_candidates(self, memoize, monkeypatch):
+        from repro.core.pool import PoolState, create_pool
+
+        part = MergePartition(build_stable(make_random_tree(random.Random(1), 80)))
+        assert label_pairs(part), "need at least one candidate pair"
+        monkeypatch.setattr(part, "_eval_raw", lambda u, v: (1.0, 0))
+        state = None
+        if memoize:
+            part.enable_memo()
+            state = PoolState(part)
+        pool = create_pool(part, 100, None, state=state, memoize=memoize)
+        assert pool == []
+        if memoize:
+            # The memoized entries are re-served on the second pass and
+            # must stay excluded there too.
+            assert create_pool(part, 100, None, state=state, memoize=True) == []
+            assert part.memo_hits > 0
+
+    def test_kernel_scored_merge_guards_sized(self, monkeypatch):
+        from repro.core.kernel import KernelPartition
+
+        part = KernelPartition(build_stable(make_random_tree(random.Random(2), 60)))
+        monkeypatch.setattr(part, "_eval_raw", lambda u, v: (2.0, 0))
+        u, v = label_pairs(part)[0]
+        assert part.scored_merge(u, v) == (float("inf"), 2.0, 0)
+        part.enable_memo()
+        assert part.scored_merge(u, v) == (float("inf"), 2.0, 0)

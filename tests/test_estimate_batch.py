@@ -1,0 +1,96 @@
+"""Batch selectivity estimation vs. the scalar estimator.
+
+``estimate_selectivity_batch`` flattens many result-sketch DPs into
+shared arrays and runs them through numpy scatter ops.  Because
+``np.add.at`` / ``np.multiply.at`` are unbuffered (applied strictly in
+array order) and the arrays are emitted in the scalar estimator's
+iteration order, the batch path must agree with the sequential one
+*exactly* -- these tests assert ``==`` on the floats, not approximate
+closeness.  The pure-python fallback (``REPRO_NO_NUMPY``) is the scalar
+estimator itself, so it is trivially identical; the tests prove the
+gate actually routes there.
+"""
+
+import random
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity, estimate_selectivity_batch
+from repro.core.evaluate import eval_query
+from repro.core.npsupport import have_numpy
+from repro.core.stable import build_stable
+from repro.query.parser import parse_twig
+from repro.workload.runner import run_selectivity
+from repro.workload.workload import make_workload
+from tests.conftest import make_random_tree
+
+
+def _workload_results(seed, size=300, queries=25, budget_kb=4):
+    rng = random.Random(seed)
+    tree = make_random_tree(rng, size)
+    stable = build_stable(tree)
+    sketch = build_treesketch(stable, budget_kb * 1024)
+    wl = make_workload(tree, num_queries=queries, seed=seed, stable=stable)
+    return sketch, wl, [eval_query(sketch, q) for q in wl.queries]
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_batch_equals_sequential(seed):
+    _sketch, _wl, results = _workload_results(seed)
+    sequential = [estimate_selectivity(r) for r in results]
+    assert estimate_selectivity_batch(results) == sequential
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batch_fallback_without_numpy(seed, monkeypatch):
+    _sketch, _wl, results = _workload_results(seed)
+    sequential = [estimate_selectivity(r) for r in results]
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert not have_numpy()
+    assert estimate_selectivity_batch(results) == sequential
+
+
+def test_batch_handles_empty_inputs(paper_document):
+    assert estimate_selectivity_batch([]) == []
+    stable = build_stable(paper_document)
+    sketch = build_treesketch(stable, 64 * 1024)
+    # "//p (//zzz)" has no bindings for the solid child: an empty result.
+    empty = eval_query(sketch, parse_twig("//p (//zzz)"))
+    assert empty.empty
+    full = eval_query(sketch, parse_twig("//a (//p)"))
+    batch = estimate_selectivity_batch([empty, full, empty])
+    assert batch[0] == 0.0 and batch[2] == 0.0
+    assert batch[1] == estimate_selectivity(full)
+
+
+def test_batch_optional_edges(paper_document):
+    """Dashed (optional) children exercise the max(1, .) clamp."""
+    stable = build_stable(paper_document)
+    sketch = build_treesketch(stable, 64 * 1024)
+    queries = [
+        parse_twig("//a (//p (//k?))"),
+        parse_twig("//a (//zzz?)"),  # optional with no bindings: clamp to 1
+        parse_twig("//p (//y, //k?)"),
+    ]
+    results = [eval_query(sketch, q) for q in queries]
+    sequential = [estimate_selectivity(r) for r in results]
+    assert estimate_selectivity_batch(results) == sequential
+    assert sequential[1] >= 1.0  # the clamp kept the optional factor alive
+
+
+@pytest.mark.parametrize("use_cache", [False, True])
+def test_runner_batch_mode_matches_sequential(use_cache):
+    sketch, wl, _results = _workload_results(3, queries=15)
+    cache = 32 if use_cache else None
+    seq = run_selectivity(sketch, wl, cache=cache)
+    bat = run_selectivity(sketch, wl, cache=cache, batch=True)
+    assert bat.per_query == seq.per_query
+    assert bat.avg_error == seq.avg_error
+
+
+def test_runner_batch_respects_query_slice():
+    sketch, wl, _results = _workload_results(5, queries=12)
+    seq = run_selectivity(sketch, wl, queries=[0, 3, 7])
+    bat = run_selectivity(sketch, wl, queries=[0, 3, 7], batch=True)
+    assert bat.per_query == seq.per_query
