@@ -232,16 +232,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro import obs
-    from repro.serve.registry import SketchRegistry
+    from repro.serve.registry import SketchRegistry, parse_spec
     from repro.serve.server import ServeConfig, SketchServer
 
+    if args.workers > 1:
+        return _cmd_serve_supervisor(args)
+    if not 0 <= args.shard_index < max(1, args.shard_count):
+        print(f"--shard-index must be in [0, {args.shard_count})",
+              file=sys.stderr)
+        return 2
+
+    try:
+        parsed = [parse_spec(spec) for spec in args.sketches]
+    except ValueError as exc:
+        print(f"bad sketch spec: {exc}", file=sys.stderr)
+        return 2
+    only = None
+    if args.shard_count > 1 and args.shard_by == "name":
+        from repro.serve import sharding
+
+        only = set(sharding.shard_names(
+            [name for name, _ in parsed], args.shard_index, args.shard_count))
     registry = SketchRegistry(cache_size=args.cache_size or None)
-    for spec in args.sketches:
-        name, sep, path = spec.partition("=")
-        if not sep:
-            name, path = None, spec
+    for name, path in parsed:
+        if only is not None and name not in only:
+            continue
         try:
-            entry = registry.load(path, name=name or None)
+            entry = registry.load(path, name=name)
         except (OSError, ValueError) as exc:
             print(f"cannot load sketch {path!r}: {exc}", file=sys.stderr)
             return 2
@@ -276,10 +293,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         degrade_watermark=args.degrade_watermark,
         default_deadline_ms=args.deadline_ms,
         max_expand_nodes=args.max_expand_nodes,
-        workers=args.workers,
+        workers=args.threads,
         metrics_port=args.metrics_port,
         shadow_fraction=args.shadow_sample,
         shadow_reference=shadow_reference,
+        coalesce=not args.no_coalesce,
+        coalesce_window_s=args.batch_window_ms / 1000.0,
+        coalesce_max=args.batch_max,
+        reuse_port=args.reuse_port,
     )
 
     async def _run() -> None:
@@ -334,6 +355,88 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print()
             print(obs.report.render_registry(
                 obs.get_metrics(), title="final metrics snapshot"))
+    return 0
+
+
+def _cmd_serve_supervisor(args: argparse.Namespace) -> int:
+    """``treesketch serve --workers N`` (N >= 2): the sharded fleet.
+
+    The supervisor owns the control endpoint (``health`` / ``shard_map``
+    / ``fleet_stats``) on ``--port``; data traffic goes straight to the
+    workers, whose addresses clients learn from ``shard_map``
+    (:class:`repro.serve.client.PooledClient` automates this).  Serving
+    tunables are forwarded to every worker verbatim.
+    """
+    import signal
+    import threading
+
+    from repro import obs
+    from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+    if args.metrics_port is not None and not obs.enabled():
+        obs.enable()
+    worker_args = [
+        "--max-pending", str(args.max_pending),
+        "--deadline-ms", str(args.deadline_ms),
+        "--max-expand-nodes", str(args.max_expand_nodes),
+        "--cache-size", str(args.cache_size),
+        "--threads", str(args.threads),
+        "--batch-window-ms", str(args.batch_window_ms),
+        "--batch-max", str(args.batch_max),
+    ]
+    if args.degrade_watermark is not None:
+        worker_args += ["--degrade-watermark", str(args.degrade_watermark)]
+    if args.no_coalesce:
+        worker_args.append("--no-coalesce")
+    if args.shadow_sample > 0 and args.shadow_reference:
+        worker_args += ["--shadow-sample", str(args.shadow_sample),
+                        "--shadow-reference", args.shadow_reference]
+    config = SupervisorConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        worker_port=args.worker_port,
+        metrics_port=args.metrics_port,
+        backoff_base_s=args.backoff_base_s,
+        backoff_cap_s=args.backoff_cap_s,
+        backoff_reset_s=args.backoff_reset_s,
+        drain_s=args.drain_s,
+        worker_args=tuple(worker_args),
+    )
+    try:
+        supervisor = Supervisor(args.sketches, config)
+    except ValueError as exc:
+        print(f"bad fleet configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        supervisor.start()
+    except (RuntimeError, OSError) as exc:
+        print(f"fleet failed to start: {exc}", file=sys.stderr)
+        supervisor.stop(drain=False)
+        return 2
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda signum, frame: stop.set())
+    host, port = supervisor.control_address
+    print(f"supervising {args.workers} worker(s), "
+          f"{len(supervisor.sketch_names)} sketch(es), "
+          f"shard_by={args.shard_by}; control on {host}:{port} "
+          f"(protocol v1, ops health/shard_map/fleet_stats)", flush=True)
+    if args.metrics_port is not None:
+        mhost, mport = supervisor.metrics_address
+        print(f"fleet telemetry on http://{mhost}:{mport} "
+              "(/metrics /healthz /statusz)", flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print(f"\nshutting down fleet: draining {args.workers} worker(s) "
+          f"(up to {args.drain_s:g}s each)", flush=True)
+    if supervisor.stop():
+        print("fleet drained", flush=True)
+    else:
+        print("fleet drain timed out; stragglers killed", flush=True)
     return 0
 
 
@@ -599,7 +702,43 @@ def make_parser() -> argparse.ArgumentParser:
                         "named (default name: file stem)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7077,
-                   help="TCP port (0 = ephemeral; default 7077)")
+                   help="TCP port (0 = ephemeral; default 7077); with "
+                        "--workers >= 2 this is the supervisor control "
+                        "endpoint and workers get their own data ports")
+    p.add_argument("--workers", type=int, default=1,
+                   help="serving worker processes (default 1 = in-process "
+                        "daemon; >= 2 starts the sharded fleet under a "
+                        "supervisor, docs/SERVING.md)")
+    p.add_argument("--shard-by", choices=("name", "none"), default="name",
+                   help="fleet sharding: 'name' assigns each sketch to one "
+                        "worker by consistent hash (default); 'none' loads "
+                        "all sketches in every worker and balances "
+                        "connections via SO_REUSEPORT")
+    p.add_argument("--worker-port", type=int, default=0,
+                   help="shared SO_REUSEPORT data port for "
+                        "--shard-by none fleets (default 0 = ephemeral)")
+    p.add_argument("--threads", type=int, default=1,
+                   help="compute threads per worker process (default 1)")
+    p.add_argument("--backoff-base-s", type=float, default=0.1,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--backoff-cap-s", type=float, default=5.0,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--backoff-reset-s", type=float, default=10.0,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--shard-index", type=int, default=0,
+                   help=argparse.SUPPRESS)  # set by the supervisor
+    p.add_argument("--shard-count", type=int, default=1,
+                   help=argparse.SUPPRESS)  # set by the supervisor
+    p.add_argument("--reuse-port", action="store_true",
+                   help=argparse.SUPPRESS)  # set by the supervisor
+    p.add_argument("--batch-window-ms", type=float, default=0.0,
+                   help="coalescing window for concurrent same-sketch "
+                        "estimates (default 0 = flush on next loop tick)")
+    p.add_argument("--batch-max", type=int, default=64,
+                   help="max coalesced estimates per batch (default 64)")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable estimate coalescing (one compute job per "
+                        "request, the pre-fleet behaviour)")
     p.add_argument("--max-pending", type=int, default=64,
                    help="admission bound; beyond it requests are shed with "
                         "an `overloaded` error (default 64)")
@@ -612,8 +751,6 @@ def make_parser() -> argparse.ArgumentParser:
                    help="hard cap on expand answer size (default 200000)")
     p.add_argument("--cache-size", type=int, default=256,
                    help="per-sketch query cache capacity (0 = unbounded)")
-    p.add_argument("--workers", type=int, default=1,
-                   help="compute threads (default 1)")
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="start an HTTP telemetry sidecar on PORT "
                         "(0 = ephemeral) serving /metrics (Prometheus), "

@@ -33,9 +33,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.estimate import estimate_selectivity
+from repro.core.estimate import estimate_selectivity, estimate_selectivity_batch
 from repro.core.evaluate import ResultSketch, eval_query
 from repro.core.treesketch import TreeSketch
 from repro.obs import get_metrics
@@ -98,6 +98,32 @@ class QueryCache:
             if entry[1] is None:
                 entry[1] = estimate_selectivity(entry[0])
             return entry[1]
+
+    def selectivity_batch(self, queries: "Sequence[TwigQuery]") -> "List[float]":
+        """Selectivities for many queries in one pass, batch-estimated.
+
+        The single-flight lock is held across the whole batch (one
+        admission-bounded worker drives it in the serving daemon), result
+        sketches come from the same LRU entries the scalar path uses, and
+        the uncached selectivities are filled by
+        :func:`repro.core.estimate.estimate_selectivity_batch` -- which is
+        bitwise-equal to the scalar estimator, so mixing scalar and batch
+        calls over one cache can never yield two answers for one query.
+        Duplicate queries in ``queries`` share one cache entry and are
+        estimated once.
+        """
+        with self._lock:
+            entries = [self._entry(query) for query in queries]
+            missing = []
+            for entry in entries:
+                if entry[1] is None and all(e is not entry for e in missing):
+                    missing.append(entry)
+            if missing:
+                values = estimate_selectivity_batch(
+                    [entry[0] for entry in missing])
+                for entry, value in zip(missing, values):
+                    entry[1] = value
+            return [entry[1] for entry in entries]
 
     def peek_selectivity(self, query: TwigQuery) -> Optional[float]:
         """Cached-only selectivity: ``None`` on a miss or lock contention.

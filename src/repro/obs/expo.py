@@ -11,7 +11,10 @@ sidecar serving three endpoints:
 * ``GET /statusz``  -- a JSON status document supplied by the embedding
   server (the serving daemon publishes per-sketch registry stats,
   admission state, latency percentiles, and accuracy telemetry here --
-  what ``treesketch top`` renders).
+  what ``treesketch top`` renders);
+* ``GET /snapshotz`` -- the raw registry snapshot as JSON, the
+  machine-readable twin of ``/metrics`` that the fleet aggregator
+  (:mod:`repro.obs.fleet`) merges across worker processes.
 
 The sidecar is deliberately a sidecar: it runs a
 :class:`http.server.ThreadingHTTPServer` on its own daemon thread and
@@ -148,8 +151,14 @@ class ExpositionServer:
                     body = json.dumps(status, sort_keys=True).encode("utf-8") \
                         + b"\n"
                     ctype = "application/json"
+                elif path == "/snapshotz":
+                    body = json.dumps(
+                        expo._snapshot_provider(), sort_keys=True
+                    ).encode("utf-8") + b"\n"
+                    ctype = "application/json"
                 else:
-                    body = b"not found: try /metrics, /healthz, /statusz\n"
+                    body = (b"not found: try /metrics, /healthz, /statusz, "
+                            b"/snapshotz\n")
                     self.send_response(404)
                     self.send_header("Content-Type", "text/plain")
                     self.send_header("Content-Length", str(len(body)))

@@ -1,0 +1,102 @@
+"""Fleet-level aggregation of per-worker metrics snapshots.
+
+The sharded serving tier (:mod:`repro.serve.supervisor`) runs one
+metrics registry *per worker process*; operators want one scrape target
+for the whole fleet.  This module merges worker snapshots (the plain-dict
+form of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`) into a single
+snapshot of the same shape, which the supervisor's exposition sidecar
+renders exactly like a single process would.
+
+Merge semantics, per instrument kind:
+
+* **counters** -- summed.  ``serve.requests`` for the fleet is the sum of
+  every worker's, which is what a rate() over the scrape expects.  Note
+  the fleet total *resets per worker* when that worker restarts, like any
+  process-lifetime counter.
+* **gauges** -- summed.  The interesting serving gauges are occupancy
+  style (``serve.queue.depth``), where the fleet-wide total is the
+  meaningful number.
+* **histograms** -- ``count``/``sum`` are summed exactly (so
+  fleet-average latency is exact); ``min``/``max`` are the extrema over
+  workers; quantiles are the **count-weighted upper envelope**: for each
+  quantile key the merged value is the max over workers, an upper bound
+  on the true fleet quantile (exact fleet percentiles would need the raw
+  samples, which the wire format deliberately does not ship).  This is
+  conservative in the direction operators care about -- an alert on p99
+  can fire early, never late.
+
+``fetch_snapshot`` pulls one worker's snapshot over its exposition
+sidecar's ``/snapshotz`` endpoint (JSON; see :mod:`repro.obs.expo`).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["merge_snapshots", "fetch_snapshot"]
+
+#: Quantile-ish summary keys merged by upper envelope (max over workers).
+_ENVELOPE_KEYS = ("p50", "p90", "p95", "p99", "window_s")
+
+
+def _merge_histogram(merged: Dict[str, float],
+                     summary: Dict[str, float]) -> Dict[str, float]:
+    count = merged.get("count", 0) + summary.get("count", 0)
+    total = merged.get("sum", 0.0) + summary.get("sum", 0.0)
+    out: Dict[str, float] = dict(merged)
+    out["count"] = count
+    out["sum"] = total
+    out["mean"] = total / count if count else 0.0
+    for key, pick in (("min", min), ("max", max)):
+        values = [s[key] for s in (merged, summary)
+                  if key in s and s.get("count", 0)]
+        if values:
+            out[key] = pick(values)
+    for key in _ENVELOPE_KEYS:
+        values = [s[key] for s in (merged, summary) if key in s]
+        if values:
+            out[key] = max(values)
+    return out
+
+
+def merge_snapshots(
+    snapshots: Iterable[Optional[Dict[str, Dict[str, object]]]],
+) -> Dict[str, Dict[str, object]]:
+    """Merge worker registry snapshots into one fleet snapshot.
+
+    ``None`` entries (a worker that is restarting or did not answer its
+    scrape in time) are skipped -- the fleet view degrades to the live
+    subset rather than failing the whole scrape.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (snapshot.get("gauges") or {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            histograms[name] = _merge_histogram(
+                histograms.get(name, {}), summary)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def fetch_snapshot(host: str, port: int,
+                   timeout: float = 2.0) -> Optional[Dict]:
+    """One worker's registry snapshot via its ``/snapshotz`` endpoint.
+
+    Returns ``None`` on any transport or decode failure: the caller is
+    the fleet aggregator, for which a missing worker is a degraded view,
+    not an error.
+    """
+    url = f"http://{host}:{port}/snapshotz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except Exception:  # noqa: BLE001 - scrape failures degrade, not raise
+        return None

@@ -8,17 +8,29 @@ shedding, and graceful degradation to selectivity-only answers under
 queue pressure.  See docs/SERVING.md for the protocol specification and
 operational semantics; start it from the command line with
 ``treesketch serve`` (or ``python -m repro serve``).
+
+Scale-out lives here too: :mod:`repro.serve.supervisor` forks a sharded
+multi-process worker fleet (consistent hashing over sketch names,
+crash-restart with capped backoff, aggregated fleet telemetry), and
+:class:`~repro.serve.client.PooledClient` is the matching shard-map-aware
+client pool.  ``treesketch serve --workers N`` starts the fleet.
 """
 
 from repro.serve.admission import AdmissionController, Decision
-from repro.serve.client import ServeClient, ServerError, parse_address
+from repro.serve.client import (
+    PooledClient,
+    ServeClient,
+    ServerError,
+    parse_address,
+)
 from repro.serve.protocol import (
     ERROR_CODES,
     OPS,
     PROTOCOL_VERSION,
+    SUPERVISOR_OPS,
     ProtocolError,
 )
-from repro.serve.registry import RegisteredSketch, SketchRegistry
+from repro.serve.registry import RegisteredSketch, SketchRegistry, parse_spec
 from repro.serve.server import (
     ServeConfig,
     ServerHandle,
@@ -26,6 +38,8 @@ from repro.serve.server import (
     start_server_thread,
 )
 from repro.serve.shadow import ShadowSampler, load_reference
+from repro.serve.sharding import HashRing, assign, shard_for, shard_names
+from repro.serve.supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -41,8 +55,17 @@ __all__ = [
     "ServerHandle",
     "start_server_thread",
     "ServeClient",
+    "PooledClient",
     "ServerError",
     "parse_address",
+    "parse_spec",
+    "SUPERVISOR_OPS",
+    "HashRing",
+    "assign",
+    "shard_for",
+    "shard_names",
+    "Supervisor",
+    "SupervisorConfig",
     "ShadowSampler",
     "load_reference",
 ]

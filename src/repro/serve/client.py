@@ -12,16 +12,26 @@ dict (including ``ok: false`` errors -- what load-test and degradation
 probes want), while the typed convenience methods (:meth:`eval`,
 :meth:`estimate`, ...) raise :class:`ServerError` carrying the structured
 error code.
+
+For the sharded tier (:mod:`repro.serve.supervisor`) there is
+:class:`PooledClient`: it bootstraps a shard map from the supervisor's
+control endpoint, keeps one lazily-opened :class:`ServeClient` per
+worker, routes each request to the worker that owns the target sketch
+(recomputing the consistent-hash assignment locally -- see
+:mod:`repro.serve.sharding`), and on a broken connection *re-resolves*
+the shard map before reconnecting, so a worker that was restarted on a
+new port is found again instead of hammered at its old address.
 """
 
 from __future__ import annotations
 
 import random
 import socket
+import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.serve import protocol
+from repro.serve import protocol, sharding
 
 
 class ServerError(RuntimeError):
@@ -54,32 +64,60 @@ class ServeClient:
     Every response's correlation id is kept in :attr:`last_request_id`
     (server-generated unless the caller passed ``request_id=``), ready
     to grep out of the server's trace file.
+
+    ``resolver`` (optional) is called before *every* connection attempt
+    -- initial and :meth:`reconnect` alike -- and returns the
+    ``(host, port)`` to dial.  A fixed address was the old behaviour and
+    remains the default; a resolver lets pooled clients re-resolve the
+    shard map on reconnect, which matters because a restarted worker
+    generally comes back on a different ephemeral port.  A resolver that
+    raises :class:`OSError` (e.g. "that worker is still restarting")
+    participates in the same retry/backoff loop as a refused connection.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
                  retries: int = 0, backoff: float = 0.05,
                  jitter: float = 0.5,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 resolver: Optional[Callable[[], Tuple[str, int]]] = None,
+                 ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff < 0 or jitter < 0:
             raise ValueError("backoff and jitter must be >= 0")
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.jitter = jitter
+        self.resolver = resolver
         self.last_request_id: Optional[str] = None
-        rng = rng if rng is not None else random.Random()
-        for attempt in range(retries + 1):
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+        self._next_id = 0
+
+    def _connect(self) -> None:
+        for attempt in range(self.retries + 1):
             try:
+                if self.resolver is not None:
+                    self.host, self.port = self.resolver()
                 self._sock = socket.create_connection(
-                    (host, port), timeout=timeout)
+                    (self.host, self.port), timeout=self.timeout)
                 break
             except OSError:
-                if attempt >= retries:
+                if attempt >= self.retries:
                     raise
-                delay = backoff * (2 ** attempt)
-                time.sleep(delay * (1.0 + jitter * rng.random()))
+                delay = self.backoff * (2 ** attempt)
+                time.sleep(delay * (1.0 + self.jitter * self._rng.random()))
         self._file = self._sock.makefile("rwb")
-        self._next_id = 0
+
+    def reconnect(self) -> None:
+        """Drop the connection and dial again (through the resolver)."""
+        self.close()
+        self._connect()
 
     # ------------------------------------------------------------ transport
 
@@ -165,11 +203,216 @@ class ServeClient:
 
     def close(self) -> None:
         try:
-            self._file.close()
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PooledClient:
+    """Shard-map-aware connection pool over a supervised worker fleet.
+
+    ``host``/``port`` address the **supervisor control endpoint** (the
+    ``treesketch serve --workers N`` readiness line prints it); the pool
+    fetches the shard map from there, then opens one data connection per
+    worker on demand.  Routing:
+
+    * ``shard_by="name"``: the owning worker index is recomputed locally
+      with the same consistent-hash ring the supervisor used
+      (:func:`repro.serve.sharding.shard_for`), so routing costs no
+      round-trip.  The property tests pin client/supervisor agreement.
+    * ``shard_by="none"``: requests round-robin across workers (under
+      ``SO_REUSEPORT`` every worker shares one port, so each pooled
+      connection still lands on some worker and the kernel balances).
+
+    Failure handling is the part that earns the pool its keep: a request
+    that dies mid-flight (worker SIGKILLed, connection reset) surfaces as
+    ``ConnectionError``/``OSError`` -- never a hang, the protocol is
+    strictly request/response with a socket timeout -- and the pool drops
+    the dead connection, **re-fetches the shard map**, and retries
+    against the worker's new incarnation with exponential backoff.
+    Retried ops must be idempotent; every TreeSketch serving op is (the
+    sketches are frozen), so the pool retries all of them.
+
+    Thread-safe: the shard map and connection table are lock-guarded and
+    each worker connection is serialized by a per-worker lock.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retries: int = 8, backoff: float = 0.05,
+                 jitter: float = 0.5,
+                 rng: Optional[random.Random] = None) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._conns: Dict[int, ServeClient] = {}
+        self._conn_locks: Dict[int, threading.Lock] = {}
+        self._map: Optional[Dict[str, Any]] = None
+        self._rr = 0
+        self._control = ServeClient(host, port, timeout=timeout,
+                                    retries=retries, backoff=backoff,
+                                    jitter=jitter, rng=self._rng)
+        self.refresh()
+
+    # ------------------------------------------------------------ shard map
+
+    def refresh(self) -> Dict[str, Any]:
+        """Re-fetch the shard map from the supervisor control endpoint."""
+        try:
+            response = self._control.call("shard_map")
+        except (ConnectionError, OSError):
+            self._control.reconnect()
+            response = self._control.call("shard_map")
+        with self._lock:
+            self._map = response
+        return response
+
+    @property
+    def shard_map(self) -> Dict[str, Any]:
+        with self._lock:
+            if self._map is None:
+                raise RuntimeError("pool has no shard map yet")
+            return self._map
+
+    def shard_for(self, sketch: str) -> int:
+        """The worker index that owns ``sketch`` (computed client-side)."""
+        shard_map = self.shard_map
+        return sharding.shard_for(sketch, shard_map["shard_count"])
+
+    def _route(self, sketch: Optional[str]) -> int:
+        shard_map = self.shard_map
+        if shard_map["shard_by"] == "name":
+            if sketch is None:
+                names = shard_map["sketches"]
+                if len(names) != 1:
+                    raise ValueError(
+                        "a sharded fleet serves multiple sketches; pass "
+                        f"sketch= (one of {names})")
+                sketch = names[0]
+            return sharding.shard_for(sketch, shard_map["shard_count"])
+        with self._lock:
+            up = [w["index"] for w in shard_map["workers"]
+                  if w["state"] == "up"]
+            candidates = up or [w["index"] for w in shard_map["workers"]]
+            self._rr += 1
+            return candidates[self._rr % len(candidates)]
+
+    def _resolve_worker(self, index: int) -> Tuple[str, int]:
+        """Resolver for one worker's data connection: re-read the map.
+
+        Called by the per-worker :class:`ServeClient` before every dial,
+        so a reconnect always chases the worker's *current* address --
+        the fix for retry loops pinned to a dead ephemeral port.
+        """
+        info = self.refresh()["workers"][index]
+        if info["state"] != "up" or info["port"] is None:
+            raise ConnectionError(
+                f"worker {index} is {info['state']}; retrying")
+        return info["host"], info["port"]
+
+    # ----------------------------------------------------------- connections
+
+    def _conn(self, index: int) -> Tuple[ServeClient, threading.Lock]:
+        with self._lock:
+            client = self._conns.get(index)
+            lock = self._conn_locks.setdefault(index, threading.Lock())
+        if client is None:
+            client = ServeClient(
+                "", 0, timeout=self.timeout, retries=self.retries,
+                backoff=self.backoff, jitter=self.jitter, rng=self._rng,
+                resolver=lambda index=index: self._resolve_worker(index))
+            with self._lock:
+                self._conns[index] = client
+        return client, lock
+
+    def _drop(self, index: int) -> None:
+        with self._lock:
+            client = self._conns.pop(index, None)
+        if client is not None:
+            client.close()
+
+    # --------------------------------------------------------------- requests
+
+    def call(self, op: str, sketch: Optional[str] = None,
+             **fields: Any) -> Dict[str, Any]:
+        """Route one op to its worker; retry through restarts.
+
+        :class:`ServerError` (an application-level ``ok: false``) is
+        raised through untouched; only transport failures trigger the
+        drop/re-resolve/retry cycle.
+        """
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            index = self._route(sketch)
+            try:
+                client, lock = self._conn(index)
+                with lock:
+                    return client.call(op, sketch=sketch, **fields)
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                self._drop(index)
+                if attempt >= self.retries:
+                    raise
+                delay = self.backoff * (2 ** attempt)
+                time.sleep(delay * (1.0 + self.jitter * self._rng.random()))
+                try:
+                    self.refresh()
+                except (ConnectionError, OSError):
+                    pass  # supervisor briefly unreachable; keep retrying
+        raise last_exc  # pragma: no cover - loop always returns or raises
+
+    # ---------------------------------------------------------- convenience
+
+    def eval(self, query: str, sketch: Optional[str] = None,
+             **fields: Any) -> Dict[str, Any]:
+        return self.call("eval", sketch=sketch, query=query, **fields)
+
+    def estimate(self, query: str, sketch: Optional[str] = None,
+                 **fields: Any) -> float:
+        return self.call("estimate", sketch=sketch, query=query,
+                         **fields)["selectivity"]
+
+    def expand(self, query: str, sketch: Optional[str] = None,
+               **fields: Any) -> Dict[str, Any]:
+        return self.call("expand", sketch=sketch, query=query, **fields)
+
+    def health(self) -> Dict[str, Any]:
+        """Fleet health, answered by the supervisor control endpoint."""
+        return self._control.call("health")
+
+    def fleet_stats(self) -> Dict[str, Any]:
+        return self._control.call("fleet_stats")
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for client in conns:
+            client.close()
+        self._control.close()
+
+    def __enter__(self) -> "PooledClient":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -33,11 +33,18 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 PROTOCOL_VERSION = 1
 
-#: Supported operations, in documentation order.
-OPS = ("eval", "estimate", "expand", "list_sketches", "health", "stats")
+#: Supported operations, in documentation order.  ``shard_map`` and
+#: ``fleet_stats`` are answered by the supervisor's control endpoint
+#: (:mod:`repro.serve.supervisor`); a worker addressed directly answers
+#: them with ``unknown_op`` pointing at the supervisor.
+OPS = ("eval", "estimate", "expand", "list_sketches", "health", "stats",
+       "shard_map", "fleet_stats")
 
 #: Ops that read a sketch (admission-controlled; the rest are control-plane).
 DATA_OPS = frozenset({"eval", "estimate", "expand"})
+
+#: Ops only the supervisor control endpoint serves.
+SUPERVISOR_OPS = frozenset({"shard_map", "fleet_stats"})
 
 #: Structured error codes a response may carry.
 ERROR_CODES = (

@@ -16,7 +16,7 @@ dict hits.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Union
+from typing import Container, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.io import load_synopsis
 from repro.core.qcache import QueryCache
@@ -31,6 +31,21 @@ def name_from_path(path: str) -> str:
         if base.endswith(suffix):
             return base[: -len(suffix)]
     return os.path.splitext(base)[0] or base
+
+
+def parse_spec(spec: str) -> Tuple[str, str]:
+    """Split one CLI sketch spec ``[NAME=]PATH`` into ``(name, path)``.
+
+    Naming is resolved *before* any file is read, so the sharded serving
+    tier can decide ownership of a sketch (``repro.serve.sharding``)
+    without loading it -- a worker only pays load time for its own shard.
+    """
+    name, sep, path = spec.partition("=")
+    if not sep:
+        return name_from_path(spec), spec
+    if not name:
+        raise ValueError(f"empty sketch name in spec {spec!r}")
+    return name, path
 
 
 class RegisteredSketch:
@@ -93,6 +108,30 @@ class SketchRegistry:
         """Load a synopsis file (``.json`` or ``.json.gz``) and pin it."""
         return self.register(name or name_from_path(path),
                              load_synopsis(path), path=path)
+
+    def load_specs(self, specs: Iterable[str],
+                   only: Optional[Container[str]] = None,
+                   ) -> List[RegisteredSketch]:
+        """Load a list of CLI specs (``[NAME=]PATH``), optionally filtered.
+
+        ``only`` restricts loading to the named subset -- the sharded
+        serving tier's load-time filter: a worker passes its shard
+        (:func:`repro.serve.sharding.shard_names`) and never touches the
+        bytes of sketches other workers own.  Spec names are resolved
+        eagerly (:func:`parse_spec`) so a duplicate name fails before any
+        load work happens.
+        """
+        parsed = [parse_spec(spec) for spec in specs]
+        names = [name for name, _ in parsed]
+        for name in names:
+            if names.count(name) > 1:
+                raise ValueError(f"duplicate sketch name {name!r} in specs")
+        loaded = []
+        for name, path in parsed:
+            if only is not None and name not in only:
+                continue
+            loaded.append(self.load(path, name=name))
+        return loaded
 
     def get(self, name: Optional[str] = None) -> RegisteredSketch:
         """Look up by name; ``None`` resolves iff exactly one is registered.

@@ -100,6 +100,21 @@ class ServeConfig:
     shadow_fraction: float = 0.0
     shadow_reference: Optional[Callable[[TwigQuery], float]] = None
     shadow_max_queue: int = 256
+    #: Request coalescing (docs/SERVING.md "Scaling out"): concurrent
+    #: ``estimate`` ops against one sketch are grouped into a single
+    #: ``estimate_selectivity_batch`` call.  ``coalesce_window_s`` bounds
+    #: how long the first request of a batch waits for company (0 =
+    #: flush on the next event-loop tick, so a lone request never waits);
+    #: ``coalesce_max`` flushes a batch early when it fills.  Answers are
+    #: bitwise-equal to the scalar path by construction (the batch DP
+    #: reproduces the scalar estimator's float accumulation order).
+    coalesce: bool = True
+    coalesce_window_s: float = 0.0
+    coalesce_max: int = 64
+    #: Bind the listening socket with SO_REUSEPORT so several worker
+    #: processes share one port and the kernel balances connections --
+    #: the supervisor's ``--shard-by none`` mode.
+    reuse_port: bool = False
 
 
 class SketchServer:
@@ -129,6 +144,7 @@ class SketchServer:
                 fraction=self.config.shadow_fraction,
                 max_queue=self.config.shadow_max_queue,
             )
+        self._batcher = _EstimateBatcher(self) if self.config.coalesce else None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -159,11 +175,15 @@ class SketchServer:
             max_workers=max(1, self.config.workers),
             thread_name_prefix="repro-serve",
         )
+        server_kwargs: Dict[str, Any] = {}
+        if self.config.reuse_port:
+            server_kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
             port=self.config.port,
             limit=protocol.MAX_LINE_BYTES,
+            **server_kwargs,
         )
         self._started_at = get_clock().now()
         if self._shadow is not None:
@@ -304,6 +324,13 @@ class SketchServer:
 
     async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         op = request["op"]
+        if op in protocol.SUPERVISOR_OPS:
+            raise ProtocolError(
+                "unknown_op",
+                f"op {op!r} is answered by the supervisor control "
+                "endpoint, not a serving worker (see docs/SERVING.md, "
+                "'Scaling out')",
+            )
         if op == "health":
             return protocol.ok_response(
                 request,
@@ -385,9 +412,10 @@ class SketchServer:
         )
         work = partial(self._execute, request, registered, query, degraded)
         submitted: Optional[Future] = None
+        coalesced: Optional[asyncio.Future] = None
         try:
             async def _admitted() -> Dict[str, Any]:
-                nonlocal submitted
+                nonlocal submitted, coalesced
                 if self.config.handler_delay_s > 0:
                     await asyncio.sleep(self.config.handler_delay_s)
                 # The admission slot travels with the computation: it is
@@ -397,6 +425,15 @@ class SketchServer:
                 # in-flight compute -- under sustained timeouts new
                 # requests shed as `overloaded` instead of piling up
                 # behind abandoned work in the executor queue.
+                if self._batcher is not None and request["op"] == "estimate":
+                    # Coalesced path: the batcher owns this request's
+                    # admission slot from here on (released when the
+                    # batch's executor job finishes).  shield() keeps a
+                    # deadline from cancelling the future the batch job
+                    # will settle from its own thread.
+                    coalesced = self._batcher.enqueue(
+                        registered, query, request)
+                    return await asyncio.shield(coalesced)
                 submitted = self._executor.submit(work)
                 submitted.add_done_callback(
                     lambda _f: self.admission.release())
@@ -422,7 +459,8 @@ class SketchServer:
                                    payload["selectivity"])
             return protocol.ok_response(request, **payload)
         finally:
-            if submitted is None:  # never reached the worker pool
+            if submitted is None and coalesced is None:
+                # Never reached the worker pool (nor a batch).
                 self.admission.release()
 
     # --------------------------------------------------- worker-thread compute
@@ -503,6 +541,149 @@ class SketchServer:
                 "xml": to_xml(nesting.to_xmltree()),
             }
         raise ProtocolError("unknown_op", f"unhandled op {op!r}")  # unreachable
+
+    # ------------------------------------------------------- batch coalescing
+
+    def _release_slots(self, count: int) -> None:
+        """Return ``count`` admission slots (one per coalesced request)."""
+        for _ in range(count):
+            self.admission.release()
+
+    def _execute_batch(self, registered: RegisteredSketch,
+                       queries: list, requests: list, futures: list,
+                       loop: asyncio.AbstractEventLoop) -> None:
+        """One coalesced estimate batch; runs on the worker pool.
+
+        The whole batch is answered by a single
+        :meth:`repro.core.qcache.QueryCache.selectivity_batch` call --
+        bitwise-equal to per-query scalar estimates by construction.  A
+        failure of the batch call falls back to per-query scalar
+        estimation so one poisoned query cannot fail its neighbours.
+        """
+        metrics = get_metrics()
+        clock = get_clock()
+        started = clock.now()
+        metrics.counter("serve.batch.flushes").inc()
+        metrics.counter("serve.batch.coalesced").inc(len(queries))
+        metrics.histogram("serve.batch.size").observe(len(queries))
+        outcomes: list = []
+        try:
+            values = registered.cache.selectivity_batch(queries)
+            outcomes = [
+                (None, {"sketch": registered.name, "selectivity": value})
+                for value in values
+            ]
+        except Exception:  # noqa: BLE001 - isolate failures per query
+            for query in queries:
+                try:
+                    outcomes.append((None, {
+                        "sketch": registered.name,
+                        "selectivity": registered.cache.selectivity(query),
+                    }))
+                except Exception as exc:  # noqa: BLE001
+                    outcomes.append((exc, None))
+        finally:
+            tracer = get_tracer()
+            finished = clock.now()
+            tracer.record(
+                "serve.execute_batch", started, finished - started,
+                op="estimate", sketch=registered.name, batch=len(queries),
+            )
+            # Each member still gets its correlated `serve.execute` span
+            # (same contract as the scalar path); its duration is the
+            # batch's, since members are answered by one fused call.
+            for request in requests:
+                tracer.record(
+                    "serve.execute", started, finished - started,
+                    op="estimate", sketch=registered.name,
+                    request_id=request.get("request_id"),
+                )
+            # Slots come back *before* the futures settle so that by the
+            # time any client reads its response the admission depth no
+            # longer counts this batch (the scalar path orders its
+            # release callback ahead of wrap_future the same way).
+            self._release_slots(len(futures))
+        for future, (exc, payload) in zip(futures, outcomes):
+            loop.call_soon_threadsafe(_settle_future, future, exc, payload)
+
+
+def _settle_future(future: "asyncio.Future", exc: Optional[BaseException],
+                   payload: Optional[Dict[str, Any]]) -> None:
+    """Resolve one coalesced request's future on the event loop.
+
+    The awaiting coroutine may already have been abandoned by its
+    deadline (the future is shielded, so it is settled, not cancelled);
+    reading ``exception()`` right back marks a then-unobserved error as
+    retrieved so abandoned batch members never log spurious tracebacks.
+    """
+    if future.cancelled():
+        return
+    if exc is not None:
+        future.set_exception(exc)
+        future.exception()
+    else:
+        future.set_result(payload)
+
+
+class _EstimateBatcher:
+    """Event-loop-side coalescing of concurrent estimate requests.
+
+    All state lives on the server's event loop (no locks): ``enqueue``
+    appends the request to its sketch's pending batch and arms a flush --
+    immediately (next loop tick) with a zero window, else after
+    ``coalesce_window_s`` -- or flushes early when ``coalesce_max`` is
+    reached.  A flush submits ONE executor job for the whole batch, which
+    releases one admission slot per member when it completes, preserving
+    the invariant that admission depth counts real in-flight compute.
+    """
+
+    def __init__(self, server: SketchServer) -> None:
+        self._server = server
+        self._pending: Dict[str, list] = {}
+        self._timers: Dict[str, object] = {}
+
+    def enqueue(self, registered: RegisteredSketch, query: TwigQuery,
+                request: Dict[str, Any]) -> "asyncio.Future":
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        items = self._pending.setdefault(registered.name, [])
+        items.append((query, request, future))
+        if len(items) >= self._server.config.coalesce_max:
+            self._cancel_timer(registered.name)
+            self._flush(registered)
+        elif len(items) == 1:
+            window = self._server.config.coalesce_window_s
+            if window > 0:
+                handle = loop.call_later(window, self._flush, registered)
+            else:
+                handle = loop.call_soon(self._flush, registered)
+            self._timers[registered.name] = handle
+        return future
+
+    def _cancel_timer(self, name: str) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _flush(self, registered: RegisteredSketch) -> None:
+        self._timers.pop(registered.name, None)
+        items = self._pending.pop(registered.name, None)
+        if not items:
+            return
+        loop = asyncio.get_running_loop()
+        server = self._server
+        try:
+            # _execute_batch releases the batch's admission slots itself
+            # (before settling the futures), so no done-callback here.
+            server._executor.submit(
+                server._execute_batch, registered,
+                [query for query, _, _ in items],
+                [request for _, request, _ in items],
+                [future for _, _, future in items], loop)
+        except Exception as exc:  # noqa: BLE001 - e.g. executor shut down
+            server._release_slots(len(items))
+            for _, _, future in items:
+                _settle_future(future, exc, None)
 
 
 # ---------------------------------------------------------------- threading

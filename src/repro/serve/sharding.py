@@ -1,0 +1,101 @@
+"""Deterministic shard routing for the multi-process serving tier.
+
+The supervisor (:mod:`repro.serve.supervisor`), every worker process, and
+every pooled client must agree on which worker owns which sketch --
+*without* talking to each other, because a worker that just restarted has
+to recompute its shard from nothing but its index.  The assignment is
+therefore a pure function of ``(sketch name, worker count)`` built on a
+consistent-hash ring over SHA-1 digests:
+
+* **deterministic across processes and runs** -- SHA-1, never Python's
+  salted ``hash()``, so two interpreters (or the same one tomorrow)
+  produce identical maps;
+* **total and unambiguous** -- every name maps to exactly one worker
+  index in ``range(shard_count)``;
+* **stable under resharding** -- growing the fleet from N to N+1 workers
+  moves only ~1/(N+1) of the names (the classic consistent-hashing
+  property), so a rolling resize does not invalidate every client-side
+  route at once.
+
+``shard_for`` is the one routing primitive; ``assign`` maps a whole
+registry at once (what ``shard_map`` responses carry).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_REPLICAS", "HashRing", "shard_for", "assign",
+           "shard_names"]
+
+#: Virtual nodes per worker on the ring.  128 keeps the expected load
+#: imbalance for a handful of workers under a few percent while the ring
+#: stays tiny (shard_count * 128 entries, built once).
+DEFAULT_REPLICAS = 128
+
+
+def _digest(key: str) -> int:
+    """A 64-bit integer position on the ring for ``key`` (SHA-1 prefix)."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over worker indices ``0..shard_count-1``.
+
+    The ring is immutable once built; building it for the same
+    ``(shard_count, replicas)`` always yields the same ring, which is the
+    whole point.
+    """
+
+    def __init__(self, shard_count: int,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_count = shard_count
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for index in range(shard_count):
+            for vnode in range(replicas):
+                points.append((_digest(f"worker-{index}:{vnode}"), index))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+
+    def owner(self, name: str) -> int:
+        """The worker index owning ``name`` (first vnode clockwise)."""
+        if not name:
+            raise ValueError("sketch name must be non-empty")
+        at = bisect.bisect_right(self._positions, _digest(name))
+        if at == len(self._positions):
+            at = 0  # wrap: past the last vnode lands on the first
+        return self._owners[at]
+
+
+def shard_for(name: str, shard_count: int,
+              replicas: int = DEFAULT_REPLICAS) -> int:
+    """The worker index that owns sketch ``name`` in a fleet of
+    ``shard_count`` workers.  Pure and deterministic -- safe to call from
+    the supervisor, a worker, and a client and expect agreement."""
+    return HashRing(shard_count, replicas=replicas).owner(name)
+
+
+def assign(names: Iterable[str], shard_count: int,
+           replicas: int = DEFAULT_REPLICAS) -> Dict[str, int]:
+    """Map every sketch name to its owning worker index, ring built once."""
+    ring = HashRing(shard_count, replicas=replicas)
+    return {name: ring.owner(name) for name in names}
+
+
+def shard_names(names: Sequence[str], index: int, shard_count: int,
+                replicas: int = DEFAULT_REPLICAS) -> List[str]:
+    """The subset of ``names`` owned by worker ``index`` (load-time filter)."""
+    if not 0 <= index < shard_count:
+        raise ValueError(
+            f"index {index} out of range for shard_count {shard_count}")
+    ring = HashRing(shard_count, replicas=replicas)
+    return [name for name in names if ring.owner(name) == index]

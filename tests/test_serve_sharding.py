@@ -1,0 +1,130 @@
+"""Property tests for consistent-hash shard routing.
+
+The sharded serving tier only works if every party -- supervisor,
+workers, and pooled clients -- computes the *same* sketch-to-worker
+assignment independently: the assignment is never shipped, only
+recomputed from ``(sketch names, worker count)``.  These tests pin the
+properties that make that safe:
+
+* the assignment is a total function: every name maps to exactly one
+  worker, and per-worker shards partition the name set;
+* it is deterministic across runs *and across processes* -- the ring
+  hashes with SHA-1, never Python's per-process-salted ``hash()``, so
+  two interpreters with different ``PYTHONHASHSEED`` must agree;
+* the supervisor's assignment and the client-side computation
+  (:func:`repro.serve.sharding.shard_for`, what
+  :class:`~repro.serve.client.PooledClient` routes by) agree for
+  randomized registry contents;
+* growing the fleet moves a bounded fraction of names (the property
+  that makes the hashing "consistent").
+"""
+
+import json
+import os
+import random
+import string
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import sharding
+from repro.serve.supervisor import Supervisor, SupervisorConfig
+
+
+def _names(rng: random.Random, count: int) -> list:
+    return [
+        "s" + "".join(rng.choices(string.ascii_lowercase, k=8)) + str(i)
+        for i in range(count)
+    ]
+
+
+class TestPartition:
+    @pytest.mark.parametrize("seed,shards", [(1, 2), (2, 3), (3, 5), (4, 7)])
+    def test_every_name_maps_to_exactly_one_worker(self, seed, shards):
+        names = _names(random.Random(seed), 40)
+        assignment = sharding.assign(names, shards)
+        assert sorted(assignment) == sorted(names)
+        assert all(0 <= index < shards for index in assignment.values())
+        # Per-worker shards partition the name set: disjoint, covering.
+        shard_lists = [sharding.shard_names(names, i, shards)
+                       for i in range(shards)]
+        flattened = [name for shard in shard_lists for name in shard]
+        assert sorted(flattened) == sorted(names)
+        for index, shard in enumerate(shard_lists):
+            assert all(assignment[name] == index for name in shard)
+
+    def test_single_shard_owns_everything(self):
+        names = _names(random.Random(9), 10)
+        assert sharding.assign(names, 1) == {name: 0 for name in names}
+        assert all(sharding.shard_for(name, 1) == 0 for name in names)
+
+    def test_empty_registry(self):
+        assert sharding.assign([], 4) == {}
+        assert sharding.shard_names([], 2, 4) == []
+
+    def test_spread_is_not_degenerate(self):
+        # 200 names over 4 workers: consistent hashing with 128 vnodes
+        # should never put everything on one worker.
+        names = _names(random.Random(11), 200)
+        assignment = sharding.assign(names, 4)
+        used = set(assignment.values())
+        assert len(used) == 4
+
+
+class TestDeterminism:
+    def test_stable_across_reruns(self):
+        names = _names(random.Random(5), 60)
+        first = sharding.assign(names, 3)
+        second = sharding.assign(list(reversed(names)), 3)
+        assert first == second
+        ring_a, ring_b = sharding.HashRing(3), sharding.HashRing(3)
+        assert all(ring_a.owner(n) == ring_b.owner(n) for n in names)
+
+    @pytest.mark.parametrize("hashseed", ["1", "9423"])
+    def test_stable_across_processes(self, hashseed):
+        # A fresh interpreter with a *different* hash salt must compute
+        # the identical assignment -- the property that lets supervisor,
+        # workers and clients each recompute the map independently.
+        names = _names(random.Random(7), 50)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = hashseed
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "import json, sys\n"
+             "from repro.serve import sharding\n"
+             "names = json.load(sys.stdin)\n"
+             "print(json.dumps(sharding.assign(names, 5)))"],
+            input=json.dumps(names), capture_output=True, text=True,
+            env=env, check=True)
+        assert json.loads(out.stdout) == sharding.assign(names, 5)
+
+
+class TestSupervisorClientAgreement:
+    @pytest.mark.parametrize("seed,shards", [(21, 2), (22, 3), (23, 6)])
+    def test_assignments_agree_for_randomized_registries(self, seed, shards):
+        # The supervisor parses specs and computes its assignment before
+        # any process is spawned; the client side recomputes with
+        # shard_for.  Both must agree for arbitrary registry contents.
+        rng = random.Random(seed)
+        names = _names(rng, rng.randrange(1, 30))
+        specs = [f"{name}=/nowhere/{name}.json" for name in names]
+        supervisor = Supervisor(
+            specs, SupervisorConfig(workers=shards))
+        client_side = {name: sharding.shard_for(name, shards)
+                       for name in names}
+        assert supervisor.assignment() == client_side
+
+
+class TestConsistency:
+    def test_growing_the_fleet_moves_a_bounded_fraction(self):
+        names = _names(random.Random(31), 300)
+        before = sharding.assign(names, 4)
+        after = sharding.assign(names, 5)
+        moved = sum(1 for name in names if before[name] != after[name])
+        # Ideal consistent hashing moves ~1/5 of the keys; a modulo hash
+        # would move ~4/5.  Half is a generous bound that still rejects
+        # any non-consistent scheme.
+        assert moved / len(names) < 0.5

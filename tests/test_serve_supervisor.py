@@ -1,0 +1,336 @@
+"""End-to-end harness for the sharded multi-process serving tier.
+
+Real processes, real signals, real sockets: ``treesketch serve
+--workers N`` is booted as a subprocess (which itself forks N worker
+daemons), a shard-map-aware :class:`~repro.serve.client.PooledClient`
+replays a mixed workload through it, and the answers are compared --
+bit for bit -- against a single-process daemon serving the same
+sketches.  Fault injection then earns the harness its name:
+
+* SIGKILL a worker mid-traffic: the supervisor must restart it within
+  its backoff bounds, requests in flight on the dead connection must
+  surface as retryable connection errors (never hangs), and the pooled
+  client must recover by re-resolving the shard map;
+* SIGTERM the supervisor: the whole fleet drains cleanly, workers exit,
+  and the supervisor reports ``fleet drained`` with exit code 0.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.io import save_synopsis
+from repro.core.stable import build_stable
+from repro.query.parser import parse_twig
+from repro.serve import sharding
+from repro.serve.client import PooledClient, ServeClient
+from repro.serve.registry import SketchRegistry
+from repro.serve.server import ServeConfig, start_server_thread
+from repro.xmltree.tree import XMLTree
+
+pytestmark = pytest.mark.obs
+
+_CONTROL_RE = re.compile(r"control on ([\d.]+):(\d+) \(protocol")
+_SERVE_RE = re.compile(r"on (\d+\.\d+\.\d+\.\d+):(\d+) \(protocol")
+_FLEET_TELEMETRY_RE = re.compile(r"fleet telemetry on http://([\d.]+):(\d+)")
+
+QUERIES = ["//a", "//a (//p)", "//a[//b] (//p ?)"]
+
+_TREES = {
+    "alpha": ("r", [("a", [("p", ["k", "k"]), "n"]),
+                    ("a", [("p", ["k"]), "n"]),
+                    ("a", [("b", ["t"])])]),
+    "beta": ("r", [("a", [("p", ["k"])])] * 4),
+    "gamma": ("r", [("a", [("b", ["t"]), "n", "n"]),
+                    ("a", [("p", ["k"]), ("p", ["k", "k", "k"])])]),
+}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fleet")
+    specs, sketches = [], {}
+    for name, nested in _TREES.items():
+        sketch = build_treesketch(
+            build_stable(XMLTree.from_nested(nested)), 100 * 1024)
+        path = tmp / f"{name}.json"
+        save_synopsis(sketch, str(path))
+        specs.append(f"{name}={path}")
+        sketches[name] = sketch
+    return {"specs": specs, "sketches": sketches}
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_fleet(specs, *extra, workers=2):
+    """Boot ``treesketch serve --workers N``; returns (proc, addrs, log).
+
+    Blocks until the supervisor prints its control-endpoint readiness
+    line (by which point every worker has reported ready); a drain
+    thread keeps consuming stdout into ``log`` so the pipe never fills.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *specs,
+         "--port", "0", "--workers", str(workers), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env())
+    log, addrs = [], {}
+    deadline = time.monotonic() + 90
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        log.append(line)
+        match = _CONTROL_RE.search(line)
+        if match:
+            addrs["control"] = (match.group(1), int(match.group(2)))
+        match = _FLEET_TELEMETRY_RE.search(line)
+        if match:
+            addrs["telemetry"] = (match.group(1), int(match.group(2)))
+        if "control" in addrs and ("--metrics-port" not in extra
+                                   or "telemetry" in addrs):
+            drain = threading.Thread(
+                target=lambda: log.extend(iter(proc.stdout.readline, "")),
+                daemon=True)
+            drain.start()
+            return proc, addrs, log
+    proc.kill()
+    raise AssertionError(
+        "fleet did not report readiness in time:\n" + "".join(log))
+
+
+def _stop_fleet(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(10)
+
+
+def _collect_answers(client, sketch_names):
+    """The mixed workload: estimate + eval + seeded expand, per sketch."""
+    answers = {}
+    for name in sketch_names:
+        for query in QUERIES:
+            answers[(name, query, "estimate")] = client.estimate(
+                query, sketch=name)
+            evaluated = client.eval(query, sketch=name)
+            answers[(name, query, "eval")] = {
+                k: v for k, v in evaluated.items()
+                if k not in ("id", "request_id")}
+        expanded = client.expand("//a", sketch=name, seed=7, max_nodes=500)
+        answers[(name, "//a", "expand")] = {
+            k: v for k, v in expanded.items()
+            if k not in ("id", "request_id")}
+    return answers
+
+
+class TestFleetEquivalence:
+    def test_two_worker_fleet_matches_single_process(self, artifacts):
+        names = sorted(_TREES)
+        # Single-process truth: the same daemon, one process, all
+        # sketches -- run as a real subprocess through the same CLI.
+        single = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", *artifacts["specs"],
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=_env())
+        try:
+            address = None
+            deadline = time.monotonic() + 60
+            while address is None and time.monotonic() < deadline:
+                line = single.stdout.readline()
+                match = _SERVE_RE.search(line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+            assert address is not None
+            with ServeClient(*address, retries=5) as client:
+                expected = _collect_answers(client, names)
+        finally:
+            _stop_fleet(single)
+
+        proc, addrs, _log = _spawn_fleet(artifacts["specs"])
+        try:
+            with PooledClient(*addrs["control"]) as pool:
+                shard_map = pool.shard_map
+                assert shard_map["shard_by"] == "name"
+                assert shard_map["shard_count"] == 2
+                # Workers hold disjoint shards that cover the registry,
+                # and the client-side routing agrees with the
+                # supervisor's published assignment (satellite 3, live).
+                held = sorted(
+                    n for w in shard_map["workers"] for n in w["sketches"])
+                assert held == names
+                for name in names:
+                    assert pool.shard_for(name) == \
+                        shard_map["assignment"][name]
+                    assert name in shard_map["workers"][
+                        sharding.shard_for(name, 2)]["sketches"]
+                assert _collect_answers(pool, names) == expected
+        finally:
+            _stop_fleet(proc)
+
+    def test_share_all_fleet_matches_in_process_truth(self, artifacts):
+        # shard_by=none: every worker serves every sketch; answers must
+        # still match the in-process evaluation exactly.
+        proc, addrs, _log = _spawn_fleet(
+            artifacts["specs"], "--shard-by", "none")
+        try:
+            with PooledClient(*addrs["control"]) as pool:
+                assert pool.shard_map["shard_by"] == "none"
+                for name, sketch in artifacts["sketches"].items():
+                    for query in QUERIES:
+                        truth = estimate_selectivity(
+                            eval_query(sketch, parse_twig(query)))
+                        # Round-robin: consecutive calls land on
+                        # different workers; all must agree with truth.
+                        got = {pool.estimate(query, sketch=name)
+                               for _ in range(3)}
+                        assert got == {truth}
+        finally:
+            _stop_fleet(proc)
+
+
+class TestFaultInjection:
+    def test_sigkill_worker_restarts_within_backoff_no_hangs(
+            self, artifacts):
+        proc, addrs, log = _spawn_fleet(
+            artifacts["specs"],
+            "--backoff-base-s", "0.05", "--backoff-cap-s", "1.0")
+        try:
+            pool = PooledClient(*addrs["control"], retries=12, backoff=0.05)
+            victim_name = sorted(_TREES)[0]
+            shard_map = pool.shard_map
+            index = shard_map["assignment"][victim_name]
+            worker = shard_map["workers"][index]
+            old_pid = worker["pid"]
+            expected = pool.estimate("//a", sketch=victim_name)
+
+            # A raw client pinned to the worker's address, with a request
+            # in flight across the kill: it must get a prompt, retryable
+            # connection error -- not a hang.
+            raw = ServeClient(worker["host"], worker["port"], timeout=20)
+            os.kill(old_pid, signal.SIGKILL)
+            killed_at = time.monotonic()
+            with pytest.raises((ConnectionError, OSError)):
+                raw.estimate("//a", sketch=victim_name)
+            assert time.monotonic() - killed_at < 15
+            raw.close()
+
+            # The pool recovers by re-resolving the shard map and
+            # retrying against the restarted worker.
+            value = pool.estimate("//a", sketch=victim_name)
+            recovery_s = time.monotonic() - killed_at
+            assert value == expected
+            assert recovery_s < 30
+
+            # The supervisor recorded the restart: new pid, bounded
+            # backoff, bumped restart counters.
+            deadline = time.monotonic() + 30
+            info = None
+            while time.monotonic() < deadline:
+                info = pool.refresh()["workers"][index]
+                if info["state"] == "up" and info["pid"] != old_pid:
+                    break
+                time.sleep(0.1)
+            assert info is not None and info["state"] == "up"
+            assert info["pid"] != old_pid
+            assert info["restarts"] >= 1
+            assert pool.fleet_stats()["restarts_total"] >= 1
+            restart_lines = [line for line in log if "restarting in" in line]
+            assert restart_lines, "supervisor never logged the restart"
+            delays = [float(m.group(1)) for line in restart_lines
+                      for m in [re.search(r"restarting in ([\d.]+)s", line)]
+                      if m]
+            assert delays and all(d <= 1.0 + 1e-9 for d in delays)
+            pool.close()
+        finally:
+            _stop_fleet(proc)
+
+    def test_sigterm_supervisor_drains_whole_fleet(self, artifacts):
+        proc, addrs, log = _spawn_fleet(artifacts["specs"])
+        with PooledClient(*addrs["control"]) as pool:
+            pids = [w["pid"] for w in pool.shard_map["workers"]]
+            assert pool.estimate("//a", sketch="alpha") > 0
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(60) == 0
+        time.sleep(0.2)  # let the drain thread flush the last lines
+        text = "".join(log)
+        assert "shutting down fleet" in text
+        assert "fleet drained" in text
+        for pid in pids:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break  # worker is gone
+                time.sleep(0.05)
+            else:
+                pytest.fail(f"worker pid {pid} survived the fleet drain")
+
+
+class TestClientReResolution:
+    """Regression: reconnects must re-resolve, not redial a dead port."""
+
+    def _registry(self, artifacts):
+        registry = SketchRegistry()
+        registry.register("alpha", artifacts["sketches"]["alpha"])
+        return registry
+
+    def test_reconnect_follows_the_resolver(self, artifacts):
+        first = start_server_thread(
+            self._registry(artifacts), ServeConfig(port=0))
+        addresses = [("127.0.0.1", first.port)]
+        client = ServeClient(*addresses[0], retries=5,
+                             resolver=lambda: addresses[-1])
+        try:
+            expected = client.estimate("//a", sketch="alpha")
+            first.stop()
+            # The sketch moved: a new daemon on a new ephemeral port
+            # (exactly what a supervisor restart does to a worker).
+            second = start_server_thread(
+                self._registry(artifacts), ServeConfig(port=0))
+            try:
+                addresses.append(("127.0.0.1", second.port))
+                with pytest.raises((ConnectionError, OSError)):
+                    client.estimate("//a", sketch="alpha")
+                client.reconnect()
+                assert client.port == second.port
+                assert client.estimate("//a", sketch="alpha") == expected
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_fixed_address_reconnect_stays_broken(self, artifacts):
+        # The old behaviour, pinned as the contrast: without a resolver
+        # the client redials the dead port and fails.
+        handle = start_server_thread(
+            self._registry(artifacts), ServeConfig(port=0))
+        client = ServeClient("127.0.0.1", handle.port)
+        try:
+            assert client.estimate("//a", sketch="alpha") > 0
+            dead_port = handle.port
+            handle.stop()
+            with pytest.raises(OSError):
+                client.reconnect()
+            assert client.port == dead_port
+        finally:
+            client.close()
