@@ -26,6 +26,11 @@ how to reproduce these numbers.
   containers this repo often runs in it cannot, and the recorded
   ``note`` says so instead of pretending.
 
+* Cold start: the same sketch loaded from JSON vs the binary ``.tsb``
+  store (mmap, O(header) -- must clear the 20x acceptance bar), and a
+  real daemon's first-request latency before and after a SIGTERM
+  restart with the persisted ``.tsb.cache`` sidecar.
+
 ``REPRO_BENCH_ROUNDS`` scales the eval-side repetition (default 3).
 """
 
@@ -194,6 +199,86 @@ def _fleet_throughput(sketch, queries, tmp_dir):
     }
 
 
+MIN_LOAD_SPEEDUP = 20.0
+
+
+def _cold_start(sketch, query_text, tmp_dir):
+    """JSON vs ``.tsb`` load time, and daemon first-request latency.
+
+    Three measurements: (1) best-of-N ``load_synopsis`` wall-clock for
+    the same sketch stored as JSON and as a binary ``.tsb`` store (the
+    mmap path is O(header), so it must clear ``MIN_LOAD_SPEEDUP``);
+    (2) first-request latency of a freshly started daemon with no cache
+    sidecar (a full evaluation); (3) the same after a SIGTERM restart,
+    where the persisted ``.tsb.cache`` sidecar answers the repeated
+    query without evaluating anything.
+    """
+    from repro.core.io import load_synopsis, save_synopsis
+    from repro.serve.client import ServeClient
+
+    clock = get_clock()
+    json_path = tmp_dir / "cold_sketch.json"
+    tsb_path = tmp_dir / "cold_sketch.tsb"
+    save_synopsis(sketch, str(json_path))
+    save_synopsis(sketch, str(tsb_path))
+
+    def best_load(path, repeats=7):
+        best = float("inf")
+        for _ in range(repeats):
+            start = clock.now()
+            load_synopsis(str(path))
+            best = min(best, clock.now() - start)
+        return best
+
+    json_load_s = best_load(json_path)
+    tsb_load_s = best_load(tsb_path)
+    load_speedup = json_load_s / tsb_load_s
+
+    def first_request(expect_seeded):
+        proc, address = _spawn([str(tsb_path), "--port", "0"], _SERVE_RE)
+        try:
+            with ServeClient(*address, retries=10) as client:
+                start = clock.now()
+                client.estimate(query_text, sketch="cold_sketch")
+                latency = clock.now() - start
+                cache = client.call("stats")["sketches"][0]["cache"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(60)
+        assert (cache["seeded"] > 0) == expect_seeded, cache
+        return latency
+
+    # Generation one evaluates from scratch and persists its sidecar on
+    # the SIGTERM drain; generation two answers the repeat from it.
+    cold_latency_s = first_request(expect_seeded=False)
+    warm_latency_s = first_request(expect_seeded=True)
+
+    doc = {
+        "json_bytes": os.path.getsize(json_path),
+        "tsb_bytes": os.path.getsize(tsb_path),
+        "load_json": {
+            "impl": "load_synopsis on JSON (parse + dict build)",
+            "seconds": round(json_load_s, 6),
+        },
+        "load_tsb": {
+            "impl": "load_synopsis on .tsb (mmap, O(header) lazy)",
+            "seconds": round(tsb_load_s, 6),
+        },
+        "load_speedup": round(load_speedup, 1),
+        "first_request_cold": {
+            "impl": "fresh daemon, no cache sidecar (full evaluation)",
+            "seconds": round(cold_latency_s, 6),
+        },
+        "first_request_warm": {
+            "impl": "restarted daemon, persisted .tsb.cache sidecar "
+                    "(seeded cache hit, no evaluation)",
+            "seconds": round(warm_latency_s, 6),
+        },
+        "first_request_speedup": round(cold_latency_s / warm_latency_s, 2),
+    }
+    return doc, load_speedup
+
+
 def _timed_build(stable, options):
     clock = get_clock()
     with obs.observed() as registry:
@@ -326,6 +411,13 @@ def test_bench_feed(tmp_path):
     wire_queries = [str(q) for q in workload.queries[:10]]
     fleet = _fleet_throughput(sketch, wire_queries, tmp_path)
     eval_doc["fleet"] = fleet
+
+    # ------------------------------------------------------------------
+    # Cold start: JSON vs .tsb load, and first-request latency across a
+    # real daemon restart with the persisted cache sidecar.
+    # ------------------------------------------------------------------
+    cold_doc, load_speedup = _cold_start(sketch, wire_queries[0], tmp_path)
+    eval_doc["cold_start"] = cold_doc
     (REPO_ROOT / "BENCH_eval.json").write_text(
         json.dumps(eval_doc, indent=2) + "\n"
     )
@@ -344,6 +436,12 @@ def test_bench_feed(tmp_path):
             f"clients: 1 proc {fleet['workers_1']['rps']} rps -> "
             f"2 workers {fleet['workers_2']['rps']} rps "
             f"({fleet['speedup']:.2f}x; {fleet['note']})",
+            f"  cold   load json {cold_doc['load_json']['seconds'] * 1e3:.2f}ms"
+            f" -> tsb {cold_doc['load_tsb']['seconds'] * 1e3:.2f}ms "
+            f"({load_speedup:.0f}x); first request cold "
+            f"{cold_doc['first_request_cold']['seconds'] * 1e3:.2f}ms -> warm "
+            f"{cold_doc['first_request_warm']['seconds'] * 1e3:.2f}ms "
+            f"({cold_doc['first_request_speedup']:.2f}x)",
             "  -> BENCH_build.json, BENCH_eval.json",
         ]),
     )
@@ -358,3 +456,9 @@ def test_bench_feed(tmp_path):
         f"({after_s:.2f}s) on {DATASET}"
     )
     assert eval_speedup > 1.0
+    assert load_speedup >= MIN_LOAD_SPEEDUP, (
+        f".tsb load speedup {load_speedup:.1f}x fell below the "
+        f"{MIN_LOAD_SPEEDUP}x acceptance bar (json "
+        f"{cold_doc['load_json']['seconds'] * 1e3:.2f}ms, tsb "
+        f"{cold_doc['load_tsb']['seconds'] * 1e3:.2f}ms)"
+    )

@@ -10,12 +10,17 @@ Installed as the ``treesketch`` console script::
     treesketch compare  data.xml sketch.json "//a (//p)"
     treesketch workload data.xml --budget-kb 10 --queries 40
     treesketch estimate sketch.json "//a (//p)" --repeat 3
-    treesketch serve sketch.json xmark=xmark.json.gz --port 7077
+    treesketch convert  sketch.json sketch.tsb
+    treesketch inspect  sketch.tsb
+    treesketch serve sketch.tsb xmark=xmark.json.gz --port 7077
     treesketch workload data.xml --server 127.0.0.1:7077 --queries 40
 
 ``build`` accepts either raw XML or a saved stable summary, so the
 expensive parse/summarize step can be done once.  Synopsis paths ending
-in ``.gz`` are read/written gzip-compressed.  ``serve`` runs the network
+in ``.gz`` are read/written gzip-compressed; ``.tsb`` selects the binary
+mmap-able store (docs/STORAGE.md) whose load time is O(header) --
+``convert`` re-encodes between the formats and ``inspect`` prints any
+file's header/section/stat summary.  ``serve`` runs the network
 query daemon of :mod:`repro.serve` (docs/SERVING.md); ``workload
 --server`` replays the generated workload against such a daemon instead
 of evaluating in-process.  ``python -m repro ...`` is equivalent to the
@@ -86,10 +91,11 @@ def cmd_stable(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     value_summaries = None
-    if args.source.endswith(".json"):
+    if args.source.endswith((".json", ".json.gz", ".tsb")):
         source = load_synopsis(args.source)
         if not isinstance(source, StableSummary):
-            print("build expects XML or a *stable* summary JSON", file=sys.stderr)
+            print("build expects XML or a *stable* summary synopsis",
+                  file=sys.stderr)
             return 2
         if args.values:
             print("--values needs an XML source (values live in the document)",
@@ -103,17 +109,148 @@ def cmd_build(args: argparse.Namespace) -> int:
         value_summaries = annotate_stable_values(source, tree)
     else:
         source = build_stable(_load_document(args.source))
-    sketch = build_treesketch(source, int(args.budget_kb * 1024))
+
+    if args.memo_cache and isinstance(source, StableSummary) \
+            and args.source.endswith((".json", ".json.gz", ".tsb")):
+        sketch = _build_with_memo_cache(args, source)
+    else:
+        if args.memo_cache:
+            print("--memo-cache needs a synopsis-file source (the memo is "
+                  "keyed by its checksum); building cold", file=sys.stderr)
+        sketch = build_treesketch(source, int(args.budget_kb * 1024))
     if value_summaries is not None:
         from repro.values import annotate_sketch_values
 
         annotate_sketch_values(sketch, value_summaries)
-    save_synopsis(sketch, args.output)
+    save_synopsis(sketch, args.output, format=args.format)
     print(
         f"wrote {args.output}: {sketch.num_nodes} nodes, "
         f"{sketch.size_bytes() / 1024:.1f} KB, "
         f"squared error {sketch.squared_error():.1f}"
     )
+    return 0
+
+
+def _build_with_memo_cache(args: argparse.Namespace,
+                           source: StableSummary) -> TreeSketch:
+    """TSBUILD with the merge-score memo persisted in the source's sidecar.
+
+    The memo rides in ``SOURCE.cache``, keyed by the stable summary's
+    checksum *and* the build-options signature, so a memo recorded
+    against different data or a different merge schedule is ignored,
+    never replayed (docs/STORAGE.md).  Memoization only skips rescoring
+    work -- seeded or not, the resulting sketch is bit-identical.
+    """
+    from repro.core.build import TreeSketchBuilder
+    from repro.core.store import (
+        file_checksum,
+        load_cache_sidecar,
+        save_cache_sidecar,
+    )
+
+    checksum = file_checksum(args.source)
+    builder = TreeSketchBuilder(source)
+    signature = builder.memo_signature()
+    doc = load_cache_sidecar(args.source, checksum)
+    memo = (doc or {}).get("memo")
+    if isinstance(memo, dict) and memo.get("options") == signature:
+        seeded = builder.seed_memo(memo.get("entries") or [])
+        print(f"seeded merge memo: {seeded} entries")
+    sketch = builder.compress_to(int(args.budget_kb * 1024))
+    save_cache_sidecar(args.source, checksum, memo={
+        "options": signature,
+        "entries": builder.export_memo(),
+    })
+    return sketch
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Re-encode a synopsis file; formats are sniffed, never guessed."""
+    import os
+
+    from repro.core.io import sniff_format
+
+    try:
+        synopsis = load_synopsis(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    save_synopsis(synopsis, args.output, format=args.format)
+    kind = "stable" if isinstance(synopsis, StableSummary) else "treesketch"
+    print(
+        f"wrote {args.output}: {kind}, {synopsis.num_nodes} nodes, "
+        f"{synopsis.num_edges} edges "
+        f"({sniff_format(args.input)} {os.path.getsize(args.input)} B -> "
+        f"{sniff_format(args.output)} {os.path.getsize(args.output)} B)"
+    )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Header/section/stat summary of any synopsis file.
+
+    The first debugging stop for a store that will not load: corrupt and
+    truncated files report *why* (bad magic, checksum mismatch, section
+    past EOF) instead of a traceback.
+    """
+    import os
+
+    from repro.core.io import sniff_format
+    from repro.core.store import (
+        SynopsisFormatError,
+        file_checksum,
+        load_cache_sidecar,
+        read_tsb_info,
+        sidecar_path,
+    )
+
+    path = args.file
+    try:
+        fmt = sniff_format(path)
+        if fmt == "tsb":
+            info = read_tsb_info(path)
+            print(f"{path}: tsb v{info['version']} ({info['kind']}), "
+                  f"{info['file_bytes']} bytes, "
+                  f"checksum {info['checksum']:#010x}")
+            print(f"  root {info['root_id']}, height {info['doc_height']}, "
+                  f"{info['nodes']} nodes, {info['edges']} edges")
+            print(f"  {'section':<12} {'type':<4} {'offset':>10} "
+                  f"{'bytes':>10} {'count':>10}")
+            for sec in info["sections"]:
+                print(f"  {sec['name']:<12} {sec['typecode']:<4} "
+                      f"{sec['offset']:>10} {sec['bytes']:>10} "
+                      f"{sec['count']:>10}")
+        else:
+            print(f"{path}: {fmt}, {os.path.getsize(path)} bytes")
+        synopsis = load_synopsis(path)
+        kind = ("stable" if isinstance(synopsis, StableSummary)
+                else "treesketch")
+        line = (f"  {kind}: {synopsis.num_nodes} nodes, "
+                f"{synopsis.num_edges} edges, "
+                f"{synopsis.size_bytes() / 1024:.1f} KB model size")
+        if isinstance(synopsis, TreeSketch):
+            line += (f", squared error {synopsis.squared_error():.1f}, "
+                     f"{len(synopsis.members)} member sets, "
+                     f"{len(synopsis.values)} value summaries")
+        print(line)
+        sidecar = sidecar_path(path)
+        if os.path.exists(sidecar):
+            doc = load_cache_sidecar(path, file_checksum(path),
+                                     _count_stale=False)
+            if doc is None:
+                print(f"  sidecar {sidecar}: STALE (ignored at load)")
+            else:
+                selectivities = doc.get("selectivities") or {}
+                memo = doc.get("memo") or {}
+                print(f"  sidecar {sidecar}: fresh, "
+                      f"{len(selectivities)} selectivities, "
+                      f"{len(memo.get('entries') or [])} memo entries")
+    except SynopsisFormatError as exc:
+        print(f"corrupt store: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"unreadable synopsis: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -347,6 +484,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("\nshutting down")
+    # Persist warm-restart state for .tsb-backed sketches after the
+    # drain: the next daemon on these files answers previously-seen
+    # selectivity queries from its first request (docs/STORAGE.md).
+    saved = registry.save_caches()
+    if saved:
+        print(f"persisted {saved} cache sidecar(s)", flush=True)
     if obs.enabled():
         # Flush span records now (idempotent; main() closes --trace sinks
         # again) and leave a final metrics snapshot in the log.
@@ -627,9 +770,17 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stable)
 
     p = add_parser("build", help="compress to a TreeSketch under a budget")
-    p.add_argument("source", help="XML document or stable-summary JSON")
+    p.add_argument("source",
+                   help="XML document or stable summary (.json[.gz]/.tsb)")
     p.add_argument("--budget-kb", type=float, required=True)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--format", choices=("auto", "json", "tsb"),
+                   default="auto",
+                   help="output format (auto: by extension; see "
+                        "docs/STORAGE.md)")
+    p.add_argument("--memo-cache", action="store_true",
+                   help="persist/reuse the TSBUILD merge-score memo in the "
+                        "source's .cache sidecar (synopsis sources only)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.add_argument(
@@ -639,6 +790,20 @@ def make_parser() -> argparse.ArgumentParser:
              "(enables [path = 'v'] predicates; XML source only)",
     )
     p.set_defaults(func=cmd_build)
+
+    p = add_parser("convert",
+                   help="re-encode a synopsis between JSON and binary .tsb")
+    p.add_argument("input", help="synopsis file in any format")
+    p.add_argument("output", help="destination path")
+    p.add_argument("--format", choices=("auto", "json", "tsb"),
+                   default="auto",
+                   help="output format (auto: by extension)")
+    p.set_defaults(func=cmd_convert)
+
+    p = add_parser("inspect",
+                   help="header/section/stat summary of a synopsis file")
+    p.add_argument("file", help="synopsis file (.json[.gz] or .tsb)")
+    p.set_defaults(func=cmd_inspect)
 
     p = add_parser("query", help="approximate a twig query over a synopsis")
     p.add_argument("sketch", help="synopsis JSON (TreeSketch or stable)")

@@ -1,4 +1,4 @@
-"""Persistence for synopses: save/load as JSON.
+"""Persistence for synopses: JSON, gzipped JSON, and binary ``.tsb``.
 
 A synopsis is only useful if it can be built once and shipped to the
 query-time component, so both summary types serialize to a compact JSON
@@ -7,9 +7,16 @@ sufficient statistics, so squared error survives the round trip).
 
 Paths ending in ``.gz`` are read and written gzip-compressed
 transparently -- ``save_synopsis(sketch, "xmark.json.gz")`` ships a
-sketch to a serving host at a fraction of the plain-JSON size, and
-``load_synopsis`` (and therefore the serve registry and every CLI
-subcommand that loads a synopsis) accepts either form.
+sketch to a serving host at a fraction of the plain-JSON size.  Paths
+ending in ``.tsb`` (or an explicit ``format="tsb"``) use the binary
+mmap-able store from :mod:`repro.core.store`, whose load time is
+O(header) instead of O(document) -- see docs/STORAGE.md.
+
+:func:`load_synopsis` sniffs the actual on-disk format from magic bytes
+(gzip ``1f 8b``, the ``.tsb`` magic, else JSON), so the serve registry
+and every CLI subcommand accept any of the three forms regardless of
+how the file is named.  Loads are timed into the ``store.load.json`` /
+``store.load.tsb`` histograms via :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -19,6 +26,12 @@ import json
 from typing import Any, Dict, Union
 
 from repro.core.stable import StableSummary
+from repro.core.store import (
+    TSB_MAGIC,
+    SynopsisFormatError,
+    read_tsb,
+    write_tsb,
+)
 from repro.core.treesketch import TreeSketch
 
 _FORMAT_VERSION = 1
@@ -121,13 +134,75 @@ def _open_text(path: str, mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def save_synopsis(synopsis: Union[StableSummary, TreeSketch], path: str) -> None:
-    """Write a synopsis to ``path`` as JSON (gzipped for ``*.gz`` paths)."""
-    with _open_text(path, "w") as handle:
-        json.dump(synopsis_to_dict(synopsis), handle, separators=(",", ":"))
+def sniff_format(path: str) -> str:
+    """The actual on-disk format of ``path``: ``tsb``, ``json.gz``, ``json``.
+
+    Decided from magic bytes, not the file name, so a ``.tsb`` store
+    renamed ``sketch.json`` (or vice versa) still loads correctly.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(len(TSB_MAGIC))
+    if head == TSB_MAGIC:
+        return "tsb"
+    if head[:2] == b"\x1f\x8b":
+        return "json.gz"
+    return "json"
+
+
+def save_synopsis(synopsis: Union[StableSummary, TreeSketch], path: str,
+                  format: str = "auto") -> None:
+    """Write a synopsis to ``path``.
+
+    ``format="auto"`` (the default) follows the extension: ``*.tsb`` is
+    written binary, ``*.gz`` gzip-JSON, anything else plain JSON.  An
+    explicit ``"json"`` or ``"tsb"`` overrides the extension.
+    """
+    if format == "auto":
+        format = "tsb" if str(path).endswith(".tsb") else "json"
+    if format == "tsb":
+        write_tsb(synopsis, path)
+    elif format == "json":
+        with _open_text(path, "w") as handle:
+            json.dump(synopsis_to_dict(synopsis), handle,
+                      separators=(",", ":"))
+    else:
+        raise ValueError(f"unknown synopsis format {format!r}")
+
+
+def save_synopsis_binary(synopsis: Union[StableSummary, TreeSketch],
+                         path: str) -> int:
+    """Write ``synopsis`` as a binary ``.tsb`` store; returns its checksum."""
+    return write_tsb(synopsis, path)
 
 
 def load_synopsis(path: str) -> Union[StableSummary, TreeSketch]:
-    """Read a synopsis written by :func:`save_synopsis` (``.json[.gz]``)."""
-    with _open_text(path, "r") as handle:
-        return synopsis_from_dict(json.load(handle))
+    """Read a synopsis in any supported format (sniffed by magic bytes).
+
+    ``.tsb`` stores come back as mmap-backed lazy synopses (see
+    :mod:`repro.core.store`) whose answers are bitwise-identical to the
+    JSON path; JSON and gzip-JSON load eagerly as before.
+    """
+    from repro.obs import get_clock, get_metrics
+
+    clock = get_clock()
+    start = clock.now()
+    fmt = sniff_format(path)
+    if fmt == "tsb":
+        synopsis: Union[StableSummary, TreeSketch] = read_tsb(path)
+    else:
+        try:
+            if fmt == "json.gz":
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    synopsis = synopsis_from_dict(json.load(handle))
+            else:
+                with open(path, "r", encoding="utf-8") as handle:
+                    synopsis = synopsis_from_dict(json.load(handle))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            # Binary junk that is neither the .tsb magic nor JSON text --
+            # most commonly a store whose header got clobbered.
+            raise SynopsisFormatError(
+                f"{path}: not a recognized synopsis (bad magic for a .tsb "
+                f"store, and not parseable as JSON: {exc})") from exc
+    name = "store.load.tsb" if fmt == "tsb" else "store.load.json"
+    get_metrics().histogram(name).observe(clock.now() - start)
+    return synopsis

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.estimate import estimate_selectivity, estimate_selectivity_batch
 from repro.core.evaluate import ResultSketch, eval_query
@@ -58,6 +58,11 @@ class QueryCache:
         self.maxsize = maxsize
         # canonical text -> [ResultSketch, Optional[float] selectivity]
         self._entries: "OrderedDict[str, list]" = OrderedDict()
+        # canonical text -> selectivity restored from a cache sidecar
+        # (docs/STORAGE.md).  Seeded values answer selectivity lookups
+        # without evaluation until the query is evaluated for real; they
+        # never satisfy result(), which needs an actual ResultSketch.
+        self._seeded: Dict[str, float] = {}
         # Guards entries *and* the hit/miss/eviction tallies; reentrant so
         # selectivity() can call _entry() while holding it.
         self._lock = threading.RLock()
@@ -91,9 +96,27 @@ class QueryCache:
         """The (cached) result sketch of ``query``; treat as read-only."""
         return self._entry(query)[0]
 
+    def _seeded_lookup(self, key: str) -> Optional[float]:
+        """A sidecar-seeded selectivity for ``key``, counted as a hit.
+
+        Caller must hold the lock and must have already missed in
+        ``_entries`` -- live entries win over seeded values (they are
+        equal anyway: both are the pure function of (sketch, query)
+        computed by the same estimator).
+        """
+        value = self._seeded.get(key)
+        if value is not None:
+            self.hits += 1
+            get_metrics().counter("eval.cache.hits").inc()
+        return value
+
     def selectivity(self, query: TwigQuery) -> float:
         """The (cached) estimated binding-tuple count of ``query``."""
         with self._lock:
+            if str(query) not in self._entries:
+                seeded = self._seeded_lookup(str(query))
+                if seeded is not None:
+                    return seeded
             entry = self._entry(query)
             if entry[1] is None:
                 entry[1] = estimate_selectivity(entry[0])
@@ -113,17 +136,28 @@ class QueryCache:
         estimated once.
         """
         with self._lock:
-            entries = [self._entry(query) for query in queries]
+            seeded: Dict[int, float] = {}
+            entries: list = []
+            for i, query in enumerate(queries):
+                if str(query) not in self._entries:
+                    value = self._seeded_lookup(str(query))
+                    if value is not None:
+                        seeded[i] = value
+                        entries.append(None)
+                        continue
+                entries.append(self._entry(query))
             missing = []
             for entry in entries:
-                if entry[1] is None and all(e is not entry for e in missing):
+                if (entry is not None and entry[1] is None
+                        and all(e is not entry for e in missing)):
                     missing.append(entry)
             if missing:
                 values = estimate_selectivity_batch(
                     [entry[0] for entry in missing])
                 for entry, value in zip(missing, values):
                     entry[1] = value
-            return [entry[1] for entry in entries]
+            return [seeded[i] if entry is None else entry[1]
+                    for i, entry in enumerate(entries)]
 
     def peek_selectivity(self, query: TwigQuery) -> Optional[float]:
         """Cached-only selectivity: ``None`` on a miss or lock contention.
@@ -141,7 +175,7 @@ class QueryCache:
             key = str(query)
             entry = self._entries.get(key)
             if entry is None:
-                return None
+                return self._seeded_lookup(key)
             self._entries.move_to_end(key)
             self.hits += 1
             get_metrics().counter("eval.cache.hits").inc()
@@ -152,6 +186,37 @@ class QueryCache:
             self._lock.release()
 
     # ------------------------------------------------------------------
+
+    def seed_selectivities(self, entries: "Mapping[str, float]") -> int:
+        """Warm the cache with canonical-text -> selectivity pairs.
+
+        Used on daemon restart to restore the selectivities a previous
+        process persisted to a ``.tsb.cache`` sidecar (docs/STORAGE.md).
+        Seeded pairs are held outside the LRU (they cost a float each,
+        not a result sketch) and answer ``selectivity`` /
+        ``peek_selectivity`` / ``selectivity_batch`` lookups as cache
+        hits until the query is evaluated for real.  Returns the number
+        of pairs accepted.
+        """
+        accepted = {str(k): float(v) for k, v in entries.items()}
+        with self._lock:
+            self._seeded.update(accepted)
+        return len(accepted)
+
+    def export_selectivities(self) -> Dict[str, float]:
+        """Every selectivity this cache can answer without evaluating.
+
+        The persistable warm state: live LRU entries with a computed
+        selectivity, plus any still-unevaluated seeded pairs.  Result
+        sketches are deliberately not exported -- they are cheap to
+        recompute and expensive to store.
+        """
+        with self._lock:
+            out = dict(self._seeded)
+            for key, entry in self._entries.items():
+                if entry[1] is not None:
+                    out[key] = entry[1]
+            return out
 
     def __len__(self) -> int:
         with self._lock:
@@ -179,6 +244,7 @@ class QueryCache:
                 "evictions": self.evictions,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "seeded": len(self._seeded),
             }
         finally:
             if acquired:

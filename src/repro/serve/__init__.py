@@ -21,6 +21,7 @@ from repro.serve.client import (
     PooledClient,
     ServeClient,
     ServerError,
+    UnknownSketchError,
     parse_address,
 )
 from repro.serve.protocol import (
@@ -57,6 +58,7 @@ __all__ = [
     "ServeClient",
     "PooledClient",
     "ServerError",
+    "UnknownSketchError",
     "parse_address",
     "parse_spec",
     "SUPERVISOR_OPS",

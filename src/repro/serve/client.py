@@ -43,6 +43,22 @@ class ServerError(RuntimeError):
         self.message = message
 
 
+class UnknownSketchError(ServerError):
+    """The requested sketch name is not served (wire code ``unknown_sketch``).
+
+    Raised by :meth:`ServeClient.call` when a worker rejects the name,
+    and by :meth:`PooledClient._route` when the name is absent from the
+    fleet shard map (after one refresh, in case the map was stale) --
+    the pool must not consistent-hash an unknown name onto an arbitrary
+    worker and surface that worker's shard-local error instead of the
+    fleet-wide picture.  ``sketch`` carries the offending name.
+    """
+
+    def __init__(self, message: str, sketch: Optional[str] = None) -> None:
+        super().__init__("unknown_sketch", message)
+        self.sketch = sketch
+
+
 def parse_address(address: str) -> Tuple[str, int]:
     """Split a ``HOST:PORT`` string (the CLI's ``--server`` argument)."""
     host, sep, port = address.rpartition(":")
@@ -149,12 +165,21 @@ class ServeClient:
         return response
 
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Like :meth:`request`, but raise :class:`ServerError` on failure."""
+        """Like :meth:`request`, but raise :class:`ServerError` on failure.
+
+        An ``unknown_sketch`` rejection comes back as the narrower
+        :class:`UnknownSketchError`, so callers can tell a misnamed
+        sketch (fix the request) from a genuine server fault.
+        """
         response = self.request(op, **fields)
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise ServerError(error.get("code", "internal"),
-                              error.get("message", "unspecified server error"))
+            code = error.get("code", "internal")
+            message = error.get("message", "unspecified server error")
+            if code == "unknown_sketch":
+                raise UnknownSketchError(message,
+                                         sketch=fields.get("sketch"))
+            raise ServerError(code, message)
         return response
 
     # ---------------------------------------------------------- convenience
@@ -308,6 +333,21 @@ class PooledClient:
                         "a sharded fleet serves multiple sketches; pass "
                         f"sketch= (one of {names})")
                 sketch = names[0]
+            elif sketch not in shard_map["sketches"]:
+                # Don't hash an unknown name onto an arbitrary worker:
+                # that worker would answer with its shard-local sketch
+                # list, which is misleading.  Re-fetch the map once in
+                # case it predates a fleet re-spec, then fail with the
+                # fleet-wide picture.
+                try:
+                    shard_map = self.refresh()
+                except (ConnectionError, OSError):
+                    pass
+                if sketch not in shard_map["sketches"]:
+                    raise UnknownSketchError(
+                        f"sketch {sketch!r} is not served by this fleet; "
+                        f"available: {sorted(shard_map['sketches'])}",
+                        sketch=sketch)
             return sharding.shard_for(sketch, shard_map["shard_count"])
         with self._lock:
             up = [w["index"] for w in shard_map["workers"]

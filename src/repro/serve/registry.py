@@ -11,6 +11,16 @@ canonical-query LRU that makes repeated serving cheap.
 Sketches are registered once, before the server starts, and treated as
 immutable afterwards; nothing here locks, because lookups are read-only
 dict hits.
+
+Binary ``.tsb`` stores (docs/STORAGE.md) get two extras here.  They are
+mmap-loaded, so N supervisor-forked workers pinning the same file share
+one physical copy of the section buffers through the page cache.  And
+their ``.tsb.cache`` sidecar -- selectivities a previous daemon process
+persisted on graceful shutdown via :meth:`SketchRegistry.save_caches` --
+is restored into the fresh :class:`QueryCache` at load time iff its
+checksum still matches the store (``store.cache.restored`` /
+``store.cache.ignored_stale`` count the outcomes), which is what makes
+a daemon restart warm instead of cold.
 """
 
 from __future__ import annotations
@@ -21,13 +31,15 @@ from typing import Container, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.io import load_synopsis
 from repro.core.qcache import QueryCache
 from repro.core.stable import StableSummary
+from repro.core.store import load_cache_sidecar, save_cache_sidecar
 from repro.core.treesketch import TreeSketch
+from repro.obs import get_metrics
 
 
 def name_from_path(path: str) -> str:
-    """Default sketch name for a file: basename minus ``.json[.gz]``."""
+    """Default sketch name for a file: basename minus ``.json[.gz]``/``.tsb``."""
     base = os.path.basename(path)
-    for suffix in (".json.gz", ".json"):
+    for suffix in (".json.gz", ".json", ".tsb"):
         if base.endswith(suffix):
             return base[: -len(suffix)]
     return os.path.splitext(base)[0] or base
@@ -49,16 +61,24 @@ def parse_spec(spec: str) -> Tuple[str, str]:
 
 
 class RegisteredSketch:
-    """One pinned sketch: the synopsis, its cache, and its provenance."""
+    """One pinned sketch: the synopsis, its cache, and its provenance.
 
-    __slots__ = ("name", "sketch", "cache", "path")
+    ``checksum`` is the ``.tsb`` payload CRC32 for mmap-loaded sketches
+    (None for JSON loads) -- the key that scopes this sketch's cache
+    sidecar, so a sidecar written against yesterday's synopsis can never
+    warm today's.
+    """
+
+    __slots__ = ("name", "sketch", "cache", "path", "checksum")
 
     def __init__(self, name: str, sketch: TreeSketch, cache: QueryCache,
-                 path: Optional[str] = None) -> None:
+                 path: Optional[str] = None,
+                 checksum: Optional[int] = None) -> None:
         self.name = name
         self.sketch = sketch
         self.cache = cache
         self.path = path
+        self.checksum = checksum
 
     def describe(self) -> Dict[str, object]:
         """Metadata for ``list_sketches`` responses."""
@@ -70,6 +90,7 @@ class RegisteredSketch:
             "edges": sketch.num_edges,
             "size_bytes": sketch.size_bytes(),
             "cache": self.cache.info(),
+            "checksum": self.checksum,
         }
 
 
@@ -82,7 +103,8 @@ class SketchRegistry:
 
     def register(self, name: str,
                  synopsis: Union[StableSummary, TreeSketch],
-                 path: Optional[str] = None) -> RegisteredSketch:
+                 path: Optional[str] = None,
+                 checksum: Optional[int] = None) -> RegisteredSketch:
         """Pin an in-memory synopsis under ``name``.
 
         Stable summaries are promoted to their zero-error TreeSketch so
@@ -99,15 +121,34 @@ class SketchRegistry:
                 f"unsupported synopsis type {type(synopsis).__name__}"
             )
         entry = RegisteredSketch(
-            name, synopsis, QueryCache(synopsis, maxsize=self.cache_size), path
+            name, synopsis, QueryCache(synopsis, maxsize=self.cache_size),
+            path, checksum
         )
         self._sketches[name] = entry
         return entry
 
     def load(self, path: str, name: Optional[str] = None) -> RegisteredSketch:
-        """Load a synopsis file (``.json`` or ``.json.gz``) and pin it."""
-        return self.register(name or name_from_path(path),
-                             load_synopsis(path), path=path)
+        """Load a synopsis file (``.json[.gz]`` or ``.tsb``) and pin it.
+
+        A ``.tsb`` store additionally restores its checksum-matched cache
+        sidecar (if one exists) into the fresh query cache -- the warm-
+        restart path.  Stale or corrupt sidecars are ignored, never served.
+        """
+        synopsis = load_synopsis(path)
+        checksum = getattr(synopsis, "tsb_checksum", None)
+        entry = self.register(name or name_from_path(path), synopsis,
+                              path=path, checksum=checksum)
+        if checksum is not None:
+            doc = load_cache_sidecar(path, checksum)
+            selectivities = (doc or {}).get("selectivities")
+            if isinstance(selectivities, dict) and selectivities:
+                try:
+                    restored = entry.cache.seed_selectivities(selectivities)
+                except (TypeError, ValueError):
+                    get_metrics().counter("store.cache.ignored_stale").inc()
+                else:
+                    get_metrics().counter("store.cache.restored").inc(restored)
+        return entry
 
     def load_specs(self, specs: Iterable[str],
                    only: Optional[Container[str]] = None,
@@ -152,6 +193,35 @@ class SketchRegistry:
                 f"unknown sketch {name!r}; available: {sorted(self._sketches)}"
             )
         return entry
+
+    def save_caches(self) -> int:
+        """Persist each ``.tsb``-backed sketch's warm state to its sidecar.
+
+        Called by the serving daemon after draining on graceful shutdown:
+        every sketch with a known checksum and at least one answerable
+        selectivity gets its ``.tsb.cache`` sidecar written (atomically,
+        preserving any merge-memo payload already there).  Returns the
+        number of sidecars written; failures to write one sidecar are
+        counted (``store.cache.save_failed``) but never block shutdown.
+        """
+        saved = 0
+        for name in self.names():
+            entry = self._sketches[name]
+            if entry.path is None or entry.checksum is None:
+                continue
+            selectivities = entry.cache.export_selectivities()
+            if not selectivities:
+                continue
+            try:
+                save_cache_sidecar(entry.path, entry.checksum,
+                                   selectivities=selectivities)
+            except OSError:
+                get_metrics().counter("store.cache.save_failed").inc()
+                continue
+            saved += 1
+        if saved:
+            get_metrics().counter("store.cache.saved").inc(saved)
+        return saved
 
     def names(self) -> List[str]:
         return sorted(self._sketches)

@@ -68,6 +68,91 @@ class TestCLI:
         assert main(["build", sketch_path, "--budget-kb", "1", "-o", sketch_path]) == 2
 
 
+class TestStoreCommands:
+    """``build --format tsb``, ``convert``, ``inspect``, ``--memo-cache``."""
+
+    def test_build_tsb_output(self, xml_file, tmp_path, capsys):
+        tsb_path = str(tmp_path / "sketch.tsb")
+        assert main(["build", xml_file, "--budget-kb", "64",
+                     "-o", tsb_path]) == 0
+        from repro.core.io import sniff_format
+
+        assert sniff_format(tsb_path) == "tsb"
+        capsys.readouterr()
+        assert main(["query", tsb_path, "//a (//p)"]) == 0
+        assert "estimated binding tuples: 4.0" in capsys.readouterr().out
+
+    def test_build_format_overrides_extension(self, xml_file, tmp_path):
+        path = str(tmp_path / "sketch.json")  # json name, tsb content
+        assert main(["build", xml_file, "--budget-kb", "64", "-o", path,
+                     "--format", "tsb"]) == 0
+        from repro.core.io import sniff_format
+
+        assert sniff_format(path) == "tsb"
+
+    def test_convert_round_trip_is_bitwise(self, xml_file, tmp_path, capsys):
+        json_path = str(tmp_path / "sketch.json")
+        tsb_path = str(tmp_path / "sketch.tsb")
+        back_path = str(tmp_path / "back.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", json_path])
+        assert main(["convert", json_path, tsb_path]) == 0
+        assert main(["convert", tsb_path, back_path]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        with open(json_path) as a, open(back_path) as b:
+            assert a.read() == b.read()
+
+    def test_convert_missing_input(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope.json"),
+                     str(tmp_path / "out.tsb")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_inspect_tsb(self, xml_file, tmp_path, capsys):
+        tsb_path = str(tmp_path / "sketch.tsb")
+        main(["build", xml_file, "--budget-kb", "64", "-o", tsb_path])
+        capsys.readouterr()
+        assert main(["inspect", tsb_path]) == 0
+        out = capsys.readouterr().out
+        assert "tsb v1 (treesketch)" in out
+        assert "node_ids" in out and "edge_off" in out  # section table
+        assert "squared error" in out
+
+    def test_inspect_json(self, xml_file, tmp_path, capsys):
+        json_path = str(tmp_path / "sketch.json")
+        main(["build", xml_file, "--budget-kb", "64", "-o", json_path])
+        capsys.readouterr()
+        assert main(["inspect", json_path]) == 0
+        out = capsys.readouterr().out
+        assert "json" in out and "treesketch:" in out
+
+    def test_inspect_corrupt_store(self, xml_file, tmp_path, capsys):
+        tsb_path = tmp_path / "sketch.tsb"
+        main(["build", xml_file, "--budget-kb", "64", "-o", str(tsb_path)])
+        raw = bytearray(tsb_path.read_bytes())
+        raw[0:4] = b"XXXX"
+        tsb_path.write_bytes(bytes(raw))
+        capsys.readouterr()
+        assert main(["inspect", str(tsb_path)]) == 2
+        assert "corrupt store" in capsys.readouterr().err
+
+    def test_build_memo_cache_round_trip(self, xml_file, tmp_path, capsys):
+        import os
+
+        stable_path = str(tmp_path / "stable.json")
+        main(["stable", xml_file, "-o", stable_path])
+        cold = str(tmp_path / "cold.json")
+        warm = str(tmp_path / "warm.json")
+        assert main(["build", stable_path, "--budget-kb", "0.125",
+                     "-o", cold, "--memo-cache"]) == 0
+        assert os.path.exists(stable_path + ".cache")
+        capsys.readouterr()
+        assert main(["build", stable_path, "--budget-kb", "0.125",
+                     "-o", warm, "--memo-cache"]) == 0
+        assert "seeded merge memo" in capsys.readouterr().out
+        with open(cold) as a, open(warm) as b:
+            assert a.read() == b.read()  # memo reuse is output-invisible
+
+
 class TestServeCommand:
     def test_serve_missing_sketch_file(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.json")

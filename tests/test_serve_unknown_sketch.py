@@ -1,0 +1,109 @@
+"""Regression tests: an unknown sketch name is a structured error.
+
+Before this suite existed, ``ServeClient`` surfaced the server's
+``unknown_sketch`` rejection as a generic :class:`ServerError`, and
+``PooledClient`` -- worse -- consistent-hashed the unknown name onto an
+arbitrary worker, whose shard-local sketch list then masqueraded as the
+fleet's.  Both now raise :class:`UnknownSketchError` carrying the
+offending name, and the pooled path reports the fleet-wide availability
+list without sending the doomed request anywhere.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.stable import build_stable
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServerError,
+    SketchRegistry,
+    UnknownSketchError,
+    start_server_thread,
+)
+from repro.serve.client import PooledClient
+from repro.xmltree.tree import XMLTree
+
+
+@pytest.fixture(scope="module")
+def server():
+    tree = XMLTree.from_nested(("d", [("a", [("p", ["k"]), "n"])]))
+    registry = SketchRegistry()
+    registry.register("alpha", build_treesketch(build_stable(tree), 100_000))
+    handle = start_server_thread(registry, ServeConfig(port=0))
+    yield handle
+    handle.stop()
+
+
+class TestServeClient:
+    def test_unknown_sketch_is_typed(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(UnknownSketchError) as excinfo:
+                client.estimate("//a", sketch="nope")
+        err = excinfo.value
+        assert err.code == "unknown_sketch"
+        assert err.sketch == "nope"
+        assert "alpha" in err.message  # names what IS available
+
+    def test_unknown_sketch_is_still_a_server_error(self, server):
+        # Existing callers catching ServerError keep working.
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(ServerError):
+                client.estimate("//a", sketch="nope")
+
+    def test_known_sketch_unaffected(self, server):
+        with ServeClient("127.0.0.1", server.port) as client:
+            assert client.estimate("//a", sketch="alpha") >= 0.0
+
+
+class _FakePool(PooledClient):
+    """A PooledClient with a canned shard map and no supervisor."""
+
+    def __init__(self, shard_map, refreshed_map=None):
+        # Deliberately skip PooledClient.__init__: routing is what is
+        # under test, not the control-plane connection.
+        self._lock = threading.Lock()
+        self._map = shard_map
+        self._rr = 0
+        self.refreshes = 0
+        self._refreshed_map = refreshed_map or shard_map
+
+    def refresh(self):
+        self.refreshes += 1
+        with self._lock:
+            self._map = self._refreshed_map
+        return self._refreshed_map
+
+
+def _name_map(sketches, shard_count=2):
+    return {"shard_by": "name", "shard_count": shard_count,
+            "sketches": sketches,
+            "workers": [{"index": i, "state": "up"}
+                        for i in range(shard_count)]}
+
+
+class TestPooledClientRouting:
+    def test_unknown_name_raises_before_routing(self):
+        pool = _FakePool(_name_map(["alpha", "beta"]))
+        with pytest.raises(UnknownSketchError) as excinfo:
+            pool._route("gamma")
+        assert excinfo.value.sketch == "gamma"
+        assert "alpha" in str(excinfo.value)
+        assert "beta" in str(excinfo.value)
+        assert pool.refreshes == 1  # one staleness check, then fail
+
+    def test_stale_map_refresh_rescues_new_sketch(self):
+        # The name is missing from the cached map but present after a
+        # refresh (fleet was re-specced): routing must succeed.
+        pool = _FakePool(_name_map(["alpha"]),
+                         refreshed_map=_name_map(["alpha", "gamma"]))
+        index = pool._route("gamma")
+        assert 0 <= index < 2
+        assert pool.refreshes == 1
+
+    def test_known_name_routes_without_refresh(self):
+        pool = _FakePool(_name_map(["alpha", "beta"]))
+        assert 0 <= pool._route("alpha") < 2
+        assert pool.refreshes == 0

@@ -1,0 +1,131 @@
+"""Daemon warm restart through the ``.tsb.cache`` sidecar, end to end.
+
+The real CLI runs in subprocesses with real signals: daemon one takes
+traffic, is SIGTERMed (persisting its sidecar on the drain path), and
+daemon two -- a fresh process on the same ``.tsb`` file -- must answer
+the previously-seen query as a cache *hit on its first request*, pinned
+by the per-sketch hit/miss counters in the ``stats`` op.  A tampered
+store (checksum change) must make the same restart cold.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.io import save_synopsis
+from repro.core.stable import build_stable
+from repro.xmltree.tree import XMLTree
+
+_SERVE_RE = re.compile(r"on (\d+\.\d+\.\d+\.\d+):(\d+) \(protocol")
+
+QUERY = "//a (//p)"
+
+
+def _tree() -> XMLTree:
+    return XMLTree.from_nested(
+        ("r", [("a", [("p", ["k"]), "n"]), ("a", ["n"])]))
+
+
+@pytest.fixture
+def tsb_path(tmp_path):
+    path = tmp_path / "warm.tsb"
+    save_synopsis(build_treesketch(build_stable(_tree()), 100 * 1024),
+                  str(path))
+    return str(path)
+
+
+def _spawn(tsb_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", tsb_path, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _SERVE_RE.search(line)
+        if match:
+            return proc, (match.group(1), int(match.group(2)))
+    proc.kill()
+    raise AssertionError("daemon did not report its address in time")
+
+
+def _stop(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    return proc.stdout.read()
+
+
+def _cache_info(client):
+    stats = client.call("stats")
+    return stats["sketches"][0]["cache"]
+
+
+class TestWarmRestart:
+    def test_restart_answers_first_repeat_from_cache(self, tsb_path):
+        from repro.serve.client import ServeClient
+
+        # Generation one: take traffic, then drain via SIGTERM.
+        proc, (host, port) = _spawn(tsb_path)
+        try:
+            with ServeClient(host, port, retries=4) as client:
+                want = client.estimate(QUERY, sketch="warm")
+        finally:
+            tail = _stop(proc)
+        assert proc.returncode == 0
+        assert "persisted 1 cache sidecar(s)" in tail
+        assert os.path.exists(tsb_path + ".cache")
+
+        # Generation two: a fresh process on the same store.
+        proc, (host, port) = _spawn(tsb_path)
+        try:
+            with ServeClient(host, port, retries=4) as client:
+                got = client.estimate(QUERY, sketch="warm")
+                info = _cache_info(client)
+        finally:
+            _stop(proc)
+        assert got == want  # the persisted answer is the answer
+        assert info["seeded"] >= 1
+        assert info["hits"] >= 1  # first repeated query hit the cache...
+        assert info["misses"] == 0  # ...without any evaluation first
+
+    def test_tampered_store_restarts_cold(self, tsb_path):
+        from repro.serve.client import ServeClient
+
+        proc, (host, port) = _spawn(tsb_path)
+        try:
+            with ServeClient(host, port, retries=4) as client:
+                client.estimate(QUERY, sketch="warm")
+        finally:
+            _stop(proc)
+        assert os.path.exists(tsb_path + ".cache")
+
+        # Rebuild the synopsis from a changed document: same file name,
+        # different content, different checksum.
+        changed = XMLTree.from_nested(
+            ("r", [("a", [("p", ["k", "k"]), "n"]), ("a", ["n", "n"])]))
+        save_synopsis(build_treesketch(build_stable(changed), 100 * 1024),
+                      tsb_path)
+
+        proc, (host, port) = _spawn(tsb_path)
+        try:
+            with ServeClient(host, port, retries=4) as client:
+                client.estimate(QUERY, sketch="warm")
+                info = _cache_info(client)
+        finally:
+            _stop(proc)
+        assert info["seeded"] == 0  # stale sidecar ignored, never served
+        assert info["misses"] >= 1
