@@ -17,6 +17,11 @@ how to reproduce these numbers.
   speedup must hold the >= 1.5x acceptance bar of the perf overhaul and
   the arrays kernel must be strictly faster than the dict path.
 
+* Maintenance: a 100-edit mutation workload applied to the live sketch
+  (``repro.core.live.SketchMaintainer``) versus the cost of rebuilding
+  (build_stable + TSBUILD) once per edit -- the ``maintain`` arm, which
+  must clear a 10x acceptance bar against 100 rebuilds.
+
 * Serving: a repeated selectivity workload over the built sketch, with
   and without the canonical-query LRU cache; plus a **fleet throughput
   arm** -- the same concurrent estimate workload replayed against a
@@ -63,6 +68,7 @@ DATASET = "XMark"
 BUDGET_KB = 10
 EVAL_QUERIES = 30
 MIN_BUILD_SPEEDUP = 1.5
+MIN_MAINTAIN_SPEEDUP = 10.0
 
 
 def _machine() -> dict:
@@ -321,6 +327,46 @@ def test_bench_feed(tmp_path):
         return {k: v for k, v in flat.items()
                 if k.startswith("counters.tsbuild.")}
 
+    # ------------------------------------------------------------------
+    # Maintenance: 100 edits on the live sketch vs 100 full rebuilds
+    # (build_stable + TSBUILD) of the mutated document.
+    # ------------------------------------------------------------------
+    import random as _random
+
+    from repro.core.live import SketchMaintainer
+    from repro.xmltree.tree import XMLTree
+
+    maintain_edits = 100
+    live_tree = tree.copy()
+    maintainer = SketchMaintainer(live_tree, BUDGET_KB * 1024)
+    rng = _random.Random(17)
+    donors = [
+        ("listitem", [("text", []), ("keyword", [])]),
+        ("bidder", [("date", []), ("time", []), ("personref", [])]),
+        ("keyword", []),
+    ]
+    # Pre-select edit targets so only maintenance itself is timed;
+    # inserted sub-trees are the only deletion victims, keeping the
+    # pre-selected parents valid throughout.
+    initial_nodes = list(live_tree.root.iter_preorder())
+    edit_parents = [rng.choice(initial_nodes) for _ in range(maintain_edits)]
+    start = clock.now()
+    edit_inserted = []
+    for i in range(maintain_edits):
+        if i % 3 != 2 or not edit_inserted:
+            edit_inserted.append(maintainer.insert_subtree(
+                edit_parents[i], rng.choice(donors)))
+        else:
+            maintainer.delete_subtree(
+                edit_inserted.pop(rng.randrange(len(edit_inserted))))
+    maintain_s = clock.now() - start
+    start = clock.now()
+    TreeSketchBuilder(
+        build_stable(XMLTree(live_tree.root))
+    ).compress_to(BUDGET_KB * 1024)
+    rebuild_s = clock.now() - start
+    maintain_speedup = (rebuild_s * maintain_edits) / maintain_s
+
     build_doc = {
         "benchmark": "tsbuild_construction",
         "dataset": DATASET,
@@ -344,6 +390,15 @@ def test_bench_feed(tmp_path):
                     "kernel='arrays')",
             "seconds": round(kernel_s, 3),
             "counters": _tsbuild_counters(kernel_counters),
+        },
+        "maintain": {
+            "impl": "live sketch maintenance (SketchMaintainer, "
+                    "repro.core.live)",
+            "edits": maintain_edits,
+            "seconds": round(maintain_s, 3),
+            "per_edit_ms": round(maintain_s * 1000 / maintain_edits, 3),
+            "rebuild_seconds_each": round(rebuild_s, 3),
+            "speedup_vs_rebuilds": round(maintain_speedup, 1),
         },
         "speedup": round(build_speedup, 2),
         "speedup_kernel": round(kernel_speedup, 2),
@@ -430,6 +485,9 @@ def test_bench_feed(tmp_path):
             f"{before_s:.2f}s -> {after_s:.2f}s ({build_speedup:.2f}x) "
             f"-> {kernel_s:.2f}s ({kernel_speedup:.2f}x cumulative, "
             f"{after_s / kernel_s:.2f}x over dicts)",
+            f"  maintain {maintain_edits} live edits: {maintain_s:.2f}s vs "
+            f"{rebuild_s:.2f}s/rebuild "
+            f"({maintain_speedup:.0f}x vs {maintain_edits} rebuilds)",
             f"  eval   {EVAL_QUERIES} queries x {rounds} rounds: "
             f"{uncached_s:.3f}s -> {cached_s:.3f}s  ({eval_speedup:.2f}x)",
             f"  fleet  {fleet['requests']} reqs x {fleet['clients']} "
@@ -450,6 +508,10 @@ def test_bench_feed(tmp_path):
         f"construction speedup {build_speedup:.2f}x fell below the "
         f"{MIN_BUILD_SPEEDUP}x acceptance bar (before {before_s:.2f}s, "
         f"after {after_s:.2f}s)"
+    )
+    assert maintain_speedup >= MIN_MAINTAIN_SPEEDUP, (
+        f"live maintenance must beat {maintain_edits} rebuilds by "
+        f">= {MIN_MAINTAIN_SPEEDUP}x (got {maintain_speedup:.1f}x)"
     )
     assert kernel_s < after_s, (
         f"the arrays kernel ({kernel_s:.2f}s) must beat the dict path "

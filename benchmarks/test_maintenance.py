@@ -86,3 +86,67 @@ def test_incremental_maintenance_vs_rebuild(benchmark):
         rounds=5,
         iterations=1,
     )
+
+
+def test_sketch_maintenance_vs_rebuild(benchmark):
+    """The live tier (repro.core.live): the *compressed* sketch is kept
+    fresh through the same edit stream, and a maintained edit must beat a
+    full build_stable + TSBUILD rebuild by an order of magnitude."""
+    from repro.core.build import TreeSketchBuilder
+    from repro.core.live import SketchMaintainer
+
+    clock = get_clock()
+    tree = sprot_like(scale=2.0, seed=6)
+    budget = 10 * 1024
+    rng = random.Random(11)
+    maintainer = SketchMaintainer(tree, budget)
+    donors = [
+        ("feature", [("ftype", []), ("location", ["begin", "end"])]),
+        ("ref", [("citation", []), "author", "author"]),
+        ("keyword", []),
+    ]
+    initial_nodes = list(tree.root.iter_preorder())
+    parents = [rng.choice(initial_nodes) for _ in range(EDITS)]
+
+    start = clock.now()
+    inserted = []
+    for i in range(EDITS):
+        if i % 3 != 2 or not inserted:
+            inserted.append(
+                maintainer.insert_subtree(parents[i], rng.choice(donors)))
+        else:
+            maintainer.delete_subtree(
+                inserted.pop(rng.randrange(len(inserted))))
+    incremental_total = clock.now() - start
+    per_edit_ms = incremental_total * 1000 / EDITS
+
+    start = clock.now()
+    fresh = TreeSketchBuilder(
+        build_stable(XMLTree(tree.root))).compress_to(budget)
+    rebuild_ms = (clock.now() - start) * 1000
+
+    emit(
+        "maintenance_sketch",
+        format_table(
+            "Live sketch maintenance: incremental edit vs full rebuild",
+            ["edits", "per-edit (ms)", "full rebuild (ms)", "speedup/edit"],
+            [[EDITS, per_edit_ms, rebuild_ms,
+              rebuild_ms / max(per_edit_ms, 1e-9)]],
+        ),
+    )
+
+    # Correctness: the maintained sketch is servable and honoured its
+    # debt bound (auto_remerge settles drift as it crosses threshold).
+    maintainer.check()
+    maintainer.snapshot().validate()
+    assert maintainer.max_debt() <= maintainer.options.debt_threshold + 1e-9
+    assert fresh.size_bytes() <= budget
+    # Performance: an edit must be much cheaper than a rebuild.
+    assert per_edit_ms * 10 < rebuild_ms
+
+    benchmark.pedantic(
+        lambda: maintainer.insert_subtree(
+            tree.root.children[0], ("keyword", [])),
+        rounds=5,
+        iterations=1,
+    )

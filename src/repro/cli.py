@@ -13,7 +13,11 @@ Installed as the ``treesketch`` console script::
     treesketch convert  sketch.json sketch.tsb
     treesketch inspect  sketch.tsb
     treesketch serve sketch.tsb xmark=xmark.json.gz --port 7077
+    treesketch serve live=data.xml --live-budget-kb 10 --port 7077
     treesketch workload data.xml --server 127.0.0.1:7077 --queries 40
+    treesketch update 127.0.0.1:7077 --sketch live --action delete_subtree \
+        --label item --ordinal 3
+    treesketch update --generate 100 --document data.xml -o ops.jsonl
 
 ``build`` accepts either raw XML or a saved stable summary, so the
 expensive parse/summarize step can be done once.  Synopsis paths ending
@@ -390,7 +394,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         only = set(sharding.shard_names(
             [name for name, _ in parsed], args.shard_index, args.shard_count))
-    registry = SketchRegistry(cache_size=args.cache_size or None)
+    live_budget = (int(args.live_budget_kb * 1024)
+                   if args.live_budget_kb else None)
+    registry = SketchRegistry(cache_size=args.cache_size or None,
+                              live_budget_bytes=live_budget)
     for name, path in parsed:
         if only is not None and name not in only:
             continue
@@ -399,8 +406,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot load sketch {path!r}: {exc}", file=sys.stderr)
             return 2
+        live = " live," if entry.describe().get("live") else ""
         print(
-            f"pinned {entry.name!r}: {entry.sketch.num_nodes} nodes, "
+            f"pinned {entry.name!r}:{live} {entry.sketch.num_nodes} nodes, "
             f"{entry.sketch.size_bytes() / 1024:.1f} KB ({path})"
         )
     shadow_reference = None
@@ -438,6 +446,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         coalesce_window_s=args.batch_window_ms / 1000.0,
         coalesce_max=args.batch_max,
         reuse_port=args.reuse_port,
+        cache_checkpoint_s=args.cache_checkpoint_s,
     )
 
     async def _run() -> None:
@@ -531,6 +540,10 @@ def _cmd_serve_supervisor(args: argparse.Namespace) -> int:
         worker_args += ["--degrade-watermark", str(args.degrade_watermark)]
     if args.no_coalesce:
         worker_args.append("--no-coalesce")
+    if args.live_budget_kb:
+        worker_args += ["--live-budget-kb", str(args.live_budget_kb)]
+    if args.cache_checkpoint_s:
+        worker_args += ["--cache-checkpoint-s", str(args.cache_checkpoint_s)]
     if args.shadow_sample > 0 and args.shadow_reference:
         worker_args += ["--shadow-sample", str(args.shadow_sample),
                         "--shadow-reference", args.shadow_reference]
@@ -581,6 +594,116 @@ def _cmd_serve_supervisor(args: argparse.Namespace) -> int:
     else:
         print("fleet drain timed out; stragglers killed", flush=True)
     return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    """Mutate a live sketch on a running daemon, or generate edit scripts.
+
+    Three modes:
+
+    * ``--generate N --document X.xml``: emit a valid N-op mutation
+      workload (JSON lines) without touching any server;
+    * a single op (``--action`` plus its address flags) against
+      ``ADDRESS``;
+    * ``--script OPS.jsonl``: replay a generated workload against
+      ``ADDRESS`` (``--pooled`` routes via a supervisor control endpoint).
+    """
+    from repro.workload.mutations import (
+        MutationOp,
+        dump_ops,
+        load_ops,
+        make_mutation_workload,
+    )
+
+    if args.generate:
+        if not args.document:
+            print("--generate needs --document (the XML the ops must stay "
+                  "valid against)", file=sys.stderr)
+            return 2
+        tree = parse_xml_file(args.document)
+        ops = make_mutation_workload(
+            tree, num_ops=args.generate, seed=args.seed,
+            insert_fraction=args.insert_fraction)
+        text = dump_ops(ops)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}: {len(ops)} ops "
+                  f"(seed {args.seed}, {args.insert_fraction:g} inserts)")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if not args.address:
+        print("update needs a server ADDRESS (or --generate)", file=sys.stderr)
+        return 2
+    if args.script:
+        try:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                ops = load_ops(handle.read())
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read op script {args.script!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    elif args.action:
+        ops = [MutationOp(
+            action=args.action, label=args.label, ordinal=args.ordinal,
+            parent_label=args.parent_label,
+            parent_ordinal=args.parent_ordinal,
+            subtree=_parse_subtree_arg(args.subtree))]
+    else:
+        print("update needs --action, --script, or --generate",
+              file=sys.stderr)
+        return 2
+
+    from repro.serve.client import (
+        PooledClient,
+        ServeClient,
+        ServerError,
+        parse_address,
+    )
+
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    client = None
+    try:
+        client = (PooledClient(host, port) if args.pooled
+                  else ServeClient(host, port))
+        response = None
+        for i, op in enumerate(ops):
+            response = client.update(sketch=args.sketch, **op.to_json())
+            if args.verbose:
+                print(f"[{i + 1}/{len(ops)}] {op.action} -> "
+                      f"epoch {response['epoch']}, debt {response['debt']:.1f}")
+        if response is not None:
+            print(f"applied {len(ops)} op(s) to "
+                  f"{response['sketch']!r}: epoch {response['epoch']}, "
+                  f"{response['nodes']} nodes, "
+                  f"{response['size_bytes'] / 1024:.1f} KB, "
+                  f"debt {response['debt']:.1f}, "
+                  f"{response['remerges']} re-merge(s)")
+    except (OSError, ServerError) as exc:
+        print(f"update failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if client is not None:
+            client.close()
+    return 0
+
+
+def _parse_subtree_arg(text: Optional[str]):
+    """``--subtree`` accepts a bare label or the JSON nested-list form."""
+    if text is None:
+        return None
+    stripped = text.strip()
+    if stripped.startswith("["):
+        import json
+
+        return json.loads(stripped)
+    return stripped
 
 
 def _render_statusz(status: dict, source: str) -> str:
@@ -863,8 +986,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="network query daemon over pinned sketches "
                         "(docs/SERVING.md)")
     p.add_argument("sketches", nargs="+", metavar="[NAME=]PATH",
-                   help="synopsis JSON (.json or .json.gz) to pin, optionally "
-                        "named (default name: file stem)")
+                   help="synopsis (.json[.gz]/.tsb) to pin, or a raw .xml "
+                        "document to pin LIVE (needs --live-budget-kb), "
+                        "optionally named (default name: file stem)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7077,
                    help="TCP port (0 = ephemeral; default 7077); with "
@@ -916,6 +1040,15 @@ def make_parser() -> argparse.ArgumentParser:
                    help="hard cap on expand answer size (default 200000)")
     p.add_argument("--cache-size", type=int, default=256,
                    help="per-sketch query cache capacity (0 = unbounded)")
+    p.add_argument("--live-budget-kb", type=float, default=None,
+                   metavar="KB",
+                   help="pin raw .xml documents as LIVE sketches built to "
+                        "this synopsis budget; live sketches accept the "
+                        "update op (docs/MAINTENANCE.md)")
+    p.add_argument("--cache-checkpoint-s", type=float, default=None,
+                   metavar="SECONDS",
+                   help="periodically persist .tsb cache sidecars every "
+                        "SECONDS (default: only on graceful shutdown)")
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="start an HTTP telemetry sidecar on PORT "
                         "(0 = ephemeral) serving /metrics (Prometheus), "
@@ -932,6 +1065,52 @@ def make_parser() -> argparse.ArgumentParser:
                    help="on SIGTERM/SIGINT, wait up to this long for "
                         "in-flight requests before closing (default 5)")
     p.set_defaults(func=cmd_serve)
+
+    p = add_parser("update",
+                   help="mutate a live sketch on a running daemon, or "
+                        "generate a mutation workload (docs/MAINTENANCE.md)")
+    p.add_argument("address", nargs="?", metavar="HOST:PORT",
+                   help="daemon data port (or supervisor control endpoint "
+                        "with --pooled); omit in --generate mode")
+    p.add_argument("--sketch", metavar="NAME",
+                   help="target sketch (default: the server's only sketch)")
+    p.add_argument("--action", choices=("insert_subtree", "delete_subtree"),
+                   help="apply one mutation")
+    p.add_argument("--parent-label", metavar="LABEL",
+                   help="insert: label of the attachment-point node")
+    p.add_argument("--parent-ordinal", type=int, default=0, metavar="N",
+                   help="insert: attach under the N-th preorder node with "
+                        "that label (default 0)")
+    p.add_argument("--subtree", metavar="SPEC",
+                   help="insert: a bare label or JSON "
+                        "'[\"label\", [children...]]'")
+    p.add_argument("--label", metavar="LABEL",
+                   help="delete: label of the subtree root to remove")
+    p.add_argument("--ordinal", type=int, default=0, metavar="N",
+                   help="delete: the N-th preorder node with that label "
+                        "(default 0)")
+    p.add_argument("--script", metavar="FILE",
+                   help="replay a JSON-lines op script (see --generate)")
+    p.add_argument("--pooled", action="store_true",
+                   help="ADDRESS is a supervisor control endpoint; route "
+                        "each op to the owning worker")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-op progress during script replay")
+    p.add_argument("--generate", type=int, default=0, metavar="N",
+                   help="generate an N-op mutation workload instead of "
+                        "talking to a server")
+    p.add_argument("--document", metavar="XML",
+                   help="--generate: the document the ops must stay valid "
+                        "against")
+    p.add_argument("--seed", type=int, default=0,
+                   help="--generate: RNG seed (default 0)")
+    p.add_argument("--insert-fraction", type=float, default=0.5,
+                   help="--generate: fraction of inserts vs deletes "
+                        "(default 0.5)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="--generate: write the op script here "
+                        "(default stdout)")
+    p.set_defaults(func=cmd_update)
 
     p = add_parser("top",
                    help="live console view of a serve daemon's /statusz")

@@ -39,6 +39,15 @@ from repro.xmltree.tree import XMLTree
 
 logger = logging.getLogger(__name__)
 
+#: Stable-summary edge density (edges per class) at and above which
+#: ``kernel="auto"`` prefers the dict-backed partition.  Merged-dims-
+#: dominated shapes (IMDB-like: densities 5-6.5) spend their time copying
+#: and folding wide out-dimension maps, where CPython's C-level dict ops
+#: beat the array kernel's per-slot loops by ~1.2x; child-light shapes
+#: (XMark-like: densities 2.5-3.2) stay on the kernel.  Output is
+#: bit-identical either way, so this is purely a speed heuristic.
+AUTO_DICTS_DENSITY = 4.0
+
 
 @dataclass
 class TSBuildOptions:
@@ -68,8 +77,12 @@ class TSBuildOptions:
       slot-table sufficient statistics, epoch-stamped scratch -- the
       fastest path, bit-identical output), ``"dicts"`` the original
       dict-backed :class:`MergePartition`, and ``"auto"`` (default) picks
-      arrays whenever the stable summary has dense ids (always true for
-      ``build_stable`` output) and falls back to dicts otherwise;
+      dicts for merged-dims-dominated summaries (stable edge density of
+      ``AUTO_DICTS_DENSITY`` or more, where the dict path's C-level dim
+      copies beat the kernel's per-slot loops by ~1.2x -- the IMDB shape;
+      see docs/PERFORMANCE.md), otherwise arrays whenever the summary has
+      dense ids (always true for ``build_stable`` output), falling back
+      to dicts for sparse ids;
     * ``reference`` -- run the seed scorer and from-scratch CREATEPOOL
       verbatim, ignoring the knobs above (benchmark baseline; implies the
       dict-backed partition).
@@ -99,11 +112,17 @@ class TreeSketchBuilder:
         self,
         source: Union[XMLTree, StableSummary],
         options: Optional[TSBuildOptions] = None,
+        *,
+        partition: Optional[MergePartition] = None,
     ) -> None:
         stable = source if isinstance(source, StableSummary) else build_stable(source)
         self.stable = stable
         self.options = options or TSBuildOptions()
-        self.partition = self._make_partition(stable)
+        # A pre-built partition (e.g. repro.core.live.LivePartition) lets a
+        # caller keep mutating the state TSBUILD compressed; otherwise the
+        # backend is chosen by ``options.kernel``.
+        self.partition = partition if partition is not None \
+            else self._make_partition(stable)
         self.merges_applied = 0
         #: Whether the most recent ``compress_to`` call met its budget.
         self.reached_budget = False
@@ -127,7 +146,12 @@ class TreeSketchBuilder:
             return MergePartition(stable)
         if kernel == "arrays":
             return KernelPartition(stable)
-        try:  # auto: arrays when the summary has dense ids, else dicts
+        # auto: dicts for merged-dims-dominated shapes, else arrays when
+        # the summary has dense ids, falling back to dicts otherwise.
+        num_classes = max(1, len(stable.count))
+        if stable.num_edges / num_classes >= AUTO_DICTS_DENSITY:
+            return MergePartition(stable)
+        try:
             return KernelPartition(stable)
         except ValueError:
             return MergePartition(stable)

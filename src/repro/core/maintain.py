@@ -48,6 +48,13 @@ class StableMaintainer:
         # Per-node class assignment, keyed by object identity.
         self._class_of: Dict[int, int] = {}
         self.edits_applied = 0
+        # Optional per-class net count deltas since the last drain; enabled
+        # by track_deltas() so synopsis-layer consumers (repro.core.live)
+        # can reconcile without diffing whole summaries.  None = disabled.
+        self._deltas: Optional[Dict[int, int]] = None
+        # Optional per-node value moves (value, old_cid, new_cid) for
+        # maintaining per-class value statistics; None = disabled.
+        self._value_moves: Optional[List[Tuple[str, Optional[int], Optional[int]]]] = None
 
         for node in tree.root.iter_postorder():
             self._assign(node)
@@ -81,10 +88,18 @@ class StableMaintainer:
             self._release(old)
         self._class_of[id(node)] = cid
         self._count[cid] += 1
+        self._record(cid, +1)
+        if self._value_moves is not None and node.value is not None:
+            self._value_moves.append((node.value, old, cid))
         return cid
+
+    def _record(self, cid: int, delta: int) -> None:
+        if self._deltas is not None:
+            self._deltas[cid] = self._deltas.get(cid, 0) + delta
 
     def _release(self, cid: int) -> None:
         self._count[cid] -= 1
+        self._record(cid, -1)
         if self._count[cid] == 0:
             # Garbage-collect the empty class so the summary stays minimal.
             del self._count[cid]
@@ -94,6 +109,8 @@ class StableMaintainer:
     def _drop_node(self, node: XMLNode) -> None:
         cid = self._class_of.pop(id(node))
         self._release(cid)
+        if self._value_moves is not None and node.value is not None:
+            self._value_moves.append((node.value, cid, None))
 
     def _reclassify_ancestors(self, node: Optional[XMLNode]) -> None:
         """Refresh classes from ``node`` up to the root."""
@@ -180,6 +197,57 @@ class StableMaintainer:
     def class_of(self, node: XMLNode) -> int:
         """Current class id of a tracked node."""
         return self._class_of[id(node)]
+
+    # ------------------------------------------------------------------
+    # Delta tracking (for incremental synopsis maintenance)
+    # ------------------------------------------------------------------
+
+    def track_deltas(self) -> None:
+        """Start recording per-class net count deltas.
+
+        After this call, every class count change is accumulated into a
+        delta map that :meth:`drain_deltas` returns and clears.  A class
+        that is born and dies within one window nets to a zero entry; a
+        consumer distinguishes births/deaths by whether the class id is
+        still alive (:meth:`count_of` is not None).
+        """
+        if self._deltas is None:
+            self._deltas = {}
+
+    def drain_deltas(self) -> Dict[int, int]:
+        """Return and clear the accumulated per-class count deltas."""
+        if self._deltas is None:
+            raise RuntimeError("track_deltas() was never enabled")
+        deltas = self._deltas
+        self._deltas = {}
+        return deltas
+
+    def track_value_moves(self) -> None:
+        """Also record per-node value moves ``(value, old_cid, new_cid)``.
+
+        ``old_cid`` is None for nodes entering the document, ``new_cid``
+        None for nodes leaving it; reclassified nodes carry both.  Drained
+        (and cleared) by :meth:`drain_value_moves`.
+        """
+        if self._value_moves is None:
+            self._value_moves = []
+
+    def drain_value_moves(self) -> List[Tuple[str, Optional[int], Optional[int]]]:
+        """Return and clear the accumulated value moves."""
+        if self._value_moves is None:
+            raise RuntimeError("track_value_moves() was never enabled")
+        moves = self._value_moves
+        self._value_moves = []
+        return moves
+
+    def count_of(self, cid: int) -> Optional[int]:
+        """Current element count of a class, or None if it is dead."""
+        return self._count.get(cid)
+
+    def signature_of(self, cid: int) -> Signature:
+        """Interned signature ``(label, ((child_cid, k), ...))`` of a live
+        class.  Immutable for the lifetime of the class id."""
+        return self._signature_of[cid]
 
 
 def _build(spec: Union[str, tuple]) -> XMLNode:

@@ -151,6 +151,22 @@ class MergePartition:
         """Clusters with at least one edge into ``cid``."""
         return {self.assign[s] for s in self.in_sources[cid]}
 
+    def source_out(self, s_id: int) -> Dict[int, int]:
+        """Out-adjacency of one stable class (ground truth for ``gs``).
+
+        The base partition reads the frozen summary; live partitions
+        (repro.core.live) override this with their evolving adjacency.
+        """
+        return self.stable.out.get(s_id, {})
+
+    def root_cluster(self) -> int:
+        """Cluster currently holding the document root class."""
+        return self.assign[self.stable.root_id]
+
+    def doc_height(self) -> int:
+        """Document height recorded on exported sketches."""
+        return self.stable.doc_height
+
     def structural_key(self, cid: int) -> Tuple[float, float, int]:
         """CREATEPOOL's cheap locality key: child-side state only
         (out-degree, average total child count, extent size)."""
@@ -501,8 +517,8 @@ class MergePartition:
             for t, (s, sq) in out.items():
                 sketch.add_edge(cid, t, s / count)
                 sketch.stats[(cid, t)] = (s, sq)
-        sketch.root_id = self.assign[self.stable.root_id]
-        sketch.doc_height = self.stable.doc_height
+        sketch.root_id = self.root_cluster()
+        sketch.doc_height = self.doc_height()
         sketch.members = {cid: set(mem) for cid, mem in self.members.items()}
         return sketch
 
@@ -519,7 +535,7 @@ class MergePartition:
         # gs grouping matches stable adjacency under current assignment.
         for s_id, grouped in self.gs.items():
             expected: Dict[int, float] = {}
-            for dst, k in self.stable.out.get(s_id, {}).items():
+            for dst, k in self.source_out(s_id).items():
                 c = self.assign[dst]
                 expected[c] = expected.get(c, 0.0) + float(k)
             assert grouped == expected, (s_id, grouped, expected)

@@ -47,8 +47,11 @@ class QueryCache:
 
     ``maxsize`` bounds the number of distinct canonical queries retained
     (least recently used evicted first); ``maxsize=None`` is unbounded.
-    The sketch must not be mutated while the cache is live -- build first,
-    then serve.
+    The sketch must not change out from under live entries: when the
+    underlying synopsis is mutated or swapped (live maintenance,
+    hot-reload), call :meth:`invalidate` -- it atomically drops every
+    cached and seeded answer, rebinds the sketch, and bumps ``epoch`` so
+    stale answers are never served.
     """
 
     def __init__(self, sketch: TreeSketch, maxsize: Optional[int] = 256) -> None:
@@ -69,6 +72,10 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Bumped by invalidate(); consumers (serve registry) use it to
+        # tell pre- from post-mutation answers.
+        self.epoch = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
 
@@ -226,6 +233,28 @@ class QueryCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate(self, sketch: Optional[TreeSketch] = None) -> int:
+        """Drop every cached answer; the epoch-bump mutation barrier.
+
+        Called when the underlying synopsis changed (live maintenance
+        applied an update, or the registry swapped the sketch in place).
+        Clears both the LRU entries *and* the sidecar-seeded
+        selectivities -- seeded values were computed against the old
+        synopsis too -- and rebinds ``self.sketch`` when a replacement is
+        given, all under the single-flight lock so no in-flight request
+        can observe the new sketch with an old answer.  Returns the new
+        epoch.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._seeded.clear()
+            if sketch is not None:
+                self.sketch = sketch
+            self.epoch += 1
+            self.invalidations += 1
+            get_metrics().counter("eval.cache.invalidations").inc()
+            return self.epoch
+
     def info(self) -> dict:
         """Hit/miss/eviction totals and current occupancy, for reporting.
 
@@ -245,6 +274,8 @@ class QueryCache:
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "seeded": len(self._seeded),
+                "epoch": self.epoch,
+                "invalidations": self.invalidations,
             }
         finally:
             if acquired:

@@ -215,6 +215,27 @@ class ServeClient:
                          max_nodes=max_nodes, seed=seed,
                          deadline_ms=deadline_ms, request_id=request_id)
 
+    def update(self, action: str, sketch: Optional[str] = None,
+               parent_label: Optional[str] = None,
+               parent_ordinal: Optional[int] = None,
+               subtree: Optional[object] = None,
+               label: Optional[str] = None, ordinal: Optional[int] = None,
+               deadline_ms: Optional[float] = None,
+               request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Mutate a live sketch (``insert_subtree`` / ``delete_subtree``).
+
+        Returns the post-mutation payload (``epoch``, ``debt``,
+        ``remerges``, sizes).  **Not idempotent**: a transport failure
+        after the request was written leaves the mutation's fate unknown
+        -- callers must check the sketch's ``epoch`` (``list_sketches``)
+        before resending, never blind-retry.
+        """
+        return self.call("update", sketch=sketch, action=action,
+                         parent_label=parent_label,
+                         parent_ordinal=parent_ordinal, subtree=subtree,
+                         label=label, ordinal=ordinal,
+                         deadline_ms=deadline_ms, request_id=request_id)
+
     def health(self) -> Dict[str, Any]:
         return self.call("health")
 
@@ -270,8 +291,11 @@ class PooledClient:
     strictly request/response with a socket timeout -- and the pool drops
     the dead connection, **re-fetches the shard map**, and retries
     against the worker's new incarnation with exponential backoff.
-    Retried ops must be idempotent; every TreeSketch serving op is (the
-    sketches are frozen), so the pool retries all of them.
+    Retried ops must be idempotent; every *read* op is (the sketches are
+    frozen), so :meth:`call` retries all of them.  The one mutation op
+    goes through :meth:`update` instead, which routes identically but
+    never retries -- resending a subtree edit whose first attempt may
+    have applied would double-apply it.
 
     Thread-safe: the shard map and connection table are lock-guarded and
     each worker connection is serialized by a per-worker lock.
@@ -434,6 +458,30 @@ class PooledClient:
     def expand(self, query: str, sketch: Optional[str] = None,
                **fields: Any) -> Dict[str, Any]:
         return self.call("expand", sketch=sketch, query=query, **fields)
+
+    def update(self, action: str, sketch: Optional[str] = None,
+               **fields: Any) -> Dict[str, Any]:
+        """Route one mutation to the owning worker -- exactly once.
+
+        Uses the same shard-map routing as :meth:`call` but deliberately
+        NOT its retry loop: ``update`` is not idempotent, and a transport
+        failure mid-flight leaves the mutation's fate unknown.  On such a
+        failure the dead connection is dropped (so the next call
+        re-resolves the worker) and the error propagates; the caller
+        decides whether to re-check the epoch and resend.
+        """
+        index = self._route(sketch)
+        try:
+            client, lock = self._conn(index)
+            with lock:
+                return client.update(action, sketch=sketch, **fields)
+        except (ConnectionError, OSError):
+            self._drop(index)
+            try:
+                self.refresh()
+            except (ConnectionError, OSError):
+                pass  # supervisor briefly unreachable; map refresh is advisory
+            raise
 
     def health(self) -> Dict[str, Any]:
         """Fleet health, answered by the supervisor control endpoint."""

@@ -37,11 +37,19 @@ PROTOCOL_VERSION = 1
 #: ``fleet_stats`` are answered by the supervisor's control endpoint
 #: (:mod:`repro.serve.supervisor`); a worker addressed directly answers
 #: them with ``unknown_op`` pointing at the supervisor.
-OPS = ("eval", "estimate", "expand", "list_sketches", "health", "stats",
-       "shard_map", "fleet_stats")
+OPS = ("eval", "estimate", "expand", "update", "list_sketches", "health",
+       "stats", "shard_map", "fleet_stats")
 
 #: Ops that read a sketch (admission-controlled; the rest are control-plane).
 DATA_OPS = frozenset({"eval", "estimate", "expand"})
+
+#: Ops that mutate a sketch.  Admission-controlled like data ops, but
+#: never coalesced, never shadow-sampled, and **not idempotent** --
+#: clients must not blind-retry them (see PooledClient.update).
+MUTATION_OPS = frozenset({"update"})
+
+#: Mutation actions an ``update`` request may carry.
+UPDATE_ACTIONS = ("insert_subtree", "delete_subtree")
 
 #: Ops only the supervisor control endpoint serves.
 SUPERVISOR_OPS = frozenset({"shard_map", "fleet_stats"})
@@ -51,6 +59,7 @@ ERROR_CODES = (
     "bad_request",        # malformed JSON, wrong types, missing fields
     "unknown_op",         # op not in OPS
     "unknown_sketch",     # sketch name not in the registry
+    "immutable_sketch",   # update against a frozen (non-live) sketch
     "bad_query",          # twig text failed to parse
     "deadline_exceeded",  # request ran past its (or the server's) deadline
     "overloaded",         # shed by admission control; retry with backoff
@@ -84,6 +93,41 @@ def _require_str(request: Dict[str, Any], field: str) -> str:
             "bad_request", f"field {field!r} must be a non-empty string"
         )
     return value
+
+
+def _check_ordinal(request: Dict[str, Any], field: str) -> None:
+    value = request.get(field)
+    if value is not None and (
+        not isinstance(value, int) or isinstance(value, bool) or value < 0
+    ):
+        raise ProtocolError(
+            "bad_request", f"field {field!r} must be a non-negative integer"
+        )
+
+
+def _check_subtree(spec: Any, depth: int = 0) -> None:
+    """Validate a wire subtree spec: a label string, or ``[label, [specs]]``.
+
+    The nested-list form mirrors ``XMLTree.from_nested`` so a validated
+    spec feeds the maintainer directly, no conversion step.
+    """
+    if depth > 64:
+        raise ProtocolError("bad_request", "field 'subtree' nests too deeply")
+    if isinstance(spec, str):
+        if not spec:
+            raise ProtocolError(
+                "bad_request", "subtree labels must be non-empty strings")
+        return
+    if not isinstance(spec, list) or len(spec) != 2 \
+            or not isinstance(spec[0], str) or not spec[0] \
+            or not isinstance(spec[1], list):
+        raise ProtocolError(
+            "bad_request",
+            "field 'subtree' must be a label string or a "
+            "[label, [child, ...]] pair",
+        )
+    for child in spec[1]:
+        _check_subtree(child, depth + 1)
 
 
 def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
@@ -144,6 +188,26 @@ def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
         _require_str(request, "query")
         if request.get("sketch") is not None:
             _require_str(request, "sketch")
+    if op == "update":
+        if request.get("sketch") is not None:
+            _require_str(request, "sketch")
+        action = _require_str(request, "action")
+        if action not in UPDATE_ACTIONS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown update action {action!r}; "
+                f"supported: {', '.join(UPDATE_ACTIONS)}",
+            )
+        if action == "insert_subtree":
+            _require_str(request, "parent_label")
+            _check_ordinal(request, "parent_ordinal")
+            if "subtree" not in request:
+                raise ProtocolError(
+                    "bad_request", "insert_subtree requires field 'subtree'")
+            _check_subtree(request["subtree"])
+        else:  # delete_subtree
+            _require_str(request, "label")
+            _check_ordinal(request, "ordinal")
     if op == "expand":
         max_nodes = request.get("max_nodes")
         if max_nodes is not None and (

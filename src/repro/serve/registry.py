@@ -8,9 +8,16 @@ servable, including ``.json.gz``), pins them in memory, and gives each
 one a dedicated :class:`repro.core.qcache.QueryCache` -- the per-sketch
 canonical-query LRU that makes repeated serving cheap.
 
-Sketches are registered once, before the server starts, and treated as
-immutable afterwards; nothing here locks, because lookups are read-only
-dict hits.
+Frozen sketches are registered once, before the server starts, and
+treated as immutable afterwards; lookups are read-only dict hits and
+never lock.  **Live** entries (:class:`LiveSketch`, loaded from a raw
+``.xml`` document with a live budget) additionally own a
+:class:`repro.core.live.SketchMaintainer` and accept ``update``
+mutations: each mutation runs under the entry's lock, materializes a
+fresh snapshot, and swaps it in through
+:meth:`repro.core.qcache.QueryCache.invalidate` -- the epoch bump that
+guarantees a post-mutation request can never be answered from a
+pre-mutation cache entry (docs/MAINTENANCE.md).
 
 Binary ``.tsb`` stores (docs/STORAGE.md) get two extras here.  They are
 mmap-loaded, so N supervisor-forked workers pinning the same file share
@@ -26,6 +33,7 @@ a daemon restart warm instead of cold.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Container, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.io import load_synopsis
@@ -37,9 +45,9 @@ from repro.obs import get_metrics
 
 
 def name_from_path(path: str) -> str:
-    """Default sketch name for a file: basename minus ``.json[.gz]``/``.tsb``."""
+    """Default sketch name for a file: basename minus its synopsis suffix."""
     base = os.path.basename(path)
-    for suffix in (".json.gz", ".json", ".tsb"):
+    for suffix in (".json.gz", ".json", ".tsb", ".xml"):
         if base.endswith(suffix):
             return base[: -len(suffix)]
     return os.path.splitext(base)[0] or base
@@ -91,15 +99,119 @@ class RegisteredSketch:
             "size_bytes": sketch.size_bytes(),
             "cache": self.cache.info(),
             "checksum": self.checksum,
+            "live": False,
         }
+
+
+class LiveSketch(RegisteredSketch):
+    """A mutable registry entry backed by a live sketch maintainer.
+
+    ``sketch`` is always the maintainer's most recent snapshot -- a plain
+    frozen :class:`TreeSketch`, so every read path (eval/estimate/expand,
+    the query cache, describe) works unchanged.  :meth:`update` is the
+    only writer: it applies one mutation under ``_mut_lock`` (serializing
+    concurrent updates), materializes the next snapshot, and rebinds it
+    through ``cache.invalidate(sketch=...)`` so the swap and the cache
+    flush are atomic with respect to in-flight reads.
+    """
+
+    __slots__ = ("maintainer", "_mut_lock")
+
+    def __init__(self, name: str, maintainer, cache: QueryCache,
+                 path: Optional[str] = None) -> None:
+        super().__init__(name, cache.sketch, cache, path=path, checksum=None)
+        self.maintainer = maintainer
+        self._mut_lock = threading.Lock()
+
+    def update(self, action: str, *, parent_label: Optional[str] = None,
+               parent_ordinal: int = 0, subtree=None,
+               label: Optional[str] = None, ordinal: int = 0,
+               ) -> Dict[str, object]:
+        """Apply one mutation; returns the post-mutation wire payload.
+
+        Raises :class:`KeyError` when the addressed node does not exist
+        and :class:`ValueError` for an invalid edit (deleting the root,
+        malformed subtree spec) -- the server maps both to ``bad_request``.
+        """
+        from repro.core.live import find_labeled
+
+        with self._mut_lock:
+            maintainer = self.maintainer
+            root = maintainer.tree.root
+            if action == "insert_subtree":
+                parent = find_labeled(root, parent_label, parent_ordinal)
+                if parent is None:
+                    raise KeyError(
+                        f"no node labeled {parent_label!r} with ordinal "
+                        f"{parent_ordinal} in sketch {self.name!r}")
+                maintainer.insert_subtree(parent, _spec_from_wire(subtree))
+            elif action == "delete_subtree":
+                node = find_labeled(root, label, ordinal)
+                if node is None:
+                    raise KeyError(
+                        f"no node labeled {label!r} with ordinal {ordinal} "
+                        f"in sketch {self.name!r}")
+                maintainer.delete_subtree(node)
+            else:
+                raise ValueError(f"unknown update action {action!r}")
+            snapshot = maintainer.snapshot()
+            # The epoch bump *is* the consistency barrier: entries cached
+            # against the pre-mutation snapshot are dropped and the new
+            # snapshot rebound under the cache's single-flight lock.
+            epoch = self.cache.invalidate(sketch=snapshot)
+            self.sketch = snapshot
+            info = maintainer.info()
+            return {
+                "sketch": self.name,
+                "action": action,
+                "epoch": epoch,
+                "mutations": info["mutations"],
+                "remerges": info["remerges"],
+                "debt": info["debt_total"],
+                "nodes": snapshot.num_nodes,
+                "edges": snapshot.num_edges,
+                "size_bytes": snapshot.size_bytes(),
+            }
+
+    def describe(self) -> Dict[str, object]:
+        doc = super().describe()
+        info = self.maintainer.info()
+        doc["live"] = True
+        doc["epoch"] = self.cache.epoch
+        doc["mutations"] = info["mutations"]
+        doc["remerges"] = info["remerges"]
+        doc["debt"] = info["debt_total"]
+        return doc
+
+
+def _spec_from_wire(spec):
+    """Wire subtree spec -> maintainer nested-tuple spec, re-validated.
+
+    The protocol layer already validates requests off the wire, but
+    :meth:`LiveSketch.update` is also called directly (CLI script replay,
+    tests), so malformed specs must still fail as :class:`ValueError`,
+    never a maintainer-internal TypeError.
+    """
+    if isinstance(spec, str) and spec:
+        return spec
+    if (isinstance(spec, (list, tuple)) and len(spec) == 2
+            and isinstance(spec[0], str) and spec[0]
+            and isinstance(spec[1], (list, tuple))):
+        return (spec[0], [_spec_from_wire(child) for child in spec[1]])
+    raise ValueError(
+        "subtree spec must be a label string or a [label, [child, ...]] pair")
 
 
 class SketchRegistry:
     """Name -> :class:`RegisteredSketch`, with load-time promotion."""
 
-    def __init__(self, cache_size: Optional[int] = 256) -> None:
+    def __init__(self, cache_size: Optional[int] = 256,
+                 live_budget_bytes: Optional[int] = None) -> None:
         self._sketches: Dict[str, RegisteredSketch] = {}
         self.cache_size = cache_size
+        #: Synopsis budget for sketches loaded live from raw ``.xml``
+        #: documents; None disables live loading (the default).
+        self.live_budget_bytes = live_budget_bytes
 
     def register(self, name: str,
                  synopsis: Union[StableSummary, TreeSketch],
@@ -127,13 +239,42 @@ class SketchRegistry:
         self._sketches[name] = entry
         return entry
 
+    def register_live(self, name: str, maintainer,
+                      path: Optional[str] = None) -> LiveSketch:
+        """Pin a :class:`repro.core.live.SketchMaintainer` as a mutable entry."""
+        if not name:
+            raise ValueError("sketch name must be non-empty")
+        if name in self._sketches:
+            raise ValueError(f"sketch {name!r} is already registered")
+        cache = QueryCache(maintainer.snapshot(), maxsize=self.cache_size)
+        entry = LiveSketch(name, maintainer, cache, path=path)
+        self._sketches[name] = entry
+        return entry
+
     def load(self, path: str, name: Optional[str] = None) -> RegisteredSketch:
-        """Load a synopsis file (``.json[.gz]`` or ``.tsb``) and pin it.
+        """Load a synopsis file (``.json[.gz]``/``.tsb``/``.xml``) and pin it.
 
         A ``.tsb`` store additionally restores its checksum-matched cache
         sidecar (if one exists) into the fresh query cache -- the warm-
         restart path.  Stale or corrupt sidecars are ignored, never served.
+
+        A raw ``.xml`` document is pinned **live**: the registry builds a
+        :class:`repro.core.live.SketchMaintainer` at
+        :attr:`live_budget_bytes` and the entry accepts ``update``
+        mutations (requires a live budget; see docs/MAINTENANCE.md).
         """
+        if path.endswith(".xml"):
+            if self.live_budget_bytes is None:
+                raise ValueError(
+                    f"cannot pin raw document {path!r}: live loading needs "
+                    "a synopsis budget (serve --live-budget-kb)")
+            from repro.core.live import SketchMaintainer
+            from repro.xmltree.parser import parse_xml_file
+
+            tree = parse_xml_file(path)
+            maintainer = SketchMaintainer(tree, self.live_budget_bytes)
+            return self.register_live(name or name_from_path(path),
+                                      maintainer, path=path)
         synopsis = load_synopsis(path)
         checksum = getattr(synopsis, "tsb_checksum", None)
         entry = self.register(name or name_from_path(path), synopsis,
@@ -194,13 +335,27 @@ class SketchRegistry:
             )
         return entry
 
+    def invalidate(self, name: Optional[str] = None) -> Dict[str, int]:
+        """Bump the cache epoch of one sketch (or all of them).
+
+        The registry-level mutation barrier: returns ``{name: new epoch}``
+        for every invalidated entry.  Used when a synopsis file is
+        reloaded in place or an operator wants to force cold caches; live
+        entries bump their own epoch per mutation via
+        :meth:`LiveSketch.update`.
+        """
+        names = [self.get(name).name] if name is not None else self.names()
+        return {n: self._sketches[n].cache.invalidate() for n in names}
+
     def save_caches(self) -> int:
         """Persist each ``.tsb``-backed sketch's warm state to its sidecar.
 
         Called by the serving daemon after draining on graceful shutdown:
         every sketch with a known checksum and at least one answerable
         selectivity gets its ``.tsb.cache`` sidecar written (atomically,
-        preserving any merge-memo payload already there).  Returns the
+        preserving any merge-memo payload already there).  Live entries
+        have no checksum and are skipped -- their answers are only valid
+        for the current mutation epoch.  Returns the
         number of sidecars written; failures to write one sidecar are
         counted (``store.cache.save_failed``) but never block shutdown.
         """

@@ -60,7 +60,7 @@ from repro.query.twig import TwigQuery
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, Decision
 from repro.serve.protocol import ProtocolError
-from repro.serve.registry import RegisteredSketch, SketchRegistry
+from repro.serve.registry import LiveSketch, RegisteredSketch, SketchRegistry
 from repro.serve.shadow import ShadowSampler
 from repro.xmltree.serialize import to_xml
 
@@ -115,6 +115,13 @@ class ServeConfig:
     #: processes share one port and the kernel balances connections --
     #: the supervisor's ``--shard-by none`` mode.
     reuse_port: bool = False
+    #: Periodic warm-state checkpointing: every ``cache_checkpoint_s``
+    #: seconds the registry's ``.tsb.cache`` sidecars are rewritten on
+    #: the worker pool (``registry.save_caches``), so a crash loses at
+    #: most one interval of cache warmth instead of everything the
+    #: graceful-shutdown save would have persisted.  None (default) keeps
+    #: the shutdown-only behaviour.
+    cache_checkpoint_s: Optional[float] = None
 
 
 class SketchServer:
@@ -145,6 +152,8 @@ class SketchServer:
                 max_queue=self.config.shadow_max_queue,
             )
         self._batcher = _EstimateBatcher(self) if self.config.coalesce else None
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        self.checkpoints = 0  # completed periodic sidecar checkpoints
 
     # ------------------------------------------------------------- lifecycle
 
@@ -186,6 +195,10 @@ class SketchServer:
             **server_kwargs,
         )
         self._started_at = get_clock().now()
+        if self.config.cache_checkpoint_s is not None \
+                and self.config.cache_checkpoint_s > 0:
+            self._checkpoint_task = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop())
         if self._shadow is not None:
             self._shadow.start()
         if self.config.metrics_port is not None:
@@ -219,7 +232,36 @@ class SketchServer:
             await asyncio.sleep(0.02)
         return True
 
+    async def _checkpoint_loop(self) -> None:
+        """Periodically persist query-cache sidecars (ServeConfig knob).
+
+        The save runs on the worker pool -- sidecar writes are file I/O
+        and must never stall the event loop.  One failed interval is
+        logged via the ``store.cache.save_failed`` counter inside
+        ``save_caches`` and the loop keeps going.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.cache_checkpoint_s)
+            try:
+                saved = await loop.run_in_executor(
+                    self._executor, self.registry.save_caches)
+            except RuntimeError:
+                return  # executor shut down mid-checkpoint
+            self.checkpoints += 1
+            get_metrics().counter("serve.cache_checkpoints").inc()
+            if saved:
+                get_metrics().counter(
+                    "serve.cache_checkpoint_sidecars").inc(saved)
+
     async def stop(self) -> None:
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+            self._checkpoint_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -352,6 +394,8 @@ class SketchServer:
                 accuracy=(self._shadow.info()
                           if self._shadow is not None else None),
             )
+        if op == "update":
+            return await self._dispatch_update(request)
         return await self._dispatch_data(request)
 
     def statusz(self) -> Dict[str, Any]:
@@ -384,6 +428,93 @@ class SketchServer:
                          for name, value in snapshot["counters"].items()
                          if name.startswith(("serve.", "eval.cache."))},
         }
+
+    async def _dispatch_update(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One sketch mutation: admission-controlled, never coalesced.
+
+        Updates take an admission slot like data ops (a mutation is real
+        compute: reconcile + possible re-merge + snapshot), run on the
+        worker pool, and honour deadlines.  They skip the estimate
+        batcher and the shadow sampler -- both are read-path machinery.
+        Writes against one live sketch serialize on the entry's mutation
+        lock, so concurrent updates are safe, just not parallel.
+        """
+        try:
+            registered = self.registry.get(request.get("sketch"))
+        except KeyError as exc:
+            raise ProtocolError("unknown_sketch", exc.args[0])
+        if not isinstance(registered, LiveSketch):
+            raise ProtocolError(
+                "immutable_sketch",
+                f"sketch {registered.name!r} is frozen; updates need a "
+                "live entry (serve a raw .xml with --live-budget-kb)",
+            )
+        decision = self.admission.acquire()
+        if decision is Decision.SHED:
+            raise ProtocolError(
+                "overloaded",
+                f"admission queue full ({self.admission.max_pending} pending); "
+                "retry with backoff",
+            )
+        deadline_s = (
+            float(request.get("deadline_ms",
+                              self.config.default_deadline_ms)) / 1000.0
+        )
+        submitted: Optional[Future] = None
+        try:
+            async def _admitted() -> Dict[str, Any]:
+                nonlocal submitted
+                if self.config.handler_delay_s > 0:
+                    await asyncio.sleep(self.config.handler_delay_s)
+                submitted = self._executor.submit(
+                    self._execute_update, request, registered)
+                submitted.add_done_callback(
+                    lambda _f: self.admission.release())
+                return await asyncio.wrap_future(submitted)
+
+            try:
+                payload = await asyncio.wait_for(_admitted(),
+                                                 timeout=deadline_s)
+            except asyncio.TimeoutError:
+                get_metrics().counter("serve.deadline_exceeded").inc()
+                raise ProtocolError(
+                    "deadline_exceeded",
+                    f"update exceeded its {deadline_s * 1000:.0f} ms deadline "
+                    "(the mutation may still apply; check the epoch)",
+                )
+            return protocol.ok_response(request, **payload)
+        finally:
+            if submitted is None:
+                self.admission.release()
+
+    def _execute_update(self, request: Dict[str, Any],
+                        registered: "LiveSketch") -> Dict[str, Any]:
+        """Apply one mutation on the worker pool; address errors -> wire codes."""
+        clock = get_clock()
+        started = clock.now()
+        metrics = get_metrics()
+        try:
+            try:
+                payload = registered.update(
+                    request["action"],
+                    parent_label=request.get("parent_label"),
+                    parent_ordinal=int(request.get("parent_ordinal", 0)),
+                    subtree=request.get("subtree"),
+                    label=request.get("label"),
+                    ordinal=int(request.get("ordinal", 0)),
+                )
+            except KeyError as exc:
+                raise ProtocolError("bad_request", exc.args[0])
+            except ValueError as exc:
+                raise ProtocolError("bad_request", str(exc))
+            metrics.counter("serve.updates").inc()
+            return payload
+        finally:
+            get_tracer().record(
+                "serve.execute", started, clock.now() - started,
+                op="update", sketch=registered.name,
+                request_id=request.get("request_id"),
+            )
 
     async def _dispatch_data(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # Resolve cheaply *before* taking an admission slot: a request for

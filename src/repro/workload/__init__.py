@@ -8,10 +8,22 @@ from repro.workload.runner import (
     run_selectivity,
 )
 from repro.workload.cache import load_workload, save_workload
+from repro.workload.mutations import (
+    MutationOp,
+    apply_mutation,
+    dump_ops,
+    load_ops,
+    make_mutation_workload,
+)
 
 __all__ = [
     "Workload",
     "make_workload",
+    "MutationOp",
+    "make_mutation_workload",
+    "apply_mutation",
+    "dump_ops",
+    "load_ops",
     "AnswerQuality",
     "SelectivityQuality",
     "run_answer_quality",

@@ -57,3 +57,52 @@ class TestOptionKnobs:
         small = builder.compress_to(stable.size_bytes() // 4)
         again = builder.compress_to(stable.size_bytes() // 2)
         assert again.size_bytes() == small.size_bytes()
+
+
+class TestKernelAutoSelection:
+    """``kernel="auto"`` picks the backend by edge density: dict-backed
+    for merged-dims-dominated (dense) shapes, flat arrays otherwise --
+    pinned through the per-build ``tsbuild.kernel_*`` counters."""
+
+    def _flat_counters(self, stable_summary, kernel="auto"):
+        from repro import obs
+
+        with obs.observed() as registry:
+            build_treesketch(
+                stable_summary, stable_summary.size_bytes() // 2,
+                TSBuildOptions(kernel=kernel))
+        return obs.report.flatten_snapshot(registry.snapshot())
+
+    def test_dense_shape_selects_dicts(self):
+        from repro.core.build import AUTO_DICTS_DENSITY
+        from repro.datagen.datasets import imdb_like
+
+        dense = build_stable(imdb_like(scale=0.5, seed=1))
+        density = dense.num_edges / max(1, len(dense.count))
+        assert density >= AUTO_DICTS_DENSITY  # the premise of this case
+        flat = self._flat_counters(dense)
+        assert flat["counters.tsbuild.kernel_dicts"] == 1
+        assert "counters.tsbuild.kernel_arrays" not in flat
+
+    def test_sparse_shape_selects_arrays(self, stable):
+        from repro.core.build import AUTO_DICTS_DENSITY
+
+        density = stable.num_edges / max(1, len(stable.count))
+        assert density < AUTO_DICTS_DENSITY
+        flat = self._flat_counters(stable)
+        assert flat["counters.tsbuild.kernel_arrays"] == 1
+        assert "counters.tsbuild.kernel_dicts" not in flat
+
+    def test_explicit_kernels_still_honoured(self, stable):
+        flat = self._flat_counters(stable, kernel="dicts")
+        assert flat["counters.tsbuild.kernel_dicts"] == 1
+        flat = self._flat_counters(stable, kernel="arrays")
+        assert flat["counters.tsbuild.kernel_arrays"] == 1
+
+    def test_auto_output_matches_its_chosen_backend(self, stable):
+        budget = stable.size_bytes() // 3
+        auto = build_treesketch(stable, budget, TSBuildOptions(kernel="auto"))
+        explicit = build_treesketch(
+            stable, budget, TSBuildOptions(kernel="arrays"))
+        assert auto.size_bytes() == explicit.size_bytes()
+        assert auto.squared_error() == explicit.squared_error()

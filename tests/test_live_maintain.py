@@ -1,0 +1,283 @@
+"""Randomized oracle for live TreeSketch maintenance (repro.core.live).
+
+The maintainer's claim is strong: after any valid sequence of subtree
+inserts and deletes, the live partition's sufficient statistics equal --
+bitwise, not approximately -- those of a from-scratch partition over the
+*current* document merged into the same cluster membership
+(:func:`repro.core.live.rebuild_partition_like`).  Everything here holds
+the subsystem to that claim under randomized mutation workloads, plus the
+debt model's contract: with ``auto_remerge`` on, no cluster's error debt
+ever exceeds ``debt_threshold`` once an edit has been reconciled.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.live import (
+    LiveOptions,
+    SketchMaintainer,
+    find_labeled,
+    rebuild_partition_like,
+)
+from repro.core.stable import build_stable
+from repro.core.treesketch import TreeSketch
+from repro.query.parser import parse_twig
+from repro.workload.mutations import (
+    MutationOp,
+    apply_mutation,
+    dump_ops,
+    load_ops,
+    make_mutation_workload,
+)
+from repro.xmltree.tree import XMLTree
+
+
+def _document() -> XMLTree:
+    """A ~300-node random-attachment tree: diverse repeated shapes, so a
+    halved budget forces real merges and mutations produce real drift."""
+    from tests.conftest import make_random_tree
+
+    return make_random_tree(random.Random(42), 300)
+
+
+def _budget_for(tree: XMLTree, fraction: float = 0.5) -> int:
+    """A budget that forces real compression: a fraction of lossless."""
+    lossless = TreeSketch.from_stable(build_stable(tree.copy()))
+    return max(256, int(lossless.size_bytes() * fraction))
+
+
+def _assert_bitwise_replay(maintainer: SketchMaintainer) -> None:
+    """The oracle: live tables == from-scratch replayed tables, bitwise.
+
+    All sufficient statistics are sums of integer-valued floats (exact
+    below 2**53 in any summation order), so counts and per-edge
+    (sum, sum_sq) must match exactly; only ``cluster_sq`` involves a
+    division and gets a 1e-9 tolerance.
+    """
+    live = maintainer.partition
+    fresh, id_map = rebuild_partition_like(maintainer)
+    assert set(id_map) == set(live.members)
+    for u, fu in id_map.items():
+        assert fresh.members[fu] == live.members[u]
+        assert fresh.count[fu] == live.count[u]
+        assert fresh.cluster_label[fu] == live.cluster_label[u]
+        mapped = {id_map[t]: stats for t, stats in live.out_stats[u].items()}
+        assert mapped == fresh.out_stats[fu]  # bitwise: exact float sums
+        assert live.cluster_sq[u] == pytest.approx(
+            fresh.cluster_sq[fu], abs=1e-9, rel=1e-9)
+    assert live.total_sq == pytest.approx(
+        fresh.total_sq, abs=1e-9, rel=1e-9)
+    assert live.num_edges == sum(len(out) for out in live.out_stats.values())
+
+
+def _label_counts(tree: XMLTree) -> dict:
+    counts = {}
+    for node in tree.root.iter_preorder():
+        counts[node.label] = counts.get(node.label, 0) + 1
+    return counts
+
+
+class TestFindLabeled:
+    def test_preorder_ordinals(self):
+        tree = XMLTree.from_nested(
+            ("r", [("a", [("b", []), ("a", [])]), ("a", [])]))
+        root = tree.root
+        assert find_labeled(root, "r") is root
+        first = find_labeled(root, "a", 0)
+        assert first is root.children[0]
+        assert find_labeled(root, "a", 1) is first.children[1]
+        assert find_labeled(root, "a", 2) is root.children[1]
+        assert find_labeled(root, "a", 3) is None
+        assert find_labeled(root, "zz") is None
+
+
+class TestReplayOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_bitwise_after_random_workload(self, seed):
+        tree = _document()
+        budget = _budget_for(tree)
+        ops = make_mutation_workload(tree, num_ops=40, seed=seed)
+        maintainer = SketchMaintainer(tree, budget)
+        for i, op in enumerate(ops):
+            apply_mutation(maintainer, op)
+            if (i + 1) % 10 == 0:
+                maintainer.check()
+                _assert_bitwise_replay(maintainer)
+        maintainer.check()
+        _assert_bitwise_replay(maintainer)
+        assert maintainer.mutations == len(ops)
+
+    def test_bitwise_after_forced_full_remerge(self):
+        tree = _document()
+        maintainer = SketchMaintainer(
+            tree, _budget_for(tree),
+            options=LiveOptions(auto_remerge=False))
+        for op in make_mutation_workload(tree, num_ops=30, seed=3):
+            apply_mutation(maintainer, op)
+        maintainer.remerge(full=True)
+        assert maintainer.total_debt() == 0.0  # a full pass settles all debt
+        maintainer.check()
+        _assert_bitwise_replay(maintainer)
+
+    def test_delete_everything_inserted(self):
+        """Insert-then-delete sequences must return to consistent state."""
+        tree = _document()
+        maintainer = SketchMaintainer(tree, _budget_for(tree))
+        root_label = tree.root.label
+        inserted = []
+        for i in range(12):
+            parent = find_labeled(maintainer.tree.root, root_label, 0)
+            node = maintainer.insert_subtree(
+                parent, ("extra", ["leafa", ("mid", ["leafb"])]))
+            inserted.append(node)
+        for node in inserted:
+            maintainer.delete_subtree(node)
+        maintainer.check()
+        _assert_bitwise_replay(maintainer)
+        assert _label_counts(maintainer.tree).get("extra", 0) == 0
+
+
+class TestEstimateEquivalence:
+    def test_snapshot_estimates_match_replayed_partition(self):
+        """Estimates are a pure function of the partition tables, so the
+        maintained snapshot must answer every query like the from-scratch
+        replay of its own clustering (ids differ; statistics do not)."""
+        tree = _document()
+        maintainer = SketchMaintainer(tree, _budget_for(tree, 0.4))
+        for op in make_mutation_workload(tree, num_ops=50, seed=11):
+            apply_mutation(maintainer, op)
+        snapshot = maintainer.snapshot()
+        replayed, _ = rebuild_partition_like(maintainer)
+        oracle = replayed.to_treesketch()
+        labels = sorted(_label_counts(maintainer.tree))
+        queries = [f"//{label}" for label in labels]
+        queries += ["//a (//b)", "//c (//d (//e ?))", "//a[//c] (//b ?)"]
+        for text in queries:
+            query = parse_twig(text)
+            lhs = estimate_selectivity(eval_query(snapshot, query))
+            rhs = estimate_selectivity(eval_query(oracle, query))
+            assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9), text
+
+    def test_snapshot_is_a_servable_treesketch(self):
+        tree = _document()
+        maintainer = SketchMaintainer(tree, _budget_for(tree))
+        for op in make_mutation_workload(tree, num_ops=20, seed=5):
+            apply_mutation(maintainer, op)
+        snapshot = maintainer.snapshot()
+        snapshot.validate()
+        value = estimate_selectivity(
+            eval_query(snapshot, parse_twig("//a (//b)")))
+        assert math.isfinite(value) and value >= 0.0
+
+
+class TestDebtModel:
+    def test_debt_bound_holds_after_every_edit(self):
+        """The headline invariant: auto_remerge never lets a cluster's
+        accumulated drift stay above the threshold past the edit that
+        pushed it over."""
+        tree = _document()
+        options = LiveOptions(debt_threshold=2.0)
+        maintainer = SketchMaintainer(
+            tree, _budget_for(tree, 0.4), options=options)
+        for op in make_mutation_workload(tree, num_ops=60, seed=2):
+            apply_mutation(maintainer, op)
+            assert maintainer.max_debt() <= options.debt_threshold + 1e-9
+        assert maintainer.remerges > 0  # the workload did trip the trigger
+        maintainer.check()
+        _assert_bitwise_replay(maintainer)
+
+    def test_debt_accrues_without_auto_remerge(self):
+        tree = _document()
+        options = LiveOptions(debt_threshold=5.0, auto_remerge=False)
+        maintainer = SketchMaintainer(
+            tree, _budget_for(tree, 0.4), options=options)
+        for op in make_mutation_workload(tree, num_ops=60, seed=2):
+            apply_mutation(maintainer, op)
+        assert maintainer.remerges == 0
+        accrued = maintainer.total_debt()
+        assert accrued > options.debt_threshold
+        merges = maintainer.remerge()
+        assert maintainer.max_debt() <= options.debt_threshold + 1e-9
+        assert maintainer.remerges == 1 and merges >= 0
+        maintainer.check()
+
+    def test_dissolve_cap_keeps_remerge_bounded(self):
+        """``max_dissolve=0`` disables dissolution entirely: local
+        re-merges still attend the region and settle its debt, and the
+        live tables stay exact -- the cap only defers accuracy recovery
+        (a giant drifted cluster waits for ``remerge(full=True)``
+        instead of exploding the quadratic region drain)."""
+        tree = _document()
+        options = LiveOptions(debt_threshold=2.0, max_dissolve=0)
+        maintainer = SketchMaintainer(
+            tree, _budget_for(tree, 0.4), options=options)
+        for op in make_mutation_workload(tree, num_ops=40, seed=2):
+            apply_mutation(maintainer, op)
+            assert maintainer.max_debt() <= options.debt_threshold + 1e-9
+        maintainer.check()
+        _assert_bitwise_replay(maintainer)
+
+    def test_info_and_routing_counters(self):
+        tree = _document()
+        with obs.observed() as registry:
+            maintainer = SketchMaintainer(tree, _budget_for(tree))
+            ops = make_mutation_workload(
+                tree, num_ops=30, seed=4, insert_fraction=0.8)
+            for op in ops:
+                apply_mutation(maintainer, op)
+        info = maintainer.info()
+        assert info["mutations"] == len(ops)
+        assert info["routed"] == maintainer.routed
+        assert info["singletons"] == maintainer.singletons
+        assert maintainer.routed + maintainer.singletons > 0
+        assert info["debt_total"] == pytest.approx(maintainer.total_debt())
+        assert info["size_bytes"] == maintainer.size_bytes()
+        flat = obs.report.flatten_snapshot(registry.snapshot())
+        assert flat["counters.live.mutations"] == len(ops)
+        inserts = sum(1 for op in ops if op.action == "insert_subtree")
+        assert flat["counters.live.inserts"] == inserts
+        assert flat["counters.live.deletes"] == len(ops) - inserts
+        assert flat.get("counters.live.routed", 0) == maintainer.routed
+
+
+class TestMutationWorkload:
+    def test_script_round_trip(self):
+        tree = _document()
+        ops = make_mutation_workload(tree, num_ops=25, seed=9)
+        assert load_ops(dump_ops(ops)) == ops
+        text = "# comment\n\n" + dump_ops(ops)
+        assert load_ops(text) == ops
+
+    def test_generated_sequence_replays_validly(self):
+        """Every generated op must resolve when applied in order -- on a
+        maintainer whose document started identical to the generator's."""
+        tree = _document()
+        ops = make_mutation_workload(tree, num_ops=50, seed=13)
+        maintainer = SketchMaintainer(tree, _budget_for(tree))
+        for op in ops:
+            apply_mutation(maintainer, op)  # KeyError would fail the test
+        maintainer.check()
+        assert all(op.label != tree.root.label or op.ordinal != 0
+                   for op in ops if op.action == "delete_subtree")
+
+    def test_generator_leaves_input_untouched(self):
+        tree = _document()
+        before = _label_counts(tree)
+        make_mutation_workload(tree, num_ops=30, seed=1)
+        assert _label_counts(tree) == before
+
+    def test_bad_address_raises_keyerror(self):
+        tree = _document()
+        maintainer = SketchMaintainer(tree, _budget_for(tree))
+        with pytest.raises(KeyError):
+            apply_mutation(maintainer, MutationOp(
+                action="delete_subtree", label="nope", ordinal=0))
+        with pytest.raises(KeyError):
+            apply_mutation(maintainer, MutationOp(
+                action="insert_subtree", parent_label="site",
+                parent_ordinal=99, subtree="x"))

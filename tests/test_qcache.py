@@ -190,6 +190,34 @@ def test_peek_and_info_never_block_on_a_busy_lock(sketch):
     assert cache.peek_selectivity(q) == value  # uncontended again
 
 
+def test_invalidate_drops_everything_and_bumps_epoch(sketch):
+    """The live-maintenance barrier: invalidate() must leave no answer --
+    cached or sidecar-seeded -- computed against the old synopsis, and
+    must rebind the replacement sketch under the same lock."""
+    cache = QueryCache(sketch)
+    q = parse_twig("//a (//p)")
+    value = cache.selectivity(q)
+    cache.seed_selectivities({"//zz": 123.0})
+    assert cache.epoch == 0 and len(cache) == 1
+
+    replacement = build_treesketch(build_stable(XMLTree.from_nested(
+        ("r", [("a", [("p", ["k"])])]))), 100 * 1024)
+    with obs.observed() as registry:
+        assert cache.invalidate(sketch=replacement) == 1
+    assert cache.epoch == 1 and cache.invalidations == 1
+    assert len(cache) == 0
+    assert cache.sketch is replacement
+    assert cache.peek_selectivity(parse_twig("//zz")) is None  # seeded gone
+    fresh = cache.selectivity(q)  # re-evaluated against the new sketch
+    assert fresh != value
+    assert fresh == estimate_selectivity(eval_query(replacement, q))
+    assert cache.invalidate() == 2  # sketch=None keeps the binding
+    assert cache.sketch is replacement
+    flat = obs.report.flatten_snapshot(registry.snapshot())
+    assert flat["counters.eval.cache.invalidations"] == 1
+    assert cache.info()["epoch"] == 2
+
+
 def test_runner_with_cache_matches_uncached(sketch):
     from repro.workload.workload import make_workload
 

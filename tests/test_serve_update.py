@@ -1,0 +1,306 @@
+"""End-to-end tests for the ``update`` op: live sketches over the wire.
+
+The consistency bar the serving tier signs up for (docs/MAINTENANCE.md):
+after an ``update`` response is on the wire, **no request may ever be
+answered from a pre-mutation cache entry** -- the mutation epoch bump in
+:meth:`repro.serve.registry.LiveSketch.update` is the barrier.  These
+tests drive it over real sockets against a single in-process daemon, and
+through a real supervisor-forked fleet with the live sketch owned by one
+shard; plus the protocol validation, the error mapping (``bad_request``
+for unresolvable addresses, ``immutable_sketch`` for frozen entries), and
+the periodic cache-checkpoint timer.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.build import build_treesketch
+from repro.core.estimate import estimate_selectivity
+from repro.core.evaluate import eval_query
+from repro.core.io import save_synopsis
+from repro.core.live import SketchMaintainer
+from repro.core.stable import build_stable
+from repro.query.parser import parse_twig
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServerError,
+    SketchRegistry,
+    start_server_thread,
+)
+from repro.serve.client import PooledClient
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.registry import LiveSketch
+from repro.xmltree.serialize import to_xml
+from repro.xmltree.tree import XMLTree
+
+pytestmark = pytest.mark.obs
+
+LIVE_BUDGET = 64 * 1024
+
+
+def _tree() -> XMLTree:
+    return XMLTree.from_nested(
+        (
+            "r",
+            [
+                ("a", [("p", ["k", "k"]), "n"]),
+                ("a", [("p", ["k"]), "n", "n"]),
+                ("a", [("b", ["t"])]),
+            ],
+        )
+    )
+
+
+@pytest.fixture
+def server():
+    """A fresh daemon per test: one live sketch, one frozen sketch."""
+    registry = SketchRegistry()
+    registry.register_live("live", SketchMaintainer(_tree(), LIVE_BUDGET))
+    registry.register("frozen", build_treesketch(build_stable(_tree()), 4096))
+    handle = start_server_thread(registry, ServeConfig(port=0))
+    try:
+        yield registry, handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    _, handle = server
+    with ServeClient("127.0.0.1", handle.port) as client:
+        yield client
+
+
+def _truth(sketch, text: str) -> float:
+    return estimate_selectivity(eval_query(sketch, parse_twig(text)))
+
+
+class TestProtocolValidation:
+    def test_valid_insert_and_delete_parse(self):
+        insert = parse_request(json.dumps({
+            "op": "update", "sketch": "live", "action": "insert_subtree",
+            "parent_label": "a", "parent_ordinal": 1,
+            "subtree": ["p", ["k", ["q", []]]]}))
+        assert insert["action"] == "insert_subtree"
+        delete = parse_request(json.dumps({
+            "op": "update", "action": "delete_subtree",
+            "label": "n", "ordinal": 2}))
+        assert delete["label"] == "n"
+
+    @pytest.mark.parametrize("request_doc", [
+        {"op": "update"},                                  # no action
+        {"op": "update", "action": "replace"},             # unknown action
+        {"op": "update", "action": "insert_subtree"},      # no parent/subtree
+        {"op": "update", "action": "insert_subtree",
+         "parent_label": "a", "subtree": ["p"]},           # malformed spec
+        {"op": "update", "action": "insert_subtree",
+         "parent_label": "a", "subtree": "x",
+         "parent_ordinal": -1},                            # negative ordinal
+        {"op": "update", "action": "insert_subtree",
+         "parent_label": "a", "subtree": "x",
+         "parent_ordinal": True},                          # bool is not int
+        {"op": "update", "action": "delete_subtree"},      # no label
+        {"op": "update", "action": "delete_subtree",
+         "label": "", "ordinal": 0},                       # empty label
+    ])
+    def test_invalid_updates_rejected(self, request_doc):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(json.dumps(request_doc))
+        assert excinfo.value.code == "bad_request"
+
+
+class TestSingleServer:
+    def test_update_never_serves_a_stale_answer(self, server, client):
+        registry, _ = server
+        entry = registry.get("live")
+        query = "//a (//p (//k ?))"
+        stale_sketch = entry.sketch
+        before = client.estimate(query, sketch="live")
+        assert before == _truth(stale_sketch, query)
+        assert client.estimate(query, sketch="live") == before
+
+        response = client.update(
+            "insert_subtree", sketch="live", parent_label="a",
+            parent_ordinal=2, subtree=["p", ["k", "k", "k"]])
+        assert response["epoch"] == 1 and response["mutations"] == 1
+
+        after = client.estimate(query, sketch="live")
+        assert after == _truth(entry.sketch, query)
+        assert after != before  # three new k's must move the estimate
+        assert before == _truth(stale_sketch, query)  # truly was an epoch flip
+
+    def test_delete_then_insert_epochs_accumulate(self, server, client):
+        registry, _ = server
+        first = client.update("delete_subtree", sketch="live",
+                              label="n", ordinal=2)
+        assert first["epoch"] == 1
+        second = client.update("insert_subtree", sketch="live",
+                               parent_label="r", subtree="n")
+        assert second["epoch"] == 2 and second["mutations"] == 2
+        entry = registry.get("live")
+        assert entry.cache.epoch == 2
+        assert isinstance(entry, LiveSketch)
+
+    def test_frozen_sketch_is_immutable(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.update("insert_subtree", sketch="frozen",
+                          parent_label="a", subtree="k")
+        assert excinfo.value.code == "immutable_sketch"
+
+    def test_unresolvable_addresses_are_bad_requests(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.update("insert_subtree", sketch="live",
+                          parent_label="zz", subtree="k")
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServerError) as excinfo:
+            client.update("delete_subtree", sketch="live",
+                          label="a", ordinal=99)
+        assert excinfo.value.code == "bad_request"
+        # Deleting the document root is invalid, not a crash.
+        with pytest.raises(ServerError) as excinfo:
+            client.update("delete_subtree", sketch="live",
+                          label="r", ordinal=0)
+        assert excinfo.value.code == "bad_request"
+
+    def test_list_sketches_reports_live_metadata(self, client):
+        client.update("insert_subtree", sketch="live",
+                      parent_label="r", subtree="n")
+        described = {doc["name"]: doc for doc in client.list_sketches()}
+        live = described["live"]
+        assert live["live"] is True
+        assert live["epoch"] == 1 and live["mutations"] == 1
+        assert "debt" in live and "remerges" in live
+        frozen = described["frozen"]
+        assert frozen["live"] is False and "epoch" not in frozen
+
+    def test_registry_level_invalidate_bumps_epochs(self, server):
+        registry, _ = server
+        epochs = registry.invalidate()
+        assert epochs == {"frozen": 1, "live": 1}
+        assert registry.invalidate("live") == {"live": 2}
+        with pytest.raises(KeyError):
+            registry.invalidate("nope")
+
+
+class TestCheckpointTimer:
+    def test_sidecar_written_periodically(self, tmp_path):
+        """With --cache-checkpoint-s the warm state reaches the sidecar
+        while the daemon is still running, not only on graceful stop."""
+        path = str(tmp_path / "ckpt.tsb")
+        save_synopsis(build_treesketch(build_stable(_tree()), 4096), path)
+        registry = SketchRegistry()
+        registry.load(path)
+        handle = start_server_thread(
+            registry, ServeConfig(port=0, cache_checkpoint_s=0.2))
+        sidecar = path + ".cache"
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.estimate("//a (//p)", sketch="ckpt")
+            deadline = time.monotonic() + 20
+            while not os.path.exists(sidecar):
+                assert time.monotonic() < deadline, "no checkpoint sidecar"
+                time.sleep(0.05)
+        finally:
+            handle.stop()
+        doc = json.loads(open(sidecar).read())
+        assert doc["selectivities"]
+
+
+# ---------------------------------------------------------------------------
+# Fleet end-to-end: the live sketch lives on exactly one shard.
+# ---------------------------------------------------------------------------
+
+_CONTROL_RE = re.compile(r"control on ([\d.]+):(\d+) \(protocol")
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_fleet(specs, *extra, workers=2):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *specs,
+         "--port", "0", "--workers", str(workers), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env())
+    log = []
+    deadline = time.monotonic() + 90
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        log.append(line)
+        match = _CONTROL_RE.search(line)
+        if match:
+            drain = threading.Thread(
+                target=lambda: log.extend(iter(proc.stdout.readline, "")),
+                daemon=True)
+            drain.start()
+            return proc, (match.group(1), int(match.group(2))), log
+    proc.kill()
+    raise AssertionError(
+        "fleet did not report readiness in time:\n" + "".join(log))
+
+
+def _stop_fleet(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(10)
+
+
+class TestFleetUpdate:
+    def test_pooled_update_routes_to_owning_shard(self, tmp_path):
+        xml_path = tmp_path / "doc.xml"
+        xml_path.write_text(to_xml(_tree()))
+        frozen_path = tmp_path / "frozen.json"
+        save_synopsis(build_treesketch(build_stable(_tree()), 4096),
+                      str(frozen_path))
+        specs = [f"live={xml_path}", f"frozen={frozen_path}"]
+        query = "//a (//p (//k ?))"
+
+        # In-process truth: the same document, budget, and edit sequence.
+        oracle = SketchMaintainer(_tree(), LIVE_BUDGET)
+        before_truth = _truth(oracle.snapshot(), query)
+        parent = [n for n in oracle.tree.root.iter_preorder()
+                  if n.label == "a"][2]
+        oracle.insert_subtree(parent, ("p", ["k", "k", "k"]))
+        after_truth = _truth(oracle.snapshot(), query)
+        assert after_truth != before_truth
+
+        proc, control, _log = _spawn_fleet(
+            specs, "--live-budget-kb", str(LIVE_BUDGET / 1024))
+        try:
+            with PooledClient(*control) as pool:
+                assert pool.estimate(query, sketch="live") == before_truth
+                response = pool.update(
+                    "insert_subtree", sketch="live", parent_label="a",
+                    parent_ordinal=2, subtree=["p", ["k", "k", "k"]])
+                assert response["epoch"] == 1
+                assert pool.estimate(query, sketch="live") == after_truth
+                # The frozen shard still refuses mutations through the pool.
+                with pytest.raises(ServerError) as excinfo:
+                    pool.update("insert_subtree", sketch="frozen",
+                                parent_label="a", subtree="k")
+                assert excinfo.value.code == "immutable_sketch"
+                described = {doc["name"]: doc
+                             for doc in pool.call("list_sketches",
+                                                  sketch="live")["sketches"]}
+                assert described["live"]["epoch"] == 1
+        finally:
+            _stop_fleet(proc)
