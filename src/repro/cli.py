@@ -272,6 +272,74 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_explanation(payload: dict, twig: str) -> str:
+    """Console rendering of one explain payload (local or wire form)."""
+    lines = [f"estimate: {payload.get('estimate', 0.0):,.1f}  ({twig})"]
+    lines.append(
+        "provenance: {touched} cluster(s) touched, "
+        "{n} contribution term(s){split}".format(
+            touched=payload.get("touched", 0),
+            n=len(payload.get("contributions") or []),
+            split=("" if payload.get("exact_split")
+                   else " (single-term fallback: no additive split)"))
+    )
+    if payload.get("budget_state") is not None:
+        lines.append(
+            f"budget: {payload['budget_state']}  "
+            f"(burn rate {payload.get('burn_rate', 0.0):.2f})"
+        )
+    clusters = payload.get("clusters") or []
+    if clusters:
+        lines.append("")
+        lines.append(f"  {'cluster':>8} {'label':<12} {'mass':>10} "
+                     f"{'tuples':>14} {'debt':>10} {'error wt':>12}")
+        for c in clusters:
+            lines.append(
+                f"  {c.get('cluster', '?'):>8} {c.get('label', '?'):<12} "
+                f"{c.get('mass', 0.0):>10.2f} {c.get('tuples', 0.0):>14,.1f} "
+                f"{c.get('debt', 0.0):>10.2f} {c.get('error_weight', 0.0):>12.2f}"
+            )
+    else:
+        lines.append("  (no clusters: empty approximate answer)")
+    return "\n".join(lines)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Error provenance for one estimate: which synopsis clusters the
+    traversal touched, their contribution to the answer, and their live
+    error debt (docs/OBSERVABILITY.md, 'Accuracy plane')."""
+    if bool(args.sketch) == bool(args.address):
+        print("explain needs exactly one of --sketch PATH (local) or "
+              "--address HOST:PORT (daemon)", file=sys.stderr)
+        return 2
+    if args.address:
+        from repro.serve.client import ServeClient, ServerError, parse_address
+
+        try:
+            host, port = parse_address(args.address)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        client = ServeClient(host, port)
+        try:
+            payload = client.explain(args.twig, sketch=args.name,
+                                     top_k=args.top_k)
+        except (ServerError, ConnectionError, OSError) as exc:
+            print(f"explain failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            client.close()
+    else:
+        from repro.core.explain import explain_query
+
+        sketch = _load_sketch(args.sketch)
+        explanation = explain_query(
+            sketch, parse_twig(args.twig), top_k=args.top_k)
+        payload = explanation.to_payload()
+    print(_render_explanation(payload, args.twig))
+    return 0
+
+
 def cmd_exact(args: argparse.Namespace) -> int:
     tree = parse_xml_file(args.document, keep_values=args.values)
     query = parse_twig(args.twig)
@@ -426,6 +494,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"cannot load shadow reference "
                   f"{args.shadow_reference!r}: {exc}", file=sys.stderr)
             return 2
+    if args.error_budget is not None and args.shadow_sample <= 0:
+        print("--error-budget needs --shadow-sample > 0 (the ledger is "
+              "fed by shadow-scored answers)", file=sys.stderr)
+        return 2
+    if args.adaptive_maintain and args.error_budget is None:
+        print("--adaptive-maintain needs --error-budget (the controller "
+              "follows the ledger's measured drift)", file=sys.stderr)
+        return 2
     # The telemetry plane renders the *active* metrics registry, so the
     # daemon needs a live one even without --stats/--trace.
     if (args.metrics_port is not None or args.shadow_sample > 0) \
@@ -442,6 +518,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         shadow_fraction=args.shadow_sample,
         shadow_reference=shadow_reference,
+        shadow_eval_delay_s=args.shadow_eval_delay_s,
+        error_budget=args.error_budget,
+        error_budget_window=args.error_budget_window,
+        adaptive_maintenance=args.adaptive_maintain,
         coalesce=not args.no_coalesce,
         coalesce_window_s=args.batch_window_ms / 1000.0,
         coalesce_max=args.batch_max,
@@ -547,6 +627,15 @@ def _cmd_serve_supervisor(args: argparse.Namespace) -> int:
     if args.shadow_sample > 0 and args.shadow_reference:
         worker_args += ["--shadow-sample", str(args.shadow_sample),
                         "--shadow-reference", args.shadow_reference]
+        if args.shadow_eval_delay_s > 0:
+            worker_args += ["--shadow-eval-delay-s",
+                            str(args.shadow_eval_delay_s)]
+        if args.error_budget is not None:
+            worker_args += ["--error-budget", str(args.error_budget),
+                            "--error-budget-window",
+                            str(args.error_budget_window)]
+            if args.adaptive_maintain:
+                worker_args.append("--adaptive-maintain")
     config = SupervisorConfig(
         host=args.host,
         port=args.port,
@@ -752,7 +841,9 @@ def _render_statusz(status: dict, source: str) -> str:
         worst = accuracy.get("rel_error_max")
         lines.append(
             "accuracy   fraction {fraction:g}  sampled {sampled}  "
-            "evaluated {evaluated}  dropped {dropped}  failed {failed}".format(
+            "evaluated {evaluated}  dropped {dropped}  stale {stale}  "
+            "failed {failed}".format(
+                stale=accuracy.get("stale_dropped", 0),
                 **{k: accuracy.get(k, 0) for k in (
                     "fraction", "sampled", "evaluated", "dropped", "failed")})
         )
@@ -763,12 +854,99 @@ def _render_statusz(status: dict, source: str) -> str:
         )
     else:
         lines.append("accuracy   shadow sampler off")
+    budgets = status.get("budgets")
+    if budgets:
+        lines.append("")
+        lines.append(
+            "budgets    target rel-err {target:g}  window {window}  "
+            "transitions {transitions}".format(
+                target=budgets.get("target_rel_error", 0.0),
+                window=budgets.get("window", "?"),
+                transitions=budgets.get("transitions", 0))
+        )
+        for name, budget in sorted((budgets.get("sketches") or {}).items()):
+            mean = budget.get("window_mean")
+            lines.append(
+                f"  {name:<16} {budget.get('state', '?'):<8} "
+                f"burn {budget.get('burn_rate', 0.0):>6.2f}  "
+                f"samples {budget.get('samples', 0):>6}  mean "
+                + (f"{mean:.4f}" if mean is not None else "   n/a")
+                + f"  debt {budget.get('debt', 0.0):.1f}"
+            )
     counters = status.get("counters") or {}
     if counters:
         lines.append("")
         lines.append("counters")
         for name in sorted(counters):
             lines.append(f"  {name:<32} {counters[name]:>12,}")
+    return "\n".join(lines)
+
+
+def _render_fleet_snapshot(snapshot: dict, source: str) -> str:
+    """One console screen of a supervisor's merged ``/snapshotz``.
+
+    The fleet endpoint ships a metrics snapshot (counters summed, gauges
+    summed, histogram quantiles upper-enveloped across workers), so the
+    accuracy panel reads fleet-wide: budget-state gauges are one-hot per
+    sketch per worker, hence their sums count sketches in each state.
+    """
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    lines = [f"treesketch top — fleet {source}  (/snapshotz merge)", ""]
+    lines.append(
+        "traffic    requests {req:,}  updates {upd:,}  explains {expl:,}  "
+        "shed {shed:,}".format(
+            req=int(counters.get("serve.requests", 0)),
+            upd=int(counters.get("serve.updates", 0)),
+            expl=int(counters.get("serve.explains", 0)),
+            shed=int(counters.get("serve.shed", 0)))
+    )
+    lines.append("")
+    lines.append(
+        "accuracy   sampled {s:,}  evaluated {e:,}  dropped {d:,}  "
+        "stale {st:,}  failed {f:,}".format(
+            s=int(counters.get("serve.accuracy.sampled", 0)),
+            e=int(counters.get("serve.accuracy.evaluated", 0)),
+            d=int(counters.get("serve.accuracy.dropped", 0)),
+            st=int(counters.get("serve.accuracy.stale_dropped", 0)),
+            f=int(counters.get("serve.accuracy.failed", 0)))
+    )
+    rel = histograms.get("serve.accuracy.rel_error")
+    if rel:
+        lines.append(
+            f"           rel error mean {rel.get('mean', 0.0):.4f}  "
+            f"p95<= {rel.get('p95', 0.0):.4f}  max {rel.get('max', 0.0):.4f}"
+        )
+    if any(f"serve.accuracy.budget_state.{s}" in gauges
+           for s in ("ok", "warn", "burning")):
+        lines.append("")
+        lines.append(
+            "budgets    ok {ok:g}  warn {warn:g}  burning {burning:g}  "
+            "worst burn {burn:.2f}  transitions {tr:,}".format(
+                ok=gauges.get("serve.accuracy.budget_state.ok", 0.0),
+                warn=gauges.get("serve.accuracy.budget_state.warn", 0.0),
+                burning=gauges.get("serve.accuracy.budget_state.burning", 0.0),
+                burn=gauges.get("serve.accuracy.budget_burn_max", 0.0),
+                tr=int(counters.get("serve.accuracy.budget_transitions", 0)))
+        )
+    if "live.debt_total" in gauges or counters.get("live.mutations"):
+        lines.append("")
+        lines.append(
+            "maintain   mutations {mut:,}  remerges {rm:,}  "
+            "debt {debt:.1f}".format(
+                mut=int(counters.get("live.mutations", 0)),
+                rm=int(counters.get("live.remerges", 0)),
+                debt=gauges.get("live.debt_total", 0.0))
+        )
+        if "live.adaptive.threshold" in gauges:
+            lines.append(
+                "           adaptive threshold {thr:.3f}  "
+                "tightened {t:,}  relaxed {r:,}".format(
+                    thr=gauges.get("live.adaptive.threshold", 0.0),
+                    t=int(counters.get("live.adaptive.tightened", 0)),
+                    r=int(counters.get("live.adaptive.relaxed", 0)))
+            )
     return "\n".join(lines)
 
 
@@ -785,19 +963,22 @@ def cmd_top(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     base = f"http://{host}:{port}"
+    endpoint = "/snapshotz" if args.fleet else "/statusz"
+    render = _render_fleet_snapshot if args.fleet else _render_statusz
     shown = 0
     try:
         while True:
             try:
                 with urllib.request.urlopen(
-                        f"{base}/statusz", timeout=args.http_timeout) as resp:
+                        f"{base}{endpoint}",
+                        timeout=args.http_timeout) as resp:
                     status = json.loads(resp.read().decode("utf-8"))
             except (OSError, ValueError) as exc:
-                print(f"cannot poll {base}/statusz: {exc}", file=sys.stderr)
+                print(f"cannot poll {base}{endpoint}: {exc}", file=sys.stderr)
                 return 1
             if not args.no_clear:
                 print("\x1b[2J\x1b[H", end="")
-            print(_render_statusz(status, base), flush=True)
+            print(render(status, base), flush=True)
             shown += 1
             if args.iterations and shown >= args.iterations:
                 return 0
@@ -935,6 +1116,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-preview-nodes", type=int, default=2_000_000)
     p.set_defaults(func=cmd_query)
 
+    p = add_parser("explain",
+                   help="error provenance for one estimate: top-k "
+                        "error-contributing clusters (docs/OBSERVABILITY.md)")
+    p.add_argument("twig", help="twig query to explain")
+    p.add_argument("--sketch", metavar="PATH",
+                   help="local synopsis (.json[.gz]/.tsb) to explain against")
+    p.add_argument("--address", metavar="HOST:PORT",
+                   help="running daemon to ask instead (explain op)")
+    p.add_argument("--name", metavar="SKETCH",
+                   help="--address: target sketch (default: the server's "
+                        "only sketch)")
+    p.add_argument("--top-k", type=int, default=5,
+                   help="clusters to report, ranked by error weight "
+                        "(default 5)")
+    p.set_defaults(func=cmd_explain)
+
     p = add_parser("exact", help="evaluate a twig query exactly")
     p.add_argument("document")
     p.add_argument("twig")
@@ -1061,6 +1258,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--shadow-reference", metavar="PATH",
                    help="reference for --shadow-sample: an XML document "
                         "(exact truth) or a synopsis JSON (stable summary)")
+    p.add_argument("--shadow-eval-delay-s", type=float, default=0.0,
+                   help=argparse.SUPPRESS)  # test knob: delay shadow scoring
+    p.add_argument("--error-budget", type=float, default=None,
+                   metavar="REL_ERROR",
+                   help="target relative error per sketch: enables the "
+                        "accuracy ledger (ok/warn/burning budget states "
+                        "from shadow-sampled drift; needs --shadow-sample; "
+                        "docs/OBSERVABILITY.md 'Accuracy plane')")
+    p.add_argument("--error-budget-window", type=int, default=64,
+                   metavar="N",
+                   help="trailing shadow samples per sketch behind the "
+                        "budget burn rate (default 64)")
+    p.add_argument("--adaptive-maintain", action="store_true",
+                   help="let measured drift tighten/relax live sketches' "
+                        "debt_threshold instead of the fixed knob "
+                        "(needs --error-budget and --live-budget-kb)")
     p.add_argument("--drain-s", type=float, default=5.0,
                    help="on SIGTERM/SIGINT, wait up to this long for "
                         "in-flight requests before closing (default 5)")
@@ -1113,9 +1326,15 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_update)
 
     p = add_parser("top",
-                   help="live console view of a serve daemon's /statusz")
+                   help="live console view of a serve daemon's /statusz "
+                        "(or a supervisor's fleet /snapshotz with --fleet)")
     p.add_argument("address", metavar="HOST:PORT",
-                   help="the daemon's --metrics-port address")
+                   help="the daemon's --metrics-port address (with "
+                        "--fleet: the supervisor's)")
+    p.add_argument("--fleet", action="store_true",
+                   help="poll the supervisor's merged /snapshotz instead "
+                        "of a single worker's /statusz, so the accuracy "
+                        "panel reads fleet-wide")
     p.add_argument("--interval", type=float, default=2.0,
                    help="seconds between polls (default 2)")
     p.add_argument("--iterations", type=int, default=0, metavar="N",

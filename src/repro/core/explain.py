@@ -1,0 +1,231 @@
+"""Per-query error provenance for selectivity estimates.
+
+:func:`explain_estimate` is the instrumented companion of
+:func:`repro.core.estimate.estimate_selectivity`.  It answers "*why* is
+this estimate what it is, and which synopsis clusters would I distrust?"
+by decomposing the estimate into per-cluster contribution terms and
+attributing occurrence mass (and, when a live maintainer supplies one,
+error debt) to every cluster the traversal touched.
+
+Design constraints, in order of importance:
+
+1. **Zero overhead when disabled.**  This module is *never* imported by
+   :mod:`repro.core.estimate` or :mod:`repro.core.evaluate`; the plain
+   estimate path performs no extra work whatsoever.  The module-level
+   :data:`PROBES` counters exist so a test can pin that invariant: they
+   only move when an ``explain_*`` entry point runs.
+
+2. **Bitwise additivity.**  Floating-point arithmetic rules out generic
+   redistributions (``0.3 + (1 - 0.3) != 1.0``), so the contribution
+   terms *are* the plain DP's own summation terms.  The root variable
+   ``q0`` binds only the document root, and the estimate is
+   ``total = 1.0 * subtotal_1 * subtotal_2 * ...`` over its query-child
+   groups.  When ``q0`` has exactly one child group (every query the
+   workload generator emits, and any single-branch twig), the estimate
+   is ``1.0 * subtotal`` — bitwise equal to ``subtotal``, which is the
+   left-associated sum of ``avg * t(child)`` terms in edge insertion
+   order.  Those terms, attributed to each child's synopsis cluster,
+   are the contributions; summing them left-to-right reproduces the
+   plain estimator's answer bit for bit (``exact_split=True``).  For
+   the remaining shapes (multi-branch roots, a fired optional clamp at
+   the root, empty groups) no additive split exists and the whole
+   estimate is attributed to the root cluster (``exact_split=False``).
+
+3. **No duplicated recurrence.**  The t-values come from the *actual*
+   :func:`repro.core.estimate._tuples_per_element` memo, so the two
+   paths cannot drift apart: the contribution terms multiply the same
+   operands the plain DP multiplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.estimate import _tuples_per_element
+from repro.core.evaluate import ResultSketch, RSKey, eval_query
+from repro.obs import get_metrics, get_tracer
+from repro.query.twig import QueryNode, TwigQuery
+
+# Instrumentation-activity probes.  A regression test pins these at zero
+# across plain estimate/eval calls, proving the un-instrumented path does
+# no explain work; they are plain ints (not obs counters) so the pin
+# holds even with metrics disabled.
+PROBES: Dict[str, int] = {"explain_calls": 0, "dp_keys": 0}
+
+
+def reset_probes() -> None:
+    for k in PROBES:
+        PROBES[k] = 0
+
+
+@dataclass
+class ClusterReport:
+    """Provenance record for one synopsis cluster touched by a query."""
+
+    cluster: int
+    label: str
+    mass: float          # expected element occurrences routed through it
+    tuples: float        # expected binding tuples it accounts for
+    debt: float          # live error debt (0.0 unless a maintainer feeds it)
+    error_weight: float  # mass * debt: ranking key for "blame"
+
+    def to_payload(self) -> dict:
+        return {
+            "cluster": self.cluster,
+            "label": self.label,
+            "mass": self.mass,
+            "tuples": self.tuples,
+            "debt": self.debt,
+            "error_weight": self.error_weight,
+        }
+
+
+@dataclass
+class EstimateExplanation:
+    """Decomposition of one selectivity estimate.
+
+    ``contributions`` is a list of ``(cluster_id, term)`` pairs whose
+    left-associated sum equals ``estimate`` bitwise when
+    ``exact_split`` is true (see the module docstring for when it is
+    not).  ``clusters`` ranks the touched clusters by ``error_weight``
+    (truncated to the requested ``top_k``).
+    """
+
+    estimate: float
+    contributions: List[Tuple[int, float]]
+    exact_split: bool
+    touched: int
+    clusters: List[ClusterReport]
+
+    def to_payload(self) -> dict:
+        return {
+            "estimate": self.estimate,
+            "exact_split": self.exact_split,
+            "touched": self.touched,
+            "contributions": [
+                {"cluster": c, "term": t} for c, t in self.contributions
+            ],
+            "clusters": [c.to_payload() for c in self.clusters],
+        }
+
+
+def explain_query(
+    sketch,
+    query: TwigQuery,
+    debt: Optional[Mapping[int, float]] = None,
+    top_k: int = 5,
+) -> EstimateExplanation:
+    """Evaluate ``query`` against ``sketch`` and explain the estimate."""
+    result = eval_query(sketch, query)
+    return explain_estimate(result, debt=debt, top_k=top_k)
+
+
+def explain_estimate(
+    result: ResultSketch,
+    debt: Optional[Mapping[int, float]] = None,
+    top_k: int = 5,
+) -> EstimateExplanation:
+    """Explain where ``estimate_selectivity(result)`` comes from.
+
+    ``debt`` maps synopsis cluster ids to live error debt (as kept by
+    :class:`repro.core.live.SketchMaintainer`); omitted clusters carry
+    zero debt.  ``top_k`` bounds the returned cluster reports.
+    """
+    PROBES["explain_calls"] += 1
+    get_metrics().counter("explain.calls").inc()
+    with get_tracer().span("estimate.explain") as span:
+        if result.empty:
+            return EstimateExplanation(
+                estimate=0.0, contributions=[], exact_split=True,
+                touched=0, clusters=[],
+            )
+        qnode_of: Dict[str, QueryNode] = {n.var: n for n in result.query.nodes}
+        memo: Dict[RSKey, float] = {}
+        # The plain DP, verbatim: identical float ops, identical result.
+        estimate = _tuples_per_element(result, result.root_key, qnode_of, memo)
+        PROBES["dp_keys"] += len(memo)
+
+        contributions, exact = _split_contributions(
+            result, qnode_of, memo, estimate
+        )
+        clusters = _cluster_reports(result, qnode_of, memo, debt or {}, top_k)
+        span.annotate(estimate=estimate, clusters=len(clusters))
+        return EstimateExplanation(
+            estimate=estimate,
+            contributions=contributions,
+            exact_split=exact,
+            touched=len({key[0] for key in result.label}),
+            clusters=clusters,
+        )
+
+
+def _split_contributions(
+    result: ResultSketch,
+    qnode_of: Dict[str, QueryNode],
+    memo: Dict[RSKey, float],
+    estimate: float,
+) -> Tuple[List[Tuple[int, float]], bool]:
+    root_key = result.root_key
+    root_cluster = root_key[0]
+    qroot = qnode_of[root_key[1]]
+    edges = result.out.get(root_key, {})
+    if len(qroot.children) == 1 and edges:
+        qc = qroot.children[0]
+        terms: List[Tuple[int, float]] = []
+        subtotal = 0.0
+        for v_key, avg in edges.items():
+            if v_key[1] != qc.var:
+                continue
+            term = avg * memo[v_key]
+            terms.append((v_key[0], term))
+            subtotal += term
+        if terms and not (qc.optional and subtotal < 1.0):
+            # estimate == 1.0 * subtotal, and 1.0 * x is bitwise x.
+            return terms, True
+    # Clamped, multi-branch, or edgeless root: no additive split exists.
+    return [(root_cluster, estimate)], False
+
+
+def _cluster_reports(
+    result: ResultSketch,
+    qnode_of: Dict[str, QueryNode],
+    memo: Dict[RSKey, float],
+    debt: Mapping[int, float],
+    top_k: int,
+) -> List[ClusterReport]:
+    # Occurrence mass: pre-order propagation of expected element counts
+    # through average edge weights (estimate_bindings' recurrence),
+    # re-aggregated per synopsis cluster instead of per query variable.
+    occurrences: Dict[RSKey, float] = {result.root_key: 1.0}
+    mass: Dict[int, float] = {}
+    tuples: Dict[int, float] = {}
+    label: Dict[int, str] = {}
+    for qnode in result.query.nodes:  # pre-order: parents before children
+        for key in result.bind.get(qnode.var, []):
+            occ = occurrences.get(key, 0.0)
+            cid = key[0]
+            mass[cid] = mass.get(cid, 0.0) + occ
+            # t-values are absent for sub-DAGs the DP short-circuited
+            # past (early zero break); they account for zero tuples.
+            tuples[cid] = tuples.get(cid, 0.0) + occ * memo.get(key, 0.0)
+            label.setdefault(cid, result.label[key])
+            for child_key, avg in result.out.get(key, {}).items():
+                occurrences[child_key] = (
+                    occurrences.get(child_key, 0.0) + occ * avg
+                )
+    reports = [
+        ClusterReport(
+            cluster=cid,
+            label=label[cid],
+            mass=m,
+            tuples=tuples.get(cid, 0.0),
+            debt=float(debt.get(cid, 0.0)),
+            error_weight=m * float(debt.get(cid, 0.0)),
+        )
+        for cid, m in mass.items()
+    ]
+    reports.sort(key=lambda r: (-r.error_weight, -r.mass, r.cluster))
+    if top_k is not None and top_k >= 0:
+        reports = reports[:top_k]
+    return reports

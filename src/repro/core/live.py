@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
@@ -425,6 +425,141 @@ class LivePartition(MergePartition):
         return members
 
 
+class DebtController:
+    """Drift-adaptive ``debt_threshold``: accuracy-driven, not guessed.
+
+    ``debt_threshold`` trades re-merge work against drift, but the right
+    setting depends on the workload: a threshold that is fine for a cold
+    sketch lets windowed relative error blow past its budget once churn
+    concentrates on a few clusters, while an always-tight threshold
+    re-merges constantly for accuracy nobody asked for.  The controller
+    closes the loop from *measured* error (the shadow sampler / accuracy
+    ledger feed :meth:`observe`) back to the knob:
+
+    * when the trailing-window mean error exceeds ``target_rel_error``
+      (burn rate > 1), the threshold is multiplied by ``tighten_factor``
+      (clamped at ``min_threshold``) and a re-merge runs immediately so
+      the already-accumulated debt is settled at the new, tighter bar;
+      the error window is cleared so recovery is measured on the
+      repaired sketch rather than on stale pre-repair samples;
+    * when the burn rate stays below ``relax_below`` for ``cooldown``
+      consecutive observations, the threshold is multiplied by
+      ``relax_factor`` (clamped at ``max_threshold``, the configured
+      fixed setting) -- accuracy headroom is traded back for fewer
+      re-merges.
+
+    Metrics: ``live.adaptive.observations`` / ``.tightened`` /
+    ``.relaxed`` counters and ``live.adaptive.threshold`` /
+    ``.burn_rate`` gauges.
+    """
+
+    def __init__(
+        self,
+        maintainer: "SketchMaintainer",
+        target_rel_error: float = 0.25,
+        window: int = 16,
+        min_samples: int = 4,
+        tighten_factor: float = 0.25,
+        relax_factor: float = 2.0,
+        relax_below: float = 0.5,
+        cooldown: int = 32,
+        min_threshold: Optional[float] = None,
+        max_threshold: Optional[float] = None,
+    ) -> None:
+        if target_rel_error <= 0:
+            raise ValueError("target_rel_error must be positive")
+        if not 0.0 < tighten_factor < 1.0:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if relax_factor <= 1.0:
+            raise ValueError("relax_factor must be > 1")
+        self.maintainer = maintainer
+        base = maintainer.options.debt_threshold
+        self.target_rel_error = float(target_rel_error)
+        self.min_samples = max(1, int(min_samples))
+        self.tighten_factor = float(tighten_factor)
+        self.relax_factor = float(relax_factor)
+        self.relax_below = float(relax_below)
+        self.cooldown = max(1, int(cooldown))
+        self.min_threshold = (
+            float(min_threshold) if min_threshold is not None
+            else base / 1024.0
+        )
+        self.max_threshold = (
+            float(max_threshold) if max_threshold is not None else base
+        )
+        self.errors: deque = deque(maxlen=max(1, int(window)))
+        self.observations = 0
+        self.tightened = 0
+        self.relaxed = 0
+        self._calm = 0
+        metrics = get_metrics()
+        self._m_obs = metrics.counter("live.adaptive.observations")
+        self._m_tight = metrics.counter("live.adaptive.tightened")
+        self._m_relax = metrics.counter("live.adaptive.relaxed")
+        self._g_threshold = metrics.gauge("live.adaptive.threshold")
+        self._g_burn = metrics.gauge("live.adaptive.burn_rate")
+        self._g_threshold.set(maintainer.options.debt_threshold)
+
+    def burn_rate(self) -> float:
+        if not self.errors:
+            return 0.0
+        return (sum(self.errors) / len(self.errors)) / self.target_rel_error
+
+    def observe(self, rel_error: float) -> None:
+        """Fold one measured relative error into the control loop."""
+        self.observations += 1
+        self._m_obs.inc()
+        self.errors.append(float(rel_error))
+        burn = self.burn_rate()
+        self._g_burn.set(burn)
+        if len(self.errors) < self.min_samples:
+            return
+        opts = self.maintainer.options
+        if burn > 1.0:
+            self._calm = 0
+            tightened = max(
+                self.min_threshold, opts.debt_threshold * self.tighten_factor
+            )
+            if tightened < opts.debt_threshold:
+                opts.debt_threshold = tightened
+                self.tightened += 1
+                self._m_tight.inc()
+                self._g_threshold.set(tightened)
+            # Settle debt already sitting above the tighter bar now --
+            # waiting for the next edit would keep serving the drifted
+            # sketch -- and restart measurement on the repaired state.
+            self.maintainer._maybe_remerge()
+            self.errors.clear()
+            self._g_burn.set(0.0)
+        elif burn < self.relax_below:
+            self._calm += 1
+            if (self._calm >= self.cooldown
+                    and opts.debt_threshold < self.max_threshold):
+                opts.debt_threshold = min(
+                    self.max_threshold,
+                    opts.debt_threshold * self.relax_factor,
+                )
+                self.relaxed += 1
+                self._m_relax.inc()
+                self._g_threshold.set(opts.debt_threshold)
+                self._calm = 0
+        else:
+            self._calm = 0
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "target_rel_error": self.target_rel_error,
+            "threshold": self.maintainer.options.debt_threshold,
+            "min_threshold": self.min_threshold,
+            "max_threshold": self.max_threshold,
+            "burn_rate": self.burn_rate(),
+            "observations": self.observations,
+            "tightened": self.tightened,
+            "relaxed": self.relaxed,
+            "window_n": len(self.errors),
+        }
+
+
 class SketchMaintainer:
     """Keeps a budgeted TreeSketch fresh under subtree insert/delete.
 
@@ -467,6 +602,9 @@ class SketchMaintainer:
         # lazily (re)built (label, depth) -> cluster ids index.
         self._skey_cache: Dict[int, Tuple[int, Tuple[float, float, int]]] = {}
         self._label_index: Optional[Dict[Tuple[str, int], List[int]]] = None
+
+        # Optional drift-adaptive debt_threshold loop (enable_adaptive).
+        self.adaptive: Optional[DebtController] = None
 
         self._value_counts: Optional[Dict[int, Counter]] = None
         if self.options.track_values:
@@ -665,6 +803,24 @@ class SketchMaintainer:
     # ------------------------------------------------------------------
     # Error debt and re-merging
     # ------------------------------------------------------------------
+
+    def enable_adaptive(self, target_rel_error: float = 0.25,
+                        **kwargs) -> DebtController:
+        """Attach a drift-adaptive ``debt_threshold`` controller.
+
+        Measured errors flow in through :meth:`observe_error` (the
+        serving tier subscribes the accuracy ledger to it); the
+        controller tightens and relaxes ``options.debt_threshold``.
+        """
+        self.adaptive = DebtController(
+            self, target_rel_error=target_rel_error, **kwargs)
+        return self.adaptive
+
+    def observe_error(self, rel_error: float) -> None:
+        """Feed one measured relative error to the adaptive controller
+        (no-op unless :meth:`enable_adaptive` was called)."""
+        if self.adaptive is not None:
+            self.adaptive.observe(rel_error)
 
     def total_debt(self) -> float:
         return sum(self.debt.values())
@@ -888,6 +1044,10 @@ class SketchMaintainer:
             "remerge_merges": self.remerge_merges,
             "routed": self.routed,
             "singletons": self.singletons,
+            "debt_threshold": self.options.debt_threshold,
+            "adaptive": (
+                self.adaptive.info() if self.adaptive is not None else None
+            ),
         }
 
     def check(self) -> None:

@@ -1,0 +1,213 @@
+"""Error budgets for approximate answers: the accuracy ledger.
+
+The paper's bargain is bounded-size synopses with *quantified* error;
+operationally that means every served sketch should carry an explicit
+error budget and the plane should say, at any moment, whether live
+traffic is inside it.  :class:`AccuracyLedger` keeps, per sketch, a
+target relative error and a trailing window of shadow-sampled observed
+errors, and derives a **burn rate** (windowed mean error / target) and a
+**budget state**:
+
+``ok``
+    burn rate below ``warn_ratio`` (default 0.8) of budget.
+``warn``
+    burn rate in ``[warn_ratio, 1.0]`` — approaching the budget.
+``burning``
+    windowed error exceeds the target: the sketch is out of budget.
+
+The ledger is fed from the shadow sampler's drain thread
+(:meth:`record`) and from the live maintainer's debt gauges
+(:meth:`note_debt`), so all state transitions happen off the serving hot
+path; a lock makes it safe to read from ``/statusz`` concurrently.
+
+Exported metrics (all ``serve.accuracy.*``):
+
+- ``budget_state.ok`` / ``.warn`` / ``.burning`` — gauges counting the
+  sketches currently in each state.  One-hot-per-sketch counts survive
+  the fleet merge (gauges are *summed* across workers), so the fleet
+  snapshot reads as "N sketches burning fleet-wide".
+- ``budget_burn_max`` — gauge, worst burn rate across tracked sketches.
+- ``budget_transitions`` — counter, state changes (any direction).
+
+Subscribers registered via :meth:`subscribe` receive
+``(sketch, rel_error, state, burn_rate)`` after every recorded sample;
+the serving tier uses this to feed measured drift back into the
+maintainer's adaptive ``debt_threshold`` controller
+(:mod:`repro.core.live`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs import get_metrics
+
+__all__ = ["AccuracyLedger", "STATE_OK", "STATE_WARN", "STATE_BURNING"]
+
+STATE_OK = "ok"
+STATE_WARN = "warn"
+STATE_BURNING = "burning"
+_STATES = (STATE_OK, STATE_WARN, STATE_BURNING)
+
+
+class _SketchBudget:
+    __slots__ = ("target", "errors", "state", "debt", "samples")
+
+    def __init__(self, target: float, window: int) -> None:
+        self.target = float(target)
+        self.errors: Deque[float] = deque(maxlen=window)
+        self.state = STATE_OK
+        self.debt = 0.0
+        self.samples = 0
+
+    def burn_rate(self) -> float:
+        if not self.errors:
+            return 0.0
+        mean = sum(self.errors) / len(self.errors)
+        return mean / self.target if self.target > 0 else float("inf")
+
+
+class AccuracyLedger:
+    """Per-sketch error budgets with trailing-window burn tracking."""
+
+    def __init__(self, target_rel_error: float = 0.25, window: int = 64,
+                 warn_ratio: float = 0.8) -> None:
+        if target_rel_error <= 0:
+            raise ValueError("target_rel_error must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < warn_ratio <= 1.0:
+            raise ValueError("warn_ratio must be in (0, 1]")
+        self.target_rel_error = float(target_rel_error)
+        self.window = int(window)
+        self.warn_ratio = float(warn_ratio)
+        self._lock = threading.Lock()
+        self._budgets: Dict[str, _SketchBudget] = {}
+        self._listeners: List[Callable[[str, float, str, float], None]] = []
+        # Plain-int mirror so /statusz reports even with obs disabled.
+        self.transitions_total = 0
+
+    # ------------------------------------------------------------- tracking
+
+    def track(self, sketch: str, target: Optional[float] = None) -> None:
+        """Register ``sketch`` (idempotent), optionally with its own target."""
+        with self._lock:
+            self._ensure(sketch, target)
+        self._export()
+
+    def _ensure(self, sketch: str, target: Optional[float] = None) -> _SketchBudget:
+        budget = self._budgets.get(sketch)
+        if budget is None:
+            budget = _SketchBudget(
+                target if target is not None else self.target_rel_error,
+                self.window,
+            )
+            self._budgets[sketch] = budget
+        elif target is not None:
+            budget.target = float(target)
+        return budget
+
+    def subscribe(
+        self, listener: Callable[[str, float, str, float], None]
+    ) -> None:
+        """Call ``listener(sketch, rel_error, state, burn_rate)`` after
+        every recorded sample (on the recording thread)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, sketch: str, rel_error: float) -> str:
+        """Fold one observed relative error into ``sketch``'s window.
+
+        Returns the (possibly new) budget state.  Runs on the shadow
+        drain thread, never the serving path.
+        """
+        with self._lock:
+            budget = self._ensure(sketch)
+            budget.errors.append(float(rel_error))
+            budget.samples += 1
+            burn = budget.burn_rate()
+            if burn > 1.0:
+                state = STATE_BURNING
+            elif burn >= self.warn_ratio:
+                state = STATE_WARN
+            else:
+                state = STATE_OK
+            changed = state != budget.state
+            budget.state = state
+            if changed:
+                self.transitions_total += 1
+        if changed:
+            get_metrics().counter("serve.accuracy.budget_transitions").inc()
+        self._export()
+        for listener in list(self._listeners):
+            try:
+                listener(sketch, float(rel_error), state, burn)
+            except Exception:  # noqa: BLE001 - telemetry must not die
+                pass
+        return state
+
+    def note_debt(self, sketch: str, debt: float) -> None:
+        """Record the live maintainer's total error debt for ``sketch``."""
+        with self._lock:
+            self._ensure(sketch).debt = float(debt)
+
+    # ------------------------------------------------------------ reporting
+
+    def state(self, sketch: str) -> str:
+        with self._lock:
+            budget = self._budgets.get(sketch)
+            return budget.state if budget is not None else STATE_OK
+
+    def burn_rate(self, sketch: str) -> float:
+        with self._lock:
+            budget = self._budgets.get(sketch)
+            return budget.burn_rate() if budget is not None else 0.0
+
+    def summary(self) -> Dict[str, int]:
+        """Count of tracked sketches per budget state."""
+        counts = {s: 0 for s in _STATES}
+        with self._lock:
+            for budget in self._budgets.values():
+                counts[budget.state] += 1
+        return counts
+
+    def info(self) -> Dict[str, Any]:
+        """Per-sketch budget detail for ``/statusz`` and ``stats``."""
+        sketches: Dict[str, Any] = {}
+        with self._lock:
+            for name, budget in sorted(self._budgets.items()):
+                window = list(budget.errors)
+                sketches[name] = {
+                    "target": budget.target,
+                    "state": budget.state,
+                    "burn_rate": budget.burn_rate(),
+                    "samples": budget.samples,
+                    "window_n": len(window),
+                    "window_mean": (
+                        sum(window) / len(window) if window else None
+                    ),
+                    "debt": budget.debt,
+                }
+        return {
+            "target_rel_error": self.target_rel_error,
+            "window": self.window,
+            "warn_ratio": self.warn_ratio,
+            "transitions": self.transitions_total,
+            "sketches": sketches,
+        }
+
+    def _export(self) -> None:
+        metrics = get_metrics()
+        counts = self.summary()
+        for state in _STATES:
+            metrics.gauge(f"serve.accuracy.budget_state.{state}").set(
+                counts[state]
+            )
+        with self._lock:
+            worst = max(
+                (b.burn_rate() for b in self._budgets.values()), default=0.0
+            )
+        metrics.gauge("serve.accuracy.budget_burn_max").set(worst)

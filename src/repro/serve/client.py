@@ -215,6 +215,18 @@ class ServeClient:
                          max_nodes=max_nodes, seed=seed,
                          deadline_ms=deadline_ms, request_id=request_id)
 
+    def explain(self, query: str, sketch: Optional[str] = None,
+                top_k: Optional[int] = None,
+                deadline_ms: Optional[float] = None,
+                request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Error provenance for one estimate: per-cluster contribution
+        terms (summing exactly to ``estimate``), the top-``top_k``
+        error-contributing clusters, and -- when the daemon runs with an
+        error budget -- the sketch's budget state and burn rate."""
+        return self.call("explain", query=query, sketch=sketch,
+                         top_k=top_k, deadline_ms=deadline_ms,
+                         request_id=request_id)
+
     def update(self, action: str, sketch: Optional[str] = None,
                parent_label: Optional[str] = None,
                parent_ordinal: Optional[int] = None,
@@ -458,6 +470,10 @@ class PooledClient:
     def expand(self, query: str, sketch: Optional[str] = None,
                **fields: Any) -> Dict[str, Any]:
         return self.call("expand", sketch=sketch, query=query, **fields)
+
+    def explain(self, query: str, sketch: Optional[str] = None,
+                **fields: Any) -> Dict[str, Any]:
+        return self.call("explain", sketch=sketch, query=query, **fields)
 
     def update(self, action: str, sketch: Optional[str] = None,
                **fields: Any) -> Dict[str, Any]:

@@ -37,11 +37,11 @@ PROTOCOL_VERSION = 1
 #: ``fleet_stats`` are answered by the supervisor's control endpoint
 #: (:mod:`repro.serve.supervisor`); a worker addressed directly answers
 #: them with ``unknown_op`` pointing at the supervisor.
-OPS = ("eval", "estimate", "expand", "update", "list_sketches", "health",
-       "stats", "shard_map", "fleet_stats")
+OPS = ("eval", "estimate", "explain", "expand", "update", "list_sketches",
+       "health", "stats", "shard_map", "fleet_stats")
 
 #: Ops that read a sketch (admission-controlled; the rest are control-plane).
-DATA_OPS = frozenset({"eval", "estimate", "expand"})
+DATA_OPS = frozenset({"eval", "estimate", "explain", "expand"})
 
 #: Ops that mutate a sketch.  Admission-controlled like data ops, but
 #: never coalesced, never shadow-sampled, and **not idempotent** --
@@ -208,6 +208,14 @@ def parse_request(line: Union[bytes, str]) -> Dict[str, Any]:
         else:  # delete_subtree
             _require_str(request, "label")
             _check_ordinal(request, "ordinal")
+    if op == "explain":
+        top_k = request.get("top_k")
+        if top_k is not None and (
+            not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1
+        ):
+            raise ProtocolError(
+                "bad_request", "field 'top_k' must be a positive integer"
+            )
     if op == "expand":
         max_nodes = request.get("max_nodes")
         if max_nodes is not None and (

@@ -173,6 +173,30 @@ class LiveSketch(RegisteredSketch):
                 "size_bytes": snapshot.size_bytes(),
             }
 
+    def observe_error(self, rel_error: float) -> Optional[int]:
+        """Feed one shadow-measured relative error to the maintainer's
+        adaptive ``debt_threshold`` controller (no-op when disabled).
+
+        Runs under the mutation lock -- the controller may trigger a
+        re-merge, which must serialize with concurrent updates like any
+        other write.  When it does, the served snapshot is refreshed
+        through the same epoch-bump barrier as :meth:`update`; the new
+        epoch is returned so the caller can invalidate queued shadow
+        samples, None otherwise.
+        """
+        maintainer = self.maintainer
+        if maintainer.adaptive is None:
+            return None
+        with self._mut_lock:
+            before = maintainer.remerges
+            maintainer.observe_error(rel_error)
+            if maintainer.remerges == before:
+                return None
+            snapshot = maintainer.snapshot()
+            epoch = self.cache.invalidate(sketch=snapshot)
+            self.sketch = snapshot
+            return epoch
+
     def describe(self) -> Dict[str, object]:
         doc = super().describe()
         info = self.maintainer.info()
@@ -181,6 +205,9 @@ class LiveSketch(RegisteredSketch):
         doc["mutations"] = info["mutations"]
         doc["remerges"] = info["remerges"]
         doc["debt"] = info["debt_total"]
+        doc["debt_threshold"] = info["debt_threshold"]
+        if info.get("adaptive") is not None:
+            doc["adaptive"] = info["adaptive"]
         return doc
 
 

@@ -54,7 +54,9 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.estimate import estimate_bindings
 from repro.core.expand import ExpansionLimitError, expand_result
+from repro.core.explain import explain_estimate
 from repro.obs import get_clock, get_metrics, get_tracer
+from repro.obs.accuracy import AccuracyLedger
 from repro.query.parser import parse_twig
 from repro.query.twig import TwigQuery
 from repro.serve import protocol
@@ -100,6 +102,21 @@ class ServeConfig:
     shadow_fraction: float = 0.0
     shadow_reference: Optional[Callable[[TwigQuery], float]] = None
     shadow_max_queue: int = 256
+    #: Test/debug knob (cf. ``handler_delay_s``): holds each shadow
+    #: sample on the drain thread before scoring it, making
+    #: mutation-vs-sample staleness races reproducible.
+    shadow_eval_delay_s: float = 0.0
+    #: Error budget (docs/OBSERVABILITY.md "Accuracy plane"): a target
+    #: relative error enables the :class:`repro.obs.accuracy.AccuracyLedger`
+    #: -- shadow-scored samples feed per-sketch trailing-window burn
+    #: rates and ok/warn/burning budget states, exported through
+    #: ``/metrics`` and ``/statusz``.
+    error_budget: Optional[float] = None
+    error_budget_window: int = 64
+    #: With an error budget set, wire measured drift back into each live
+    #: sketch's :class:`repro.core.live.DebtController`, which tightens
+    #: and relaxes ``debt_threshold`` instead of trusting the fixed knob.
+    adaptive_maintenance: bool = False
     #: Request coalescing (docs/SERVING.md "Scaling out"): concurrent
     #: ``estimate`` ops against one sketch are grouped into a single
     #: ``estimate_selectivity_batch`` call.  ``coalesce_window_s`` bounds
@@ -139,6 +156,21 @@ class SketchServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started_at: Optional[float] = None
         self._exposition = None
+        self._ledger: Optional[AccuracyLedger] = None
+        if self.config.error_budget is not None:
+            self._ledger = AccuracyLedger(
+                target_rel_error=self.config.error_budget,
+                window=self.config.error_budget_window,
+            )
+            for name in registry.names():
+                self._ledger.track(name)
+            self._ledger.subscribe(self._on_accuracy_sample)
+            if self.config.adaptive_maintenance:
+                for name in registry.names():
+                    entry = registry.get(name)
+                    if isinstance(entry, LiveSketch):
+                        entry.maintainer.enable_adaptive(
+                            target_rel_error=self.config.error_budget)
         self._shadow: Optional[ShadowSampler] = None
         if self.config.shadow_fraction > 0:
             if self.config.shadow_reference is None:
@@ -150,6 +182,8 @@ class SketchServer:
                 self.config.shadow_reference,
                 fraction=self.config.shadow_fraction,
                 max_queue=self.config.shadow_max_queue,
+                ledger=self._ledger,
+                eval_delay_s=self.config.shadow_eval_delay_s,
             )
         self._batcher = _EstimateBatcher(self) if self.config.coalesce else None
         self._checkpoint_task: Optional[asyncio.Task] = None
@@ -176,6 +210,29 @@ class SketchServer:
     def shadow(self) -> Optional[ShadowSampler]:
         """The accuracy sampler, or None when disabled (the default)."""
         return self._shadow
+
+    @property
+    def ledger(self) -> Optional[AccuracyLedger]:
+        """The error-budget ledger, or None when no budget is set."""
+        return self._ledger
+
+    def _on_accuracy_sample(self, sketch: str, rel_error: float,
+                            state: str, burn: float) -> None:
+        """Ledger subscriber: route measured drift into the adaptive
+        maintenance loop.  Runs on the shadow drain thread."""
+        try:
+            registered = self.registry.get(sketch)
+        except KeyError:
+            return
+        if not isinstance(registered, LiveSketch):
+            return
+        if self._ledger is not None:
+            self._ledger.note_debt(sketch, registered.maintainer.total_debt())
+        epoch = registered.observe_error(rel_error)
+        if epoch is not None and self._shadow is not None:
+            # The controller re-merged: queued samples predate the new
+            # snapshot and must not score against it.
+            self._shadow.note_epoch(sketch, epoch)
 
     async def start(self) -> None:
         if self._server is not None:
@@ -393,6 +450,8 @@ class SketchServer:
                 metrics=get_metrics().snapshot(),
                 accuracy=(self._shadow.info()
                           if self._shadow is not None else None),
+                budgets=(self._ledger.info()
+                         if self._ledger is not None else None),
             )
         if op == "update":
             return await self._dispatch_update(request)
@@ -424,6 +483,8 @@ class SketchServer:
             "latency": latency,
             "accuracy": (self._shadow.info()
                          if self._shadow is not None else None),
+            "budgets": (self._ledger.info()
+                        if self._ledger is not None else None),
             "counters": {name: value
                          for name, value in snapshot["counters"].items()
                          if name.startswith(("serve.", "eval.cache."))},
@@ -482,6 +543,13 @@ class SketchServer:
                     f"update exceeded its {deadline_s * 1000:.0f} ms deadline "
                     "(the mutation may still apply; check the epoch)",
                 )
+            # Queued shadow samples were scored against the pre-mutation
+            # sketch: advance the sampler's epoch so the drain thread
+            # drops them as stale instead of reporting bogus drift.
+            if self._shadow is not None:
+                self._shadow.note_epoch(registered.name, payload["epoch"])
+            if self._ledger is not None:
+                self._ledger.note_debt(registered.name, payload["debt"])
             return protocol.ok_response(request, **payload)
         finally:
             if submitted is None:
@@ -587,7 +655,8 @@ class SketchServer:
                     and request["op"] in ("estimate", "eval")
                     and not payload.get("degraded")):
                 self._shadow.offer(registered.name, query,
-                                   payload["selectivity"])
+                                   payload["selectivity"],
+                                   epoch=registered.cache.epoch)
             return protocol.ok_response(request, **payload)
         finally:
             if submitted is None and coalesced is None:
@@ -650,6 +719,23 @@ class SketchServer:
                 },
                 "bindings": estimate_bindings(result),
             }
+        if op == "explain":
+            # Error provenance (docs/OBSERVABILITY.md "Accuracy plane"):
+            # the instrumented DP decomposes the estimate into per-cluster
+            # contribution terms and ranks clusters by live error debt.
+            result = cache.result(query)
+            debt = (registered.maintainer.debt
+                    if isinstance(registered, LiveSketch) else None)
+            explanation = explain_estimate(
+                result, debt=debt, top_k=int(request.get("top_k", 5)))
+            get_metrics().counter("serve.explains").inc()
+            payload = {"sketch": registered.name,
+                       "epoch": registered.cache.epoch}
+            payload.update(explanation.to_payload())
+            if self._ledger is not None:
+                payload["budget_state"] = self._ledger.state(registered.name)
+                payload["burn_rate"] = self._ledger.burn_rate(registered.name)
+            return payload
         if op == "expand":
             max_nodes = min(
                 int(request.get("max_nodes", self.config.max_expand_nodes)),

@@ -19,17 +19,28 @@ evaluation; when the queue is full the sample is dropped and counted,
 never blocked on.  A slow or wedged reference therefore degrades the
 *telemetry*, not the serving.
 
+Samples are tagged with the sketch's **cache epoch** at offer time.  A
+live ``update`` mutates the sketch and bumps its epoch; a queued sample
+scored after that mutation would compare a pre-mutation estimate against
+the post-mutation reference and report bogus drift.  The drain thread
+therefore drops any sample whose epoch no longer matches the sketch's
+current epoch (``serve.accuracy.stale_dropped``) instead of scoring it.
+
 Metrics: ``serve.accuracy.sampled`` / ``.evaluated`` / ``.dropped`` /
-``.failed`` counters and the ``serve.accuracy.rel_error`` histogram
-(plus windowed ``serve.accuracy.rel_error.window``).  The sampler also
-keeps plain-int mirrors of its tallies so ``/statusz`` can report them
-even when the obs registry is disabled.
+``.stale_dropped`` / ``.failed`` counters and the
+``serve.accuracy.rel_error`` histogram (plus windowed
+``serve.accuracy.rel_error.window``).  The sampler also keeps plain-int
+mirrors of its tallies so ``/statusz`` can report them even when the obs
+registry is disabled.  When an :class:`repro.obs.accuracy.AccuracyLedger`
+is attached, every scored sample is folded into the sketch's error
+budget as well.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.estimate import estimate_selectivity
@@ -84,7 +95,8 @@ class ShadowSampler:
 
     def __init__(self, reference: Callable[[TwigQuery], float],
                  fraction: float, max_queue: int = 256,
-                 window_s: float = 300.0) -> None:
+                 window_s: float = 300.0, ledger=None,
+                 eval_delay_s: float = 0.0) -> None:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if max_queue < 1:
@@ -92,13 +104,21 @@ class ShadowSampler:
         self.reference = reference
         self.fraction = float(fraction)
         self.window_s = float(window_s)
+        self.ledger = ledger
+        # Test-only knob (cf. handler_delay_s): holds each drained sample
+        # before scoring so staleness races are deterministic in CI.
+        self.eval_delay_s = float(eval_delay_s)
         self._accumulator = 0.0
         self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(max_queue)
         self._thread: Optional[threading.Thread] = None
+        # Current cache epoch per sketch, advanced by note_epoch() on
+        # mutation; samples carrying an older epoch are dropped as stale.
+        self._epochs: Dict[str, int] = {}
         # Plain-int mirrors so /statusz reports even with obs disabled.
         self.sampled_total = 0
         self.evaluated_total = 0
         self.dropped_total = 0
+        self.stale_dropped_total = 0
         self.failed_total = 0
         self.error_sum = 0.0
         self.error_max = 0.0
@@ -107,13 +127,15 @@ class ShadowSampler:
     # ------------------------------------------------------------- hot path
 
     def offer(self, sketch_name: str, query: TwigQuery,
-              estimate: float) -> bool:
+              estimate: float, epoch: Optional[int] = None) -> bool:
         """Maybe enqueue one served answer for shadow scoring.
 
         Called on the event loop after the response is finalized: a
         deterministic accumulator decides sampling, and the enqueue is
         non-blocking -- a full queue drops the sample (counted) rather
-        than slowing the request path.  Returns whether the answer was
+        than slowing the request path.  ``epoch`` is the sketch's cache
+        epoch at answer time; a later mutation invalidates the sample
+        (see :meth:`note_epoch`).  Returns whether the answer was
         enqueued.
         """
         self._accumulator += self.fraction
@@ -123,12 +145,23 @@ class ShadowSampler:
         self.sampled_total += 1
         get_metrics().counter("serve.accuracy.sampled").inc()
         try:
-            self._queue.put_nowait((sketch_name, query, float(estimate)))
+            self._queue.put_nowait(
+                (sketch_name, query, float(estimate), epoch))
         except queue.Full:
             self.dropped_total += 1
             get_metrics().counter("serve.accuracy.dropped").inc()
             return False
         return True
+
+    def note_epoch(self, sketch_name: str, epoch: int) -> None:
+        """Advance ``sketch_name``'s current epoch after a mutation.
+
+        Queued samples tagged with an older epoch were scored against a
+        sketch that no longer exists; the drain thread drops them.
+        Plain dict assignment (atomic under the GIL), called from the
+        update path.
+        """
+        self._epochs[sketch_name] = int(epoch)
 
     # -------------------------------------------------------- shadow thread
 
@@ -137,8 +170,16 @@ class ShadowSampler:
             item = self._queue.get()
             if item is None:
                 return
-            sketch_name, query, estimate = item
+            sketch_name, query, estimate, epoch = item
             metrics = get_metrics()
+            if self.eval_delay_s > 0.0:
+                time.sleep(self.eval_delay_s)
+            current = self._epochs.get(sketch_name)
+            if (epoch is not None and current is not None
+                    and current != epoch):
+                self.stale_dropped_total += 1
+                metrics.counter("serve.accuracy.stale_dropped").inc()
+                continue
             try:
                 truth = self.reference(query)
             except Exception:  # noqa: BLE001 - telemetry must not die
@@ -154,6 +195,8 @@ class ShadowSampler:
             metrics.histogram("serve.accuracy.rel_error").observe(error)
             metrics.windowed("serve.accuracy.rel_error.window",
                              window_s=self.window_s).observe(error)
+            if self.ledger is not None:
+                self.ledger.record(sketch_name, error)
 
     def start(self) -> "ShadowSampler":
         if self._thread is not None:
@@ -180,6 +223,7 @@ class ShadowSampler:
             "sampled": self.sampled_total,
             "evaluated": evaluated,
             "dropped": self.dropped_total,
+            "stale_dropped": self.stale_dropped_total,
             "failed": self.failed_total,
             "pending": self._queue.qsize(),
             "rel_error_mean": (self.error_sum / evaluated) if evaluated else None,

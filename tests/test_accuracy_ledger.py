@@ -1,0 +1,119 @@
+"""Unit tests for the error-budget ledger (repro.obs.accuracy)."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.accuracy import (
+    STATE_BURNING,
+    STATE_OK,
+    STATE_WARN,
+    AccuracyLedger,
+)
+
+
+def test_states_follow_burn_rate():
+    ledger = AccuracyLedger(target_rel_error=0.1, window=4, warn_ratio=0.8)
+    assert ledger.state("s") == STATE_OK
+    # Mean 0.05 -> burn 0.5: ok.
+    assert ledger.record("s", 0.05) == STATE_OK
+    # Window mean climbs into [0.08, 0.1] -> warn.
+    assert ledger.record("s", 0.13) == STATE_WARN
+    # Blow the budget -> burning.
+    ledger.record("s", 0.5)
+    ledger.record("s", 0.5)
+    assert ledger.state("s") == STATE_BURNING
+    assert ledger.burn_rate("s") > 1.0
+    # The window forgets: four clean samples recover to ok.
+    for _ in range(4):
+        ledger.record("s", 0.0)
+    assert ledger.state("s") == STATE_OK
+
+
+def test_trailing_window_is_bounded():
+    ledger = AccuracyLedger(target_rel_error=0.1, window=8)
+    for _ in range(100):
+        ledger.record("s", 1.0)
+    for _ in range(8):
+        ledger.record("s", 0.0)
+    # Only the trailing 8 samples count, all zero.
+    assert ledger.burn_rate("s") == 0.0
+
+
+def test_per_sketch_targets_and_summary():
+    ledger = AccuracyLedger(target_rel_error=0.1, window=4)
+    ledger.track("tight", target=0.01)
+    ledger.track("loose", target=10.0)
+    ledger.record("tight", 0.05)   # burn 5 -> burning
+    ledger.record("loose", 0.05)   # burn 0.005 -> ok
+    assert ledger.state("tight") == STATE_BURNING
+    assert ledger.state("loose") == STATE_OK
+    counts = ledger.summary()
+    assert counts == {STATE_OK: 1, STATE_WARN: 0, STATE_BURNING: 1}
+
+
+def test_metrics_export_one_hot_states():
+    with obs.observed() as registry:
+        ledger = AccuracyLedger(target_rel_error=0.1, window=4)
+        ledger.track("a")
+        ledger.track("b")
+        ledger.record("a", 1.0)
+        snap = registry.snapshot()
+        assert snap["gauges"]["serve.accuracy.budget_state.burning"] == 1
+        assert snap["gauges"]["serve.accuracy.budget_state.ok"] == 1
+        assert snap["gauges"]["serve.accuracy.budget_burn_max"] == pytest.approx(10.0)
+        assert snap["counters"]["serve.accuracy.budget_transitions"] == 1
+    assert ledger.transitions_total == 1
+
+
+def test_listeners_receive_every_sample_and_cannot_kill_recording():
+    ledger = AccuracyLedger(target_rel_error=0.5, window=4)
+    seen = []
+
+    def bad_listener(*_args):
+        raise RuntimeError("boom")
+
+    ledger.subscribe(bad_listener)
+    ledger.subscribe(lambda sketch, err, state, burn: seen.append(
+        (sketch, err, state, burn)))
+    ledger.record("s", 0.25)
+    assert seen == [("s", 0.25, STATE_OK, pytest.approx(0.5))]
+
+
+def test_note_debt_surfaces_in_info():
+    ledger = AccuracyLedger(target_rel_error=0.25)
+    ledger.note_debt("s", 12.5)
+    ledger.record("s", 0.1)
+    info = ledger.info()
+    assert info["sketches"]["s"]["debt"] == 12.5
+    assert info["sketches"]["s"]["samples"] == 1
+    assert info["sketches"]["s"]["state"] == STATE_OK
+    assert info["target_rel_error"] == 0.25
+
+
+def test_concurrent_recording_is_safe():
+    ledger = AccuracyLedger(target_rel_error=0.1, window=16)
+
+    def worker(name):
+        for _ in range(200):
+            ledger.record(name, 0.05)
+
+    threads = [threading.Thread(target=worker, args=(f"s{i}",))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    info = ledger.info()
+    assert len(info["sketches"]) == 4
+    assert all(b["samples"] == 200 for b in info["sketches"].values())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AccuracyLedger(target_rel_error=0.0)
+    with pytest.raises(ValueError):
+        AccuracyLedger(window=0)
+    with pytest.raises(ValueError):
+        AccuracyLedger(warn_ratio=0.0)
