@@ -44,7 +44,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.build import build_treesketch
+from repro.core.build import TSBuildOptions, build_treesketch
 from repro.core.estimate import estimate_selectivity
 from repro.core.evaluate import eval_query
 from repro.core.expand import expand_result
@@ -121,7 +121,10 @@ def cmd_build(args: argparse.Namespace) -> int:
         if args.memo_cache:
             print("--memo-cache needs a synopsis-file source (the memo is "
                   "keyed by its checksum); building cold", file=sys.stderr)
-        sketch = build_treesketch(source, int(args.budget_kb * 1024))
+        sketch = build_treesketch(
+            source, int(args.budget_kb * 1024),
+            TSBuildOptions(kernel=args.kernel),
+        )
     if value_summaries is not None:
         from repro.values import annotate_sketch_values
 
@@ -153,7 +156,7 @@ def _build_with_memo_cache(args: argparse.Namespace,
     )
 
     checksum = file_checksum(args.source)
-    builder = TreeSketchBuilder(source)
+    builder = TreeSketchBuilder(source, TSBuildOptions(kernel=args.kernel))
     signature = builder.memo_signature()
     doc = load_cache_sidecar(args.source, checksum)
     memo = (doc or {}).get("memo")
@@ -412,7 +415,10 @@ def cmd_workload(args: argparse.Namespace) -> int:
         )
         return 0
 
-    sketch = build_treesketch(stable, int(args.budget_kb * 1024))
+    sketch = build_treesketch(
+        stable, int(args.budget_kb * 1024),
+        TSBuildOptions(kernel=args.kernel),
+    )
     cache = None
     if args.eval_cache > 0:
         from repro.core.qcache import QueryCache
@@ -1085,6 +1091,13 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--memo-cache", action="store_true",
                    help="persist/reuse the TSBUILD merge-score memo in the "
                         "source's .cache sidecar (synopsis sources only)")
+    p.add_argument("--kernel",
+                   choices=("auto", "dicts", "arrays", "numpy"),
+                   default="auto",
+                   help="TSBUILD scoring backend (bit-identical output; "
+                        "auto picks by shape and upgrades to numpy block "
+                        "scoring when numpy is available; see "
+                        "docs/PERFORMANCE.md)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.add_argument(
@@ -1175,6 +1188,11 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="estimate all selectivities in one vectorized pass "
                         "(numpy when available; ignored in --server mode)")
+    p.add_argument("--kernel",
+                   choices=("auto", "dicts", "arrays", "numpy"),
+                   default="auto",
+                   help="TSBUILD scoring backend for the built sketch "
+                        "(bit-identical output; ignored in --server mode)")
     p.add_argument("--profile", metavar="FILE",
                    help="dump a cProfile pstats file for the run")
     p.set_defaults(func=cmd_workload)

@@ -358,7 +358,7 @@ def create_pool(
 
     memo = partition.merge_memo if memoize else None
     version = partition.version
-    raw = partition._eval_raw
+    eval_block = partition.eval_block
 
     # The bounded-best push, inlined for the million-candidate hot loops.
     heap = best._heap
@@ -412,8 +412,11 @@ def create_pool(
                     continue
                 if memo is not None:
                     partition.memo_misses += len(pairs)
-                    for u, v in pairs:
-                        errd, sized = raw(u, v)
+                    # eval_block == per-pair raw() bitwise; it only
+                    # vectorizes on the numpy kernel (large unions).
+                    for (u, v), (errd, sized) in zip(
+                        pairs, eval_block(pairs)
+                    ):
                         if sized > 0:
                             ratio = errd / sized
                         else:
@@ -428,8 +431,9 @@ def create_pool(
                         elif item > heap[0]:
                             heapreplace(heap, item)
                 else:
-                    for u, v in pairs:
-                        errd, sized = raw(u, v)
+                    for (u, v), (errd, sized) in zip(
+                        pairs, eval_block(pairs)
+                    ):
                         if sized <= 0:
                             continue  # non-improving: skip at insertion
                         item = (-(errd / sized), errd, sized, u, v)

@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro import obs
 from repro.core.build import TSBuildOptions, TreeSketchBuilder
 from repro.core.kernel import KernelPartition
+from repro.core.npsupport import have_numpy
 from repro.core.partition import MergePartition
 from repro.core.pool import PoolState, create_pool, create_pool_reference
 from repro.core.stable import StableSummary, build_stable
@@ -48,12 +49,15 @@ OPTIMIZED_VARIANTS = {
     "kernel_plain": TSBuildOptions(
         kernel="arrays", memoize=False, incremental_pool=False
     ),
+    "kernel_numpy": TSBuildOptions(kernel="numpy"),
 }
 
 
 @pytest.mark.parametrize("variant", sorted(OPTIMIZED_VARIANTS))
 @pytest.mark.parametrize("seed,budget_kb", [(7, 6), (21, 3), (99, 10)])
 def test_optimized_builders_match_reference(variant, seed, budget_kb):
+    if variant == "kernel_numpy" and not have_numpy():
+        pytest.skip("numpy unavailable")
     rng = random.Random(seed)
     stable = build_stable(make_random_tree(rng, 600))
     budget = budget_kb * 1024

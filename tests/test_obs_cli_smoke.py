@@ -60,6 +60,46 @@ class TestStatsFlag:
         assert "observability summary" not in capsys.readouterr().out
 
 
+class TestKernelFlag:
+    """--kernel routes the build backend; pinned via tsbuild.kernel_*."""
+
+    def _stats_out(self, xml_file, tmp_path, capsys, *extra):
+        sketch = str(tmp_path / "sketch.json")
+        assert main(["build", xml_file, "--budget-kb", "1", "-o", sketch,
+                     "--stats", *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_kernel_counter_reported(self, xml_file, tmp_path, capsys):
+        out = self._stats_out(xml_file, tmp_path, capsys,
+                              "--kernel", "arrays")
+        assert "tsbuild.kernel_arrays" in out
+
+    def test_kernel_dicts_honoured(self, xml_file, tmp_path, capsys):
+        out = self._stats_out(xml_file, tmp_path, capsys, "--kernel", "dicts")
+        assert "tsbuild.kernel_dicts" in out
+
+    def test_kernel_numpy_reports_block_counters(self, xml_file, tmp_path,
+                                                 capsys):
+        from repro.core.npsupport import have_numpy
+
+        if not have_numpy():
+            pytest.skip("numpy unavailable")
+        out = self._stats_out(xml_file, tmp_path, capsys, "--kernel", "numpy")
+        assert "tsbuild.kernel_numpy" in out
+        assert "tsbuild.block_rescores" in out
+
+    def test_unknown_kernel_rejected(self, xml_file, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["build", xml_file, "--budget-kb", "1",
+                  "-o", str(tmp_path / "s.json"), "--kernel", "simd"])
+        assert exc.value.code == 2  # argparse usage error names the choices
+        assert "invalid choice: 'simd'" in capsys.readouterr().err
+
+    def test_workload_accepts_kernel(self, xml_file, capsys):
+        assert main(["workload", xml_file, "--budget-kb", "1",
+                     "--queries", "3", "--kernel", "arrays"]) == 0
+
+
 class TestTraceFlag:
     def test_trace_file_is_json_lines(self, xml_file, tmp_path, capsys):
         sketch = str(tmp_path / "sketch.json")
